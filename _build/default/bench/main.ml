@@ -1,0 +1,182 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/experiment of the paper (E1-E10, see
+   DESIGN.md §5 and EXPERIMENTS.md) at Quick scale — run
+   `mwct experiment all --full` for paper-scale sample sizes.
+
+   Part 2 runs bechamel micro-benchmarks (B1-B8) over the computational
+   kernels: Water-Filling normalization, Greedy, WDEQ simulation, the
+   Corollary-1 LP, integerization + assignment, the homogeneous
+   recurrence, and the exact-arithmetic substrate. *)
+
+open Bechamel
+open Toolkit
+module EF = Mwct_core.Engine.Float
+module EQ = Mwct_core.Engine.Exact
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+module Q = Mwct_rational.Rational
+module Nat = Mwct_bigint.Nat
+
+(* ---------- part 1: experiment tables ---------- *)
+
+let run_experiments () =
+  print_endline "================================================================";
+  print_endline " Paper experiment regeneration (Quick scale; --full via the CLI)";
+  print_endline "================================================================";
+  print_newline ();
+  Mwct_experiments.Experiments.run_all Mwct_experiments.Experiments.Quick
+
+(* ---------- part 2: micro-benchmarks ---------- *)
+
+let instance_of_size n =
+  EF.Instance.of_spec (G.uniform (Rng.create (n * 31 + 7)) ~procs:16 ~n ())
+
+let exact_instance_of_size n =
+  EQ.Instance.of_spec (G.uniform (Rng.create (n * 31 + 7)) ~procs:16 ~n ())
+
+(* B1: WF normalization, n = 100. *)
+let bench_wf =
+  let inst = instance_of_size 100 in
+  let sigma = EF.Orderings.smith inst in
+  let times = EF.Schedule.completion_times (EF.Greedy.run inst sigma) in
+  Test.make ~name:"B1 water_filling.build n=100" (Staged.stage (fun () ->
+      match EF.Water_filling.build inst times with Ok _ -> () | Error _ -> assert false))
+
+(* B2: Greedy, n = 100. *)
+let bench_greedy =
+  let inst = instance_of_size 100 in
+  let sigma = EF.Orderings.smith inst in
+  Test.make ~name:"B2 greedy.run n=100" (Staged.stage (fun () -> ignore (EF.Greedy.run inst sigma)))
+
+(* B3: WDEQ simulation, n = 100. *)
+let bench_wdeq =
+  let inst = instance_of_size 100 in
+  Test.make ~name:"B3 wdeq.simulate n=100" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+
+(* B4: one Corollary-1 LP, n = 6 (float). *)
+let bench_lp =
+  let inst = instance_of_size 6 in
+  let pi = EF.Orderings.identity 6 in
+  Test.make ~name:"B4 lp.optimal_for_order n=6" (Staged.stage (fun () ->
+      ignore (EF.Lp_schedule.optimal_for_order inst pi)))
+
+(* B5: integerize + assignment, n = 50. *)
+let bench_integerize =
+  let inst = instance_of_size 50 in
+  let sigma = EF.Orderings.smith inst in
+  let s = EF.Water_filling.normalize (EF.Greedy.run inst sigma) in
+  Test.make ~name:"B5 integerize+assign n=50" (Staged.stage (fun () ->
+      let is, _ = EF.Integerize.of_columns s in
+      ignore (EF.Assignment.assign is)))
+
+(* B6: homogeneous recurrence, n = 1000, exact rationals. *)
+let bench_homogeneous =
+  let deltas =
+    Array.map
+      (fun (r : Mwct_core.Spec.rat) -> Q.of_q r.Mwct_core.Spec.num r.Mwct_core.Spec.den)
+      (G.homogeneous_deltas (Rng.create 99) ~n:150 ~den:1024 ())
+  in
+  let order = EQ.Orderings.identity 150 in
+  Test.make ~name:"B6 homogeneous.total n=150 exact" (Staged.stage (fun () ->
+      ignore (EQ.Homogeneous.total deltas order)))
+
+(* B7: exact WDEQ (rational arithmetic end-to-end), n = 20. *)
+let bench_exact_wdeq =
+  let inst = exact_instance_of_size 20 in
+  Test.make ~name:"B7 wdeq.simulate n=20 exact" (Staged.stage (fun () -> ignore (EQ.Wdeq.wdeq inst)))
+
+(* B8: bignum substrate: 300-digit multiply + divide. *)
+let bench_bigint =
+  let a = Nat.of_string (String.concat "" (List.init 30 (fun i -> string_of_int (1000000000 + (i * 7))))) in
+  let b = Nat.of_string (String.concat "" (List.init 15 (fun i -> string_of_int (2000000000 - (i * 13))))) in
+  Test.make ~name:"B8 nat.mul+divmod 300 digits" (Staged.stage (fun () ->
+      let p = Nat.mul a b in
+      ignore (Nat.divmod p b)))
+
+(* B9: Karatsuba vs schoolbook at ~4500 digits. *)
+let big_a = Nat.pow (Nat.of_string "123456789123456789") 1000
+let big_b = Nat.pow (Nat.of_string "987654321987654321") 1000
+
+let bench_karatsuba =
+  Test.make ~name:"B9a nat.mul karatsuba 17k digits" (Staged.stage (fun () -> ignore (Nat.mul big_a big_b)))
+
+let bench_schoolbook =
+  Test.make ~name:"B9b nat.mul schoolbook 17k digits"
+    (Staged.stage (fun () -> ignore (Nat.mul_schoolbook big_a big_b)))
+
+(* B10: release-dates LP, n = 12. *)
+let bench_release_dates =
+  let inst = instance_of_size 12 in
+  let releases = Array.init 12 (fun i -> float_of_int (i mod 4) /. 8.) in
+  Test.make ~name:"B10 release_dates.optimal_makespan n=12" (Staged.stage (fun () ->
+      ignore (EF.Release_dates.optimal_makespan inst releases)))
+
+(* B11: moldable heuristic, n = 12. *)
+let bench_moldable =
+  let inst = instance_of_size 12 in
+  Test.make ~name:"B11 moldable.best_heuristic n=12" (Staged.stage (fun () ->
+      ignore (EF.Moldable.best_heuristic inst)))
+
+(* B12: ncv simulator with arrivals, n = 100. *)
+let bench_ncv =
+  let inst = instance_of_size 100 in
+  let module Sim = Mwct_ncv.Simulator.Float in
+  let releases = Array.init 100 (fun i -> float_of_int (i mod 10) /. 16.) in
+  Test.make ~name:"B12 ncv.run wdeq+arrivals n=100" (Staged.stage (fun () ->
+      ignore (Sim.run ~releases inst Sim.P.Wdeq)))
+
+(* B13: simplex pivot-rule ablation on a dense random LP. *)
+module SxF = Mwct_simplex.Simplex.Make (Mwct_field.Field.Float_field)
+
+let build_pivot_lp () =
+  let rng = Rng.create 1313 in
+  let p = SxF.create () in
+  let vars = Array.init 20 (fun _ -> SxF.add_var p) in
+  for _ = 1 to 30 do
+    let terms = Array.to_list (Array.map (fun v -> (v, float_of_int (Rng.int_in rng (-4) 5))) vars) in
+    SxF.add_constraint p terms SxF.Geq (float_of_int (Rng.int_in rng 0 10))
+  done;
+  Array.iter (fun v -> SxF.add_constraint p [ (v, 1.) ] SxF.Leq 50.) vars;
+  SxF.set_objective p (Array.to_list (Array.map (fun v -> (v, 1.)) vars));
+  p
+
+let bench_bland =
+  Test.make ~name:"B13a simplex bland 20v/50c" (Staged.stage (fun () ->
+      ignore (SxF.solve ~rule:SxF.Bland (build_pivot_lp ()))))
+
+let bench_dantzig =
+  Test.make ~name:"B13b simplex dantzig 20v/50c" (Staged.stage (fun () ->
+      ignore (SxF.solve ~rule:SxF.Dantzig (build_pivot_lp ()))))
+
+let benchmark () =
+  let tests =
+    [
+      bench_wf; bench_greedy; bench_wdeq; bench_lp; bench_integerize; bench_homogeneous;
+      bench_exact_wdeq; bench_bigint; bench_karatsuba; bench_schoolbook; bench_release_dates;
+      bench_moldable; bench_ncv; bench_bland; bench_dantzig;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw_results =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"mwct" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  print_endline "================================================================";
+  print_endline " Micro-benchmarks (ns per run, OLS on monotonic clock)";
+  print_endline "================================================================";
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+
+let () =
+  run_experiments ();
+  benchmark ()

@@ -1,0 +1,260 @@
+(* mwct — command-line front end.
+
+   Subcommands:
+     solve       schedule an instance file with a chosen algorithm
+     experiment  regenerate one of the paper's experiments (or all)
+     gen         generate a random instance in the Spec_io format
+     bounds      print the lower bounds and the optimal makespan
+*)
+
+open Cmdliner
+module EF = Mwct_core.Engine.Float
+module EQ = Mwct_core.Engine.Exact
+module Spec = Mwct_core.Spec
+module Spec_io = Mwct_core.Spec_io
+module Q = Mwct_rational.Rational
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+
+let load_spec path =
+  match Spec_io.load path with
+  | Ok spec -> spec
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 2
+
+(* ---------- solve ---------- *)
+
+type algo = Wdeq | Deq | Greedy_smith | Greedy_identity | Optimal
+
+let algo_conv =
+  Arg.enum
+    [
+      ("wdeq", Wdeq);
+      ("deq", Deq);
+      ("greedy-smith", Greedy_smith);
+      ("greedy", Greedy_identity);
+      ("optimal", Optimal);
+    ]
+
+let run_float spec algo =
+  let inst = EF.Instance.of_spec spec in
+  let schedule =
+    match algo with
+    | Wdeq -> fst (EF.Wdeq.wdeq inst)
+    | Deq -> fst (EF.Wdeq.deq inst)
+    | Greedy_smith -> EF.Greedy.run inst (EF.Orderings.smith inst)
+    | Greedy_identity -> EF.Greedy.run inst (EF.Orderings.identity (Array.length inst.EF.Types.tasks))
+    | Optimal -> snd (EF.Lp_schedule.optimal inst)
+  in
+  print_string (EF.Schedule.to_string schedule);
+  Printf.printf "objective (sum w.C) = %.6f\nmakespan = %.6f\nvalid = %b\n"
+    (EF.Schedule.weighted_completion_time schedule)
+    (EF.Schedule.makespan schedule)
+    (EF.Schedule.is_valid schedule)
+
+let run_exact spec algo =
+  let inst = EQ.Instance.of_spec spec in
+  let schedule =
+    match algo with
+    | Wdeq -> fst (EQ.Wdeq.wdeq inst)
+    | Deq -> fst (EQ.Wdeq.deq inst)
+    | Greedy_smith -> EQ.Greedy.run inst (EQ.Orderings.smith inst)
+    | Greedy_identity -> EQ.Greedy.run inst (EQ.Orderings.identity (Array.length inst.EQ.Types.tasks))
+    | Optimal -> snd (EQ.Lp_schedule.optimal inst)
+  in
+  print_string (EQ.Schedule.to_string schedule);
+  Printf.printf "objective (sum w.C) = %s\nmakespan = %s\nvalid = %b\n"
+    (Q.to_string (EQ.Schedule.weighted_completion_time schedule))
+    (Q.to_string (EQ.Schedule.makespan schedule))
+    (EQ.Schedule.is_valid ~exact:true schedule)
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file (Spec_io format).") in
+  let algo =
+    Arg.(value & opt algo_conv Wdeq & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Algorithm: wdeq, deq, greedy-smith, greedy, optimal.")
+  in
+  let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Use exact rational arithmetic.") in
+  let run file algo exact =
+    let spec = load_spec file in
+    if exact then run_exact spec algo else run_float spec algo
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Schedule an instance and print the column schedule.")
+    Term.(const run $ file $ algo $ exact)
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"NAME"
+           ~doc:(Printf.sprintf "Experiment id or 'all'. Ids: %s." (String.concat ", " Mwct_experiments.Experiments.names)))
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale sample sizes (slow).") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.") in
+  let run exp_name full csv =
+    let scale = if full then Mwct_experiments.Experiments.Full else Mwct_experiments.Experiments.Quick in
+    let emit table =
+      if csv then print_string (Mwct_util.Tablefmt.to_csv table) else Mwct_util.Tablefmt.print table
+    in
+    if exp_name = "all" then
+      if csv then
+        List.iter
+          (fun name ->
+            match Mwct_experiments.Experiments.by_name name with
+            | Some f ->
+              Printf.printf "# %s\n" name;
+              emit (f scale)
+            | None -> ())
+          Mwct_experiments.Experiments.names
+      else Mwct_experiments.Experiments.run_all scale
+    else begin
+      match Mwct_experiments.Experiments.by_name exp_name with
+      | Some f -> emit (f scale)
+      | None ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" exp_name
+          (String.concat ", " Mwct_experiments.Experiments.names);
+        exit 2
+    end
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's experiments.")
+    Term.(const run $ exp_name $ full $ csv)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(value & opt (enum [ ("uniform", `U); ("unweighted", `Uw); ("wide", `W); ("unit", `Unit); ("mixed", `M) ]) `U
+         & info [ "kind" ] ~docv:"KIND" ~doc:"Family: uniform, unweighted, wide, unit, mixed.")
+  in
+  let procs = Arg.(value & opt int 4 & info [ "procs" ] ~docv:"P" ~doc:"Processors.") in
+  let tasks = Arg.(value & opt int 5 & info [ "tasks" ] ~docv:"N" ~doc:"Tasks.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let run kind procs tasks seed =
+    let rng = Rng.create seed in
+    let spec =
+      match kind with
+      | `U -> G.uniform rng ~procs ~n:tasks ()
+      | `Uw -> G.uniform_unweighted rng ~procs ~n:tasks ()
+      | `W -> G.wide rng ~procs ~n:tasks ()
+      | `Unit -> G.unit_tasks rng ~procs ~n:tasks ()
+      | `M -> G.mixed rng ~procs ~n:tasks ()
+    in
+    print_string (Spec_io.to_string spec)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a random instance.") Term.(const run $ kind $ procs $ tasks $ seed)
+
+(* ---------- bounds ---------- *)
+
+let bounds_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let run file =
+    let spec = load_spec file in
+    let inst = EF.Instance.of_spec spec in
+    Printf.printf "squashed area A(I) = %.6f\n" (EF.Lower_bounds.squashed_area inst);
+    Printf.printf "height bound H(I)  = %.6f\n" (EF.Lower_bounds.height_bound inst);
+    Printf.printf "optimal makespan   = %.6f\n" (EF.Makespan.optimal inst);
+    let n = Spec.num_tasks spec in
+    if n <= 7 then begin
+      let opt, _ = EF.Lp_schedule.optimal inst in
+      Printf.printf "optimal sum w.C    = %.6f\n" opt
+    end
+    else Printf.printf "optimal sum w.C    = (skipped: %d tasks > enumeration guard)\n" n
+  in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print lower bounds and the optimal makespan.") Term.(const run $ file)
+
+(* ---------- render ---------- *)
+
+let render_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let algo =
+    Arg.(value & opt algo_conv Optimal & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Algorithm to schedule with.")
+  in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG Gantt chart (integerized schedule) to PATH.") in
+  let run file algo svg =
+    let spec = load_spec file in
+    let inst = EF.Instance.of_spec spec in
+    let schedule =
+      match algo with
+      | Wdeq -> fst (EF.Wdeq.wdeq inst)
+      | Deq -> fst (EF.Wdeq.deq inst)
+      | Greedy_smith -> EF.Greedy.run inst (EF.Orderings.smith inst)
+      | Greedy_identity -> EF.Greedy.run inst (EF.Orderings.identity (Array.length inst.EF.Types.tasks))
+      | Optimal -> snd (EF.Lp_schedule.optimal inst)
+    in
+    let normal = EF.Water_filling.normalize schedule in
+    print_string (EF.Render.columns_to_ascii normal);
+    let integer_schedule, _ = EF.Integerize.of_columns normal in
+    let gantt = EF.Assignment.assign integer_schedule in
+    print_newline ();
+    print_string (EF.Render.gantt_to_ascii gantt);
+    Printf.printf "objective = %.6f, preemptions = %d (3n = %d)\n"
+      (EF.Schedule.weighted_completion_time normal)
+      (EF.Assignment.preemptions gantt)
+      (3 * Array.length inst.EF.Types.tasks);
+    match svg with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (EF.Render.gantt_to_svg gantt));
+      Printf.printf "SVG written to %s\n" path
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Schedule an instance and render its Gantt chart (ASCII and optional SVG).")
+    Term.(const run $ file $ algo $ svg)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let module Sim = Mwct_ncv.Simulator.Float in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("wdeq", Sim.P.Wdeq); ("deq", Sim.P.Deq); ("equi", Sim.P.Equi); ("priority", Sim.P.Priority_weight) ]) Sim.P.Wdeq
+         & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"Policy: wdeq, deq, equi, priority.")
+  in
+  let releases =
+    Arg.(value & opt (some string) None
+         & info [ "releases" ] ~docv:"R1,R2,..." ~doc:"Comma-separated release dates (default: all 0).")
+  in
+  let run file policy releases =
+    let spec = load_spec file in
+    let inst = EF.Instance.of_spec spec in
+    let n = Array.length inst.EF.Types.tasks in
+    let releases =
+      match releases with
+      | None -> Array.make n 0.
+      | Some s -> (
+        let parts = String.split_on_char ',' s in
+        match List.map float_of_string_opt parts with
+        | exception _ -> Printf.eprintf "error: bad releases\n"; exit 2
+        | floats ->
+          if List.exists Option.is_none floats || List.length floats <> n then begin
+            Printf.eprintf "error: --releases needs %d comma-separated numbers\n" n;
+            exit 2
+          end
+          else Array.of_list (List.map Option.get floats))
+    in
+    let tr = Sim.run ~releases inst policy in
+    List.iter
+      (fun (t, e) ->
+        match e with
+        | Sim.Arrival i -> Printf.printf "%10.4f  arrival    T%d\n" t i
+        | Sim.Completion i -> Printf.printf "%10.4f  completion T%d\n" t i)
+      tr.Sim.events;
+    Printf.printf "sum w.C      = %.6f\n" (Sim.weighted_completion_time tr);
+    Printf.printf "sum w.(C-r)  = %.6f\n" (Sim.weighted_flow_time tr);
+    Printf.printf "makespan     = %.6f\n" (Sim.makespan tr);
+    match Sim.check tr with
+    | Ok () -> print_endline "trace valid  = true"
+    | Error e ->
+      Printf.printf "trace valid  = FALSE (%s)\n" e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a non-clairvoyant policy with optional task arrivals and print the event trace.")
+    Term.(const run $ file $ policy $ releases)
+
+let () =
+  let doc = "malleable-task scheduling for weighted mean completion time (IPDPS 2012 reproduction)" in
+  let info = Cmd.info "mwct" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd ]))

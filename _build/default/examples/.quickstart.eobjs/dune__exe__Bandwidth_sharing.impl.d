@@ -1,0 +1,1 @@
+examples/bandwidth_sharing.ml: Array Float List Mwct_bandwidth Mwct_util Printf

@@ -1,0 +1,1 @@
+examples/conjecture_explorer.ml: Array Mwct_core Mwct_rational Mwct_util Mwct_workload Printf Sys

@@ -1,0 +1,1 @@
+examples/conjecture_explorer.mli:

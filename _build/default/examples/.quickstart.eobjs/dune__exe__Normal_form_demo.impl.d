@@ -1,0 +1,1 @@
+examples/normal_form_demo.ml: Array Mwct_core Out_channel Printf String

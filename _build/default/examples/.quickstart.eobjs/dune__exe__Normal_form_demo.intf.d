@@ -1,0 +1,1 @@
+examples/normal_form_demo.mli:

@@ -1,0 +1,1 @@
+examples/online_arrivals.ml: Array List Mwct_core Mwct_ncv Mwct_util Mwct_workload Printf String

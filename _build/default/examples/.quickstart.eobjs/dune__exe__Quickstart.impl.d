@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Mwct_core Mwct_util Printf

@@ -1,0 +1,64 @@
+(* The Figure-1 scenario: a server distributes codes to heterogeneous
+   workers; tasks processed by the horizon = Σ w_i (T − C_i)⁺.
+   Compares the naive policies against Smith-greedy and WDEQ.
+
+   Run with:  dune exec examples/bandwidth_sharing.exe *)
+
+module B = Mwct_bandwidth.Bandwidth.Float
+module Tablefmt = Mwct_util.Tablefmt
+module Rng = Mwct_util.Rng
+
+let scenario () =
+  (* A 10-unit-capacity server; 8 workers with heterogeneous links:
+     a few fast links with big codes, several slow links with small
+     codes — the shape that makes fair sharing interesting. *)
+  let rng = Rng.create 2012 in
+  let workers =
+    Array.init 8 (fun i ->
+        if i < 3 then
+          {
+            B.code_size = 8. +. Rng.float rng 4.;
+            bandwidth = 4. +. Rng.float rng 2.;
+            rate = 1. +. Rng.float rng 1.;
+          }
+        else
+          {
+            B.code_size = 1. +. Rng.float rng 2.;
+            bandwidth = 1. +. Rng.float rng 1.;
+            rate = 2. +. Rng.float rng 4.;
+          })
+  in
+  { B.server_capacity = 10.; horizon = 12.; workers }
+
+let () =
+  let sc = scenario () in
+  Printf.printf "Server capacity %.1f, horizon T = %.1f, %d workers\n\n" sc.B.server_capacity
+    sc.B.horizon
+    (Array.length sc.B.workers);
+
+  let table =
+    Tablefmt.create ~title:"tasks processed by horizon (higher is better)"
+      [ "policy"; "throughput"; "sum w*C"; "last transfer ends" ]
+  in
+  Tablefmt.set_align table [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ];
+  List.iter
+    (fun p ->
+      let c = B.completions sc p in
+      let weighted =
+        let acc = ref 0. in
+        Array.iteri (fun i w -> acc := !acc +. (w.B.rate *. c.(i))) sc.B.workers;
+        !acc
+      in
+      let last = Array.fold_left Float.max 0. c in
+      Tablefmt.add_row table
+        [
+          B.policy_name p;
+          Printf.sprintf "%.3f" (B.tasks_processed sc c);
+          Printf.sprintf "%.3f" weighted;
+          Printf.sprintf "%.3f" last;
+        ])
+    [ B.Fifo; B.Equal_split; B.Wdeq; B.Smith_greedy ];
+  Tablefmt.print table;
+  print_endline
+    "Maximizing throughput is exactly minimizing Σ w·C (the paper's\n\
+     reduction): the rankings in the two columns mirror each other."

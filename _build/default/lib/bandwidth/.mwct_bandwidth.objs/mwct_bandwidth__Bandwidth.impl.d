@@ -1,0 +1,1 @@
+lib/bandwidth/bandwidth.ml: Array Mwct_core Mwct_field Mwct_rational

@@ -1,0 +1,1 @@
+lib/bandwidth/bandwidth.mli: Mwct_core Mwct_field Mwct_rational

@@ -1,0 +1,41 @@
+(** The Figure-1 application: bandwidth sharing in a master–worker
+    platform. A server of outgoing capacity [P] distributes codes
+    ([V_i]) to workers with incoming bandwidths [δ_i]; worker [i]
+    processes tasks at rate [w_i] from its completion [C_i] to the
+    horizon [T]. Maximizing [Σ w_i (T − C_i)⁺] is minimizing
+    [Σ w_i C_i] — the paper's motivating reduction. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  module E : module type of Mwct_core.Engine.Make (F)
+
+  type worker = { code_size : F.t; bandwidth : F.t; rate : F.t }
+  type scenario = { server_capacity : F.t; horizon : F.t; workers : worker array }
+
+  (** The malleable-transfer instance of a scenario
+      ([V] = code, [δ] = bandwidth, [w] = rate). *)
+  val to_instance : scenario -> E.Types.instance
+
+  (** [Σ w_i (T − C_i)⁺] for given completion times. *)
+  val tasks_processed : scenario -> F.t array -> F.t
+
+  (** [tasks_processed − (W·T − Σ w_i C_i)]; zero whenever every
+      completion is before the horizon (raises otherwise). *)
+  val equivalence_gap : scenario -> F.t array -> F.t
+
+  (** [Fifo] — one transfer at a time at full link speed;
+      [Equal_split] — static [P/n] shares; [Smith_greedy] — Algorithm
+      Greedy on Smith's order; [Wdeq] — the paper's non-clairvoyant
+      policy. *)
+  type policy = Fifo | Equal_split | Smith_greedy | Wdeq
+
+  val policy_name : policy -> string
+
+  (** Completion times of all transfers under a policy. *)
+  val completions : scenario -> policy -> F.t array
+
+  (** Tasks processed by the horizon under a policy. *)
+  val throughput : scenario -> policy -> F.t
+end
+
+module Float : module type of Make (Mwct_field.Field.Float_field)
+module Exact : module type of Make (Mwct_rational.Rational.Rat_field)

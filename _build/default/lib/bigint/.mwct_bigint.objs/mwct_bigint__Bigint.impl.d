@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Format Nat Stdlib String

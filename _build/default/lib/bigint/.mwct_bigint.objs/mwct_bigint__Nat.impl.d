@@ -1,0 +1,1 @@
+lib/bigint/nat.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bigint/nat.mli: Format

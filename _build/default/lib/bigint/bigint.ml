@@ -1,0 +1,83 @@
+type t = { sign : int; mag : Nat.t }
+
+let make ~sign mag = if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign = (if sign < 0 then -1 else 1); mag }
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+let of_nat n = make ~sign:1 n
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = Nat.of_int n }
+  else if n = min_int then
+    (* -min_int overflows; build from magnitude via Nat arithmetic. *)
+    { sign = -1; mag = Nat.add (Nat.of_int max_int) Nat.one }
+  else { sign = -1; mag = Nat.of_int (-n) }
+
+let to_int t =
+  match Nat.to_int t.mag with
+  | Some m -> Some (t.sign * m)
+  | None ->
+    (* min_int's magnitude is 2^62, one past what Nat.to_int accepts. *)
+    if t.sign < 0 && Nat.equal t.mag (Nat.shift_left Nat.one 62) then Some min_int else None
+
+let sign t = t.sign
+let mag t = t.mag
+let is_zero t = t.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Nat.compare a.mag b.mag
+  else Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let neg t = { t with sign = -t.sign }
+let abs t = { t with sign = Stdlib.abs t.sign }
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { a with mag = Nat.add a.mag b.mag }
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = Nat.sub a.mag b.mag }
+    else { sign = b.sign; mag = Nat.sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+let mul a b = if a.sign = 0 || b.sign = 0 then zero else { sign = a.sign * b.sign; mag = Nat.mul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  (make ~sign:(a.sign * b.sign) q, make ~sign:a.sign r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+let gcd a b = of_nat (Nat.gcd a.mag b.mag)
+
+let mul_int a k =
+  if k = 0 || a.sign = 0 then zero
+  else begin
+    let ak = Stdlib.abs k in
+    let mag = if ak < 1 lsl 30 then Nat.mul_int a.mag ak else Nat.mul a.mag (Nat.of_int ak) in
+    { sign = (if k > 0 then a.sign else -a.sign); mag }
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let s = if b.sign < 0 && e land 1 = 1 then -1 else 1 in
+  make ~sign:s (Nat.pow b.mag e)
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  if s.[0] = '-' then make ~sign:(-1) (Nat.of_string (String.sub s 1 (n - 1)))
+  else if s.[0] = '+' then of_nat (Nat.of_string (String.sub s 1 (n - 1)))
+  else of_nat (Nat.of_string s)
+
+let to_string t = if t.sign < 0 then "-" ^ Nat.to_string t.mag else Nat.to_string t.mag
+let to_float t = float_of_int t.sign *. Nat.to_float t.mag
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let hash t = (Nat.hash t.mag * 3) + t.sign + 1

@@ -1,0 +1,56 @@
+(** Arbitrary-precision signed integers, built on {!Nat}.
+
+    Canonical form: zero has sign [0]; non-zero values have sign [-1] or
+    [+1] and a non-zero magnitude. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+(** [to_int t] if the value fits in an OCaml [int]. *)
+val to_int : t -> int option
+
+(** [of_nat n] embeds a natural number. *)
+val of_nat : Nat.t -> t
+
+(** [make ~sign mag] builds a canonical value; [sign] is clamped to the
+    sign of the result ([0] when [mag] is zero). *)
+val make : sign:int -> Nat.t -> t
+
+(** Sign in [{-1, 0, 1}]. *)
+val sign : t -> int
+
+(** Magnitude as a natural number. *)
+val mag : t -> Nat.t
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Truncated division (rounds toward zero), like OCaml's [/] and
+    [mod]: [a = (div a b) * b + rem a b] and [sign (rem a b) = sign a].
+    Raises [Division_by_zero]. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Non-negative gcd of the magnitudes. *)
+val gcd : t -> t -> t
+
+val mul_int : t -> int -> t
+val pow : t -> int -> t
+val of_string : string -> t
+val to_string : t -> string
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

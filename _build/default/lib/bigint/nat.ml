@@ -1,0 +1,356 @@
+(* Little-endian limbs, base 2^30, canonical (no trailing zero limb). *)
+
+type t = int array
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+let zero : t = [||]
+
+(* Strip trailing (most significant) zero limbs. *)
+let normalize (a : int array) : t =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi = n - 1 then a else Array.sub a 0 (hi + 1)
+
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc n = if n = 0 then acc else count (acc + 1) (n lsr base_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let rec fill i n =
+      if n <> 0 then begin
+        a.(i) <- n land mask;
+        fill (i + 1) (n lsr base_bits)
+      end
+    in
+    fill 0 n;
+    a
+  end
+
+let one = of_int 1
+let two = of_int 2
+let ten = of_int 10
+
+let num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    ((n - 1) * base_bits) + width 0 top
+  end
+
+let to_int a =
+  if num_bits a > 62 then None
+  else begin
+    let r = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      r := (!r lsl base_bits) lor a.(i)
+    done;
+    Some !r
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    r.(i) <- s land mask;
+    borrow := if s < 0 then 1 else 0
+  done;
+  normalize r
+
+let mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          (* ai*bj <= (2^30-1)^2 < 2^60; adding limb + carry stays < 2^62. *)
+          let tmp = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- tmp land mask;
+          carry := tmp lsr base_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    normalize r
+  end
+
+(* Karatsuba above this limb count (~5700 bits, the measured crossover region); schoolbook below. *)
+let karatsuba_threshold = 192
+
+(* Split into (low k limbs, rest). *)
+let split a k =
+  let la = Array.length a in
+  if la <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), Array.sub a k (la - k))
+
+let shift_limbs a k =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let rec mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if Stdlib.min la lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    (* Karatsuba: a = a1·B^k + a0, b = b1·B^k + b0,
+       a·b = z2·B^2k + z1·B^k + z0 with z1 = (a0+a1)(b0+b1) − z0 − z2. *)
+    let k = Stdlib.max la lb / 2 in
+    let a0, a1 = split a k and b0, b1 = split b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let mul_int a k =
+  if k < 0 || k >= base then invalid_arg "Nat.mul_int: limb out of range";
+  if k = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let tmp = (a.(i) * k) + !carry in
+      r.(i) <- tmp land mask;
+      carry := tmp lsr base_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let add_int a k =
+  if k < 0 || k >= base then invalid_arg "Nat.add_int: limb out of range";
+  add a (of_int k)
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl bits) lor !carry in
+      r.(i + limbs) <- v land mask;
+      carry := v lsr base_bits
+    done;
+    r.(la + limbs) <- !carry;
+    normalize r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < la && bits > 0 then (a.(i + limbs + 1) lsl (base_bits - bits)) land mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let divmod_int a k =
+  if k <= 0 || k >= base then invalid_arg "Nat.divmod_int: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    rem := cur mod k
+  done;
+  (normalize q, !rem)
+
+(* Knuth TAOCP vol. 2, Algorithm 4.3.1 D. *)
+let divmod_big u v =
+  let n = Array.length v in
+  (* Normalize so the top limb of v has its high bit set. *)
+  let shift =
+    let rec go s top = if top land (1 lsl (base_bits - 1)) <> 0 then s else go (s + 1) (top lsl 1) in
+    go 0 v.(n - 1)
+  in
+  let u' = shift_left u shift in
+  let v' = shift_left v shift in
+  let m = Array.length u' - n in
+  if m < 0 then (zero, u)
+  else begin
+    (* Working copy of u' with one extra top limb. *)
+    let w = Array.make (Array.length u' + 1) 0 in
+    Array.blit u' 0 w 0 (Array.length u');
+    let q = Array.make (m + 1) 0 in
+    let vtop = v'.(n - 1) in
+    let vsec = if n >= 2 then v'.(n - 2) else 0 in
+    for j = m downto 0 do
+      (* Estimate the quotient digit. *)
+      let num = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
+      let qhat = ref (num / vtop) in
+      let rhat = ref (num mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - (!qhat * vtop)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        let lhs = !qhat * vsec in
+        let rhs = (!rhat lsl base_bits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0) in
+        if lhs > rhs then begin
+          decr qhat;
+          rhat := !rhat + vtop
+        end
+        else continue := false
+      done;
+      (* Multiply-subtract w[j..j+n] -= qhat * v'. *)
+      let borrow = ref 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v'.(i)) + !carry in
+        carry := p lsr base_bits;
+        let s = w.(i + j) - (p land mask) - !borrow in
+        w.(i + j) <- s land mask;
+        borrow := if s < 0 then 1 else 0
+      done;
+      let s = w.(j + n) - !carry - !borrow in
+      w.(j + n) <- s land mask;
+      if s < 0 then begin
+        (* qhat was one too large: add v' back. *)
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let t = w.(i + j) + v'.(i) + !carry in
+          w.(i + j) <- t land mask;
+          carry := t lsr base_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry) land mask
+      end;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub w 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_big a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit";
+      acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0'))
+    s;
+  !acc
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let to_float a =
+  let la = Array.length a in
+  if la = 0 then 0.
+  else begin
+    (* Use the top 3 limbs (90 bits) for the mantissa, scale the rest. *)
+    let hi = Stdlib.min la 3 in
+    let v = ref 0. in
+    for i = la - 1 downto la - hi do
+      v := (!v *. float_of_int base) +. float_of_int a.(i)
+    done;
+    let exp = (la - hi) * base_bits in
+    !v *. (2. ** float_of_int exp)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let hash a =
+  Array.fold_left (fun acc limb -> (acc * 16777619) lxor limb) 2166136261 a land max_int

@@ -1,0 +1,81 @@
+(** Arbitrary-precision natural numbers.
+
+    Little-endian limb arrays in base [2^30], canonical form (no trailing
+    zero limb; zero is the empty array). This is the workhorse under
+    {!Bigint} and {!Mwct_rational.Rational}; it exists because [zarith]
+    is not available in the build environment (see DESIGN.md §6).
+
+    All values are immutable; functions never mutate their arguments. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val ten : t
+
+(** [of_int n] for [n >= 0]. Raises [Invalid_argument] on negatives. *)
+val of_int : int -> t
+
+(** [to_int t] if it fits in an OCaml [int]. *)
+val to_int : t -> int option
+
+val is_zero : t -> bool
+
+(** Number of significant bits; [num_bits zero = 0]. *)
+val num_bits : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+val sub : t -> t -> t
+
+(** Product; switches from schoolbook to Karatsuba above ~6k bits (the measured crossover). *)
+val mul : t -> t -> t
+
+(** Schoolbook multiplication, exposed for cross-checking Karatsuba in
+    tests and benches. *)
+val mul_schoolbook : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)] with Euclidean semantics.
+    Raises [Division_by_zero] when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Greatest common divisor; [gcd zero x = x]. *)
+val gcd : t -> t -> t
+
+(** [shift_left t k] is [t * 2^k]; [k >= 0]. *)
+val shift_left : t -> int -> t
+
+(** [shift_right t k] is [t / 2^k]; [k >= 0]. *)
+val shift_right : t -> int -> t
+
+(** [mul_int t k] with [0 <= k < 2^30]. *)
+val mul_int : t -> int -> t
+
+(** [add_int t k] with [0 <= k < 2^30]. *)
+val add_int : t -> int -> t
+
+(** [divmod_int t k] with [0 < k < 2^30]; the remainder is an [int]. *)
+val divmod_int : t -> int -> t * int
+
+(** [pow b e] is [b^e] for [e >= 0]. *)
+val pow : t -> int -> t
+
+(** Decimal parsing. Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+(** Decimal rendering. *)
+val to_string : t -> string
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+
+(** Fowler–Noll–Vo style hash, suitable for [Hashtbl]. *)
+val hash : t -> int

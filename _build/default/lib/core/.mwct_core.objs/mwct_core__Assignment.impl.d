@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Float List Mwct_field Printf Types

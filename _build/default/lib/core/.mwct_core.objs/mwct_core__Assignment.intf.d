@@ -1,0 +1,1 @@
+lib/core/assignment.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Instance List Mwct_field Schedule Types

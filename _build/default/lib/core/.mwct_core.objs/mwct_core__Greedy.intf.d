@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/homogeneous.ml: Array List Mwct_field Orderings Stdlib Types

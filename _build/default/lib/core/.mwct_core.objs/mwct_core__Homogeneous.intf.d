@@ -1,0 +1,1 @@
+lib/core/homogeneous.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Mwct_field Option Printf Spec String Types

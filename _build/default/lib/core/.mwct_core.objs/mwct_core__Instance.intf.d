@@ -1,0 +1,1 @@
+lib/core/instance.mli: Mwct_field Spec Types

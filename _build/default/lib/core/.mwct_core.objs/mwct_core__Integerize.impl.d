@@ -1,0 +1,1 @@
+lib/core/integerize.ml: Array Float Instance List Mwct_field Option Schedule Types

@@ -1,0 +1,1 @@
+lib/core/integerize.mli: Mwct_field Types

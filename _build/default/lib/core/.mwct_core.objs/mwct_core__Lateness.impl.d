@@ -1,0 +1,1 @@
+lib/core/lateness.ml: Array Instance Makespan Mwct_field Types Water_filling

@@ -1,0 +1,1 @@
+lib/core/lateness.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Array Instance List Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/lp_schedule.ml: Array Greedy Instance List Mwct_field Mwct_simplex Orderings Printf Schedule Types

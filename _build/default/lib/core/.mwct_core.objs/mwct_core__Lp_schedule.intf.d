@@ -1,0 +1,1 @@
+lib/core/lp_schedule.mli: Mwct_field Types

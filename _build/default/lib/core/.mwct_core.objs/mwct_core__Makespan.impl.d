@@ -1,0 +1,1 @@
+lib/core/makespan.ml: Array Instance Mwct_field Types Water_filling

@@ -1,0 +1,1 @@
+lib/core/makespan.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/moldable.ml: Array Instance List Mwct_field Orderings Printf Stdlib Types

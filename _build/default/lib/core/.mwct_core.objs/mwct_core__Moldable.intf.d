@@ -1,0 +1,1 @@
+lib/core/moldable.mli: Mwct_field Types

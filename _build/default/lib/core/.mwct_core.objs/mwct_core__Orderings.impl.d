@@ -1,0 +1,1 @@
+lib/core/orderings.ml: Array Instance Mwct_field Mwct_util Stdlib Types

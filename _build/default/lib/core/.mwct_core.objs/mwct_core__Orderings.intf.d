@@ -1,0 +1,1 @@
+lib/core/orderings.mli: Mwct_field Mwct_util Types

@@ -1,0 +1,1 @@
+lib/core/preemption.ml: Array Mwct_field Option Schedule Types

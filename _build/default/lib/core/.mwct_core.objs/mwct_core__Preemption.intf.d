@@ -1,0 +1,1 @@
+lib/core/preemption.mli: Mwct_field Types

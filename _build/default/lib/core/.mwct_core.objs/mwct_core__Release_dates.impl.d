@@ -1,0 +1,1 @@
+lib/core/release_dates.ml: Array Instance List Makespan Mwct_field Mwct_simplex Printf Types

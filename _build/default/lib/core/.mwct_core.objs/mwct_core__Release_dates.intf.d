@@ -1,0 +1,1 @@
+lib/core/release_dates.mli: Mwct_field Types

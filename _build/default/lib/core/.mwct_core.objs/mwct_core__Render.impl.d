@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Bytes Char Float List Mwct_field Printf Schedule Stdlib String Types

@@ -1,0 +1,1 @@
+lib/core/render.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Buffer Instance Mwct_field Printf Stdlib Types

@@ -1,0 +1,1 @@
+lib/core/single_machine.ml: Array Float Instance Mwct_field Orderings Types

@@ -1,0 +1,1 @@
+lib/core/single_machine.mli: Mwct_field Types

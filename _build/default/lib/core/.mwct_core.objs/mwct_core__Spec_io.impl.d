@@ -1,0 +1,1 @@
+lib/core/spec_io.ml: Array Buffer In_channel List Option Printf Spec String

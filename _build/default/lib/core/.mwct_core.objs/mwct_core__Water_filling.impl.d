@@ -1,0 +1,1 @@
+lib/core/water_filling.ml: Array Instance List Mwct_field Printf Schedule Types

@@ -1,0 +1,1 @@
+lib/core/water_filling.mli: Mwct_field Types

@@ -1,0 +1,1 @@
+lib/core/wdeq.ml: Array Instance List Mwct_field Schedule Stdlib Types

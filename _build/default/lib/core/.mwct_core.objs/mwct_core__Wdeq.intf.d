@@ -1,0 +1,1 @@
+lib/core/wdeq.mli: Mwct_field Types

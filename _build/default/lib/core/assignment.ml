@@ -1,0 +1,152 @@
+(** Processor assignment with few preemptions (Lemmas 6 and 10).
+
+    Input: an {!Types.Make.integer_schedule} (per-task integer demand
+    profiles). Output: a concrete Gantt chart in which a processor,
+    once granted to a task, is kept until the task's demand drops —
+    the strategy of Lemma 10. Together with the wrap construction this
+    realizes Theorem 10: at most [3n] preemptions in total for a
+    WF-normal-form schedule.
+
+    A {e preemption} is counted whenever a processor is taken away from
+    a task strictly before the task's completion time. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  open T
+
+  (** [assign is] maps demands to named processors. Raises
+      [Invalid_argument] if at some instant the total demand exceeds
+      [P] (the input was not a valid integer schedule). *)
+  let assign (is : integer_schedule) : gantt =
+    let n = Array.length is.demands in
+    let nb_procs =
+      match F.to_float is.instance.procs with
+      | p when Float.is_integer p && p >= 1. -> int_of_float p
+      | _ -> invalid_arg "Assignment.assign: P must be an integer"
+    in
+    (* Event sweep over all segment boundaries. *)
+    let times =
+      List.sort_uniq F.compare
+        (List.concat_map
+           (fun segs -> List.concat_map (fun seg -> [ seg.start_time; seg.end_time ]) segs)
+           (Array.to_list is.demands))
+    in
+    let demand_at i t =
+      (* Demand of task i on [t, next); segments are half-open. *)
+      let rec go = function
+        | seg :: rest ->
+          if F.compare seg.start_time t <= 0 && F.compare t seg.end_time < 0 then seg.procs else go rest
+        | [] -> 0
+      in
+      go is.demands.(i)
+    in
+    (* State: which task each processor currently serves (-1 = idle),
+       and since when; completed bookings per processor. *)
+    let serving = Array.make nb_procs (-1) in
+    let since = Array.make nb_procs F.zero in
+    let done_bookings = Array.make nb_procs [] in
+    let held = Array.make n [] in
+    (* procs currently held by each task, most recent first *)
+    let release_proc t p =
+      let task = serving.(p) in
+      if task >= 0 then begin
+        if F.compare since.(p) t < 0 then
+          done_bookings.(p) <- { task; from_time = since.(p); to_time = t } :: done_bookings.(p);
+        held.(task) <- List.filter (fun q -> q <> p) held.(task);
+        serving.(p) <- -1
+      end
+    in
+    let grant_proc t p task =
+      serving.(p) <- task;
+      since.(p) <- t;
+      held.(task) <- p :: held.(task)
+    in
+    let rec sweep = function
+      | [] -> ()
+      | t :: rest ->
+        (* Phase 1: releases (demand decreased or task finished). *)
+        for i = 0 to n - 1 do
+          let want = demand_at i t in
+          let have = List.length held.(i) in
+          if want < have then begin
+            (* Release the most recently acquired processors first:
+               long-held processors keep running, which concentrates
+               preemptions on the short bookings. *)
+            let to_release = have - want in
+            let rec rel k =
+              if k > 0 then begin
+                match held.(i) with
+                | p :: _ ->
+                  release_proc t p;
+                  rel (k - 1)
+                | [] -> assert false
+              end
+            in
+            rel to_release
+          end
+        done;
+        (* Phase 2: grants from the pool of idle processors. *)
+        for i = 0 to n - 1 do
+          let want = demand_at i t in
+          let have = List.length held.(i) in
+          if want > have then begin
+            let needed = ref (want - have) in
+            let p = ref 0 in
+            while !needed > 0 && !p < nb_procs do
+              if serving.(!p) < 0 then begin
+                grant_proc t !p i;
+                decr needed
+              end;
+              incr p
+            done;
+            if !needed > 0 then invalid_arg "Assignment.assign: demand exceeds P"
+          end
+        done;
+        sweep rest
+    in
+    sweep times;
+    (* Close any booking still open at the horizon (all demands end at
+       a boundary, so everything should be released already). *)
+    Array.iteri (fun p task -> if task >= 0 then invalid_arg (Printf.sprintf "Assignment.assign: processor %d never released (task %d)" p task)) serving;
+    { instance = is.instance; processors = Array.map List.rev done_bookings }
+
+  (** Completion time of each task in a Gantt chart. *)
+  let completion_times (g : gantt) : F.t array =
+    let n = Array.length g.instance.tasks in
+    let c = Array.make n F.zero in
+    Array.iter
+      (List.iter (fun b -> if F.compare b.to_time c.(b.task) > 0 then c.(b.task) <- b.to_time))
+      g.processors;
+    c
+
+  (** Count preemptions: bookings that end strictly before their task's
+      completion time. *)
+  let preemptions (g : gantt) : int =
+    let c = completion_times g in
+    Array.fold_left
+      (fun acc bookings ->
+        List.fold_left
+          (fun acc b -> if F.compare b.to_time c.(b.task) < 0 then acc + 1 else acc)
+          acc bookings)
+      0 g.processors
+
+  (** Sanity: bookings on one processor never overlap. *)
+  let no_overlap (g : gantt) : bool =
+    Array.for_all
+      (fun bookings ->
+        let rec ok = function
+          | a :: (b :: _ as rest) -> F.leq_approx a.to_time b.from_time && ok rest
+          | _ -> true
+        in
+        ok (List.sort (fun a b -> F.compare a.from_time b.from_time) bookings))
+      g.processors
+
+  (** Total booked time of each task (must equal its volume). *)
+  let booked_volume (g : gantt) : F.t array =
+    let n = Array.length g.instance.tasks in
+    let v = Array.make n F.zero in
+    Array.iter
+      (List.iter (fun b -> v.(b.task) <- F.add v.(b.task) (F.sub b.to_time b.from_time)))
+      g.processors;
+    v
+end

@@ -1,0 +1,25 @@
+(** Processor assignment with few preemptions (Lemmas 6/10,
+    Theorem 10): processors stick to their task until the task's demand
+    drops, so a WF normal form integerized by {!Integerize} incurs at
+    most [3n] preemptions. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Map integer demand profiles onto named processors. Raises
+      [Invalid_argument] when total demand ever exceeds [P] (invalid
+      input). *)
+  val assign : Types.Make(F).integer_schedule -> Types.Make(F).gantt
+
+  (** Completion time of each task in a Gantt chart. *)
+  val completion_times : Types.Make(F).gantt -> F.t array
+
+  (** Number of preemptions: bookings ending strictly before their
+      task's completion. *)
+  val preemptions : Types.Make(F).gantt -> int
+
+  (** Sanity: no processor runs two bookings at once. *)
+  val no_overlap : Types.Make(F).gantt -> bool
+
+  (** Total booked time per task (equals the volumes for valid
+      inputs). *)
+  val booked_volume : Types.Make(F).gantt -> F.t array
+end

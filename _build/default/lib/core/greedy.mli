@@ -1,0 +1,16 @@
+(** Algorithm Greedy(σ) (Algorithm 3 of Section V): insert tasks one by
+    one; each runs as early and as wide as possible,
+    [min(δ_i, available(t))] at every instant, until its volume is
+    done. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** [run inst sigma] builds the greedy schedule for insertion order
+      [sigma] (a permutation of the task indices; raises
+      [Invalid_argument] otherwise). The result is a valid column
+      schedule over the sorted completion times; with integral [P] and
+      [δ_i] all allocations are integers. *)
+  val run : Types.Make(F).instance -> int array -> Types.Make(F).column_schedule
+
+  (** Objective [Σ w_i C_i] of [run inst sigma]. *)
+  val objective : Types.Make(F).instance -> int array -> F.t
+end

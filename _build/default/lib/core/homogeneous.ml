@@ -1,0 +1,145 @@
+(** The homogeneous instances of Section V-B: [P = 1], [V_i = w_i = 1],
+    [δ_i >= 1/2] (deltas are {e fractional} here — the section works on
+    the normalized problem where the platform is one unit of bandwidth
+    and [δ_i] is a rate in [[1/2, 1]]).
+
+    On this class Theorem 11 applies, every optimal schedule is greedy,
+    and the greedy schedule for an order [σ] obeys the closed
+    recurrence
+
+    [C_σ(1) = 1/δ_σ(1)], and for [i > 1]
+    [C_σ(i) = C_σ(i−1) + (1 − (1−δ_σ(i−1))·(C_σ(i−1) − C_σ(i−2))) / δ_σ(i)].
+
+    Conjecture 13 states the sum of completion times of an order equals
+    that of the reversed order; the paper checked it with Sage up to 15
+    tasks — {!reversal_gap} reproduces the check exactly when
+    instantiated with rationals. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module Ord = Orderings.Make (F)
+
+  (** Validity of the class: all [1/2 <= δ_i <= 1]. *)
+  let valid_deltas (deltas : F.t array) =
+    Array.for_all
+      (fun d -> F.compare (F.of_q 1 2) d <= 0 && F.compare d F.one <= 0)
+      deltas
+
+  (** Completion times of the greedy schedule for [order] (a
+      permutation of the delta indices), by the Section V-B
+      recurrence. *)
+  let completion_times (deltas : F.t array) (order : int array) : F.t array =
+    let n = Array.length order in
+    if Array.length deltas <> n then invalid_arg "Homogeneous.completion_times: length mismatch";
+    let c = Array.make n F.zero in
+    for i = 0 to n - 1 do
+      let d_i = deltas.(order.(i)) in
+      if i = 0 then c.(0) <- F.div F.one d_i
+      else begin
+        let c1 = c.(i - 1) in
+        let c2 = if i >= 2 then c.(i - 2) else F.zero in
+        let d_prev = deltas.(order.(i - 1)) in
+        let leftover = F.mul (F.sub F.one d_prev) (F.sub c1 c2) in
+        c.(i) <- F.add c1 (F.div (F.sub F.one leftover) d_i)
+      end
+    done;
+    c
+
+  (** Sum of completion times of the greedy schedule for [order]. *)
+  let total (deltas : F.t array) (order : int array) : F.t =
+    Array.fold_left F.add F.zero (completion_times deltas order)
+
+  (** [total σ − total (reverse σ)]; Conjecture 13 says it is zero. *)
+  let reversal_gap (deltas : F.t array) (order : int array) : F.t =
+    F.sub (total deltas order) (total deltas (Ord.reverse order))
+
+  (** Exhaustive best order (and its objective). Exponential; intended
+      for the small-case study of Section V-B. *)
+  let best_order (deltas : F.t array) : F.t * int array =
+    let n = Array.length deltas in
+    let best =
+      Ord.fold_permutations n
+        (fun best order ->
+          let v = total deltas order in
+          match best with
+          | Some (b, _) when F.compare b v <= 0 -> best
+          | _ -> Some (v, Array.copy order))
+        None
+    in
+    match best with Some r -> r | None -> invalid_arg "Homogeneous.best_order: empty"
+
+  (** All optimal orders (for the small-case pattern study). *)
+  let optimal_orders (deltas : F.t array) : F.t * int array list =
+    let n = Array.length deltas in
+    let best, orders =
+      Ord.fold_permutations n
+        (fun (best, acc) order ->
+          let v = total deltas order in
+          match best with
+          | None -> (Some v, [ Array.copy order ])
+          | Some b ->
+            let c = F.compare v b in
+            if c < 0 then (Some v, [ Array.copy order ])
+            else if c = 0 then (best, Array.copy order :: acc)
+            else (best, acc))
+        (None, [])
+    in
+    match best with
+    | Some b -> (b, List.rev orders)
+    | None -> invalid_arg "Homogeneous.optimal_orders: empty"
+
+  (** Build the equivalent library instance ([P=1], [V=w=1], the given
+      deltas) so generic algorithms can cross-check the recurrence.
+      Note the deltas violate the integer-δ convention of
+      {!Instance.Make.validate}; this instance type is nonetheless
+      meaningful for every algorithm of the library, which only ever
+      compares δ with allocations. *)
+  let to_instance (deltas : F.t array) =
+    let module T = Types.Make (F) in
+    {
+      T.procs = F.one;
+      T.tasks = Array.map (fun d -> { T.volume = F.one; T.weight = F.one; T.delta = d }) deltas;
+    }
+
+  (** The necessary optimality condition the paper reports for [n = 5]:
+      if [i,j,k,l,m] is an optimal order then
+      [(δ_l − δ_j)·(δ_i − δ_m) <= 0]. *)
+  let five_task_condition (deltas : F.t array) (order : int array) : bool =
+    if Array.length order <> 5 then invalid_arg "Homogeneous.five_task_condition: needs 5 tasks";
+    let d k = deltas.(order.(k)) in
+    F.sign (F.mul (F.sub (d 3) (d 1)) (F.sub (d 0) (d 4))) <= 0
+
+  (** The {e organ-pipe} order over delta {e ranks}: with tasks indexed
+      by non-increasing delta (rank 0 = largest), play the odd-numbered
+      ranks forward and the even-numbered ranks backward —
+      [0,2,4,...,5,3,1]. This is the dominant optimal pattern our E3
+      survey finds (1,3,2 at n=3; 1,3,4,2 at n=4; 1,3,5,4,2 at n=5; …,
+      in the paper's 1-based notation) and generalizes the paper's
+      small cases. [organ_pipe deltas] returns the order as task
+      indices of the given (unsorted) [deltas]. *)
+  let organ_pipe (deltas : F.t array) : int array =
+    let n = Array.length deltas in
+    let by_rank = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = F.compare deltas.(b) deltas.(a) in
+        if c <> 0 then c else Stdlib.compare a b)
+      by_rank;
+    let order = Array.make n 0 in
+    let pos = ref 0 in
+    (* even ranks ascending *)
+    let rank = ref 0 in
+    while !rank < n do
+      order.(!pos) <- by_rank.(!rank);
+      incr pos;
+      rank := !rank + 2
+    done;
+    (* odd ranks descending *)
+    let start = if n land 1 = 0 then n - 1 else n - 2 in
+    let rank = ref start in
+    while !rank >= 1 do
+      order.(!pos) <- by_rank.(!rank);
+      incr pos;
+      rank := !rank - 2
+    done;
+    order
+end

@@ -1,0 +1,39 @@
+(** The homogeneous instances of Section V-B: [P = 1], [V_i = w_i = 1],
+    fractional rates [δ_i ∈ [1/2, 1]]. Greedy schedules obey a closed
+    recurrence; Conjecture 13 states order-reversal symmetry of the
+    total completion time. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** All [1/2 <= δ_i <= 1]? *)
+  val valid_deltas : F.t array -> bool
+
+  (** Completion times of the greedy schedule for [order], by the
+      Section V-B recurrence. *)
+  val completion_times : F.t array -> int array -> F.t array
+
+  (** Sum of completion times for [order]. *)
+  val total : F.t array -> int array -> F.t
+
+  (** [total σ − total (reverse σ)]; zero by Conjecture 13. *)
+  val reversal_gap : F.t array -> int array -> F.t
+
+  (** Exhaustive best order. Exponential. *)
+  val best_order : F.t array -> F.t * int array
+
+  (** All exhaustively-optimal orders. Exponential. *)
+  val optimal_orders : F.t array -> F.t * int array list
+
+  (** The equivalent library instance ([P = 1], [V = w = 1]); its δ
+      are fractional, which every algorithm of the library supports. *)
+  val to_instance : F.t array -> Types.Make(F).instance
+
+  (** The paper's [n = 5] necessary optimality condition
+      [(δ_l − δ_j)(δ_i − δ_m) <= 0]. Raises on other lengths. *)
+  val five_task_condition : F.t array -> int array -> bool
+
+  (** The organ-pipe order over delta ranks (largest, 3rd, 5th, …,
+      back down …, 4th, 2nd) — the dominant optimal pattern found by
+      experiment E3; provably-looking optimal for [n <= 4] and a
+      sub-0.4%-loss heuristic beyond (see EXPERIMENTS.md E14). *)
+  val organ_pipe : F.t array -> int array
+end

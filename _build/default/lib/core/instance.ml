@@ -1,0 +1,79 @@
+(** Instance construction and elementary quantities. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module O = Mwct_field.Field.Ops (F)
+  open T
+
+  let of_rat (r : Spec.rat) = F.of_q r.Spec.num r.Spec.den
+
+  (** Convert a field-neutral spec into a field instance. *)
+  let of_spec (s : Spec.t) : instance =
+    (match Spec.validate s with Ok () -> () | Error msg -> invalid_arg ("Instance.of_spec: " ^ msg));
+    {
+      procs = F.of_int s.Spec.procs;
+      tasks =
+        Array.map
+          (fun (tk : Spec.task) ->
+            { volume = of_rat tk.Spec.volume; weight = of_rat tk.Spec.weight; delta = F.of_int tk.Spec.delta })
+          s.Spec.tasks;
+    }
+
+  (** Build directly from field values (weights default to 1). *)
+  let make ~procs tasks : instance = { procs; tasks = Array.of_list tasks }
+
+  let task ?weight ~volume ~delta () =
+    let weight = match weight with Some w -> w | None -> F.one in
+    { volume; weight; delta }
+
+  let num_tasks (i : instance) = Array.length i.tasks
+
+  (** Structural validity over the field: everything strictly positive,
+      [δ_i >= 1]. Deltas above [P] are allowed (they behave as [P]). *)
+  let validate (i : instance) =
+    if F.sign i.procs <= 0 then Error "procs must be positive"
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun k t ->
+          if Option.is_none !bad then
+            if F.sign t.volume <= 0 then bad := Some (Printf.sprintf "task %d: volume must be positive" k)
+            else if F.sign t.weight <= 0 then bad := Some (Printf.sprintf "task %d: weight must be positive" k)
+            else if F.compare t.delta F.one < 0 then
+              bad := Some (Printf.sprintf "task %d: delta must be >= 1" k))
+        i.tasks;
+      match !bad with None -> Ok () | Some m -> Error m
+    end
+
+  (** Total work [Σ V_i]. *)
+  let total_volume (i : instance) = O.sum_array (Array.map (fun t -> t.volume) i.tasks)
+
+  (** Total weight [Σ w_i]. *)
+  let total_weight (i : instance) = O.sum_array (Array.map (fun t -> t.weight) i.tasks)
+
+  (** Effective parallelism cap: [min δ_i P]; a task can never use more
+      than all processors. *)
+  let effective_delta (i : instance) k = F.min i.tasks.(k).delta i.procs
+
+  (** The height [h_i = V_i / δ_i] of task [i] (Definition 6). *)
+  let height (i : instance) k = F.div i.tasks.(k).volume (effective_delta i k)
+
+  (** Smith ratio [V_i / w_i]; the squashed-area bound sorts by it. *)
+  let smith_ratio (i : instance) k = F.div i.tasks.(k).volume i.tasks.(k).weight
+
+  (** [sub_instance i volumes] is the paper's subinstance [I[V'_i]]:
+      same tasks with modified volumes. Tasks whose new volume is zero
+      are kept (with zero volume) so indices are stable; quantities like
+      the squashed-area bound ignore them naturally. *)
+  let sub_instance (i : instance) (volumes : num array) : instance =
+    if Array.length volumes <> num_tasks i then invalid_arg "Instance.sub_instance: length mismatch";
+    { i with tasks = Array.mapi (fun k t -> { t with volume = volumes.(k) }) i.tasks }
+
+  (** Render for logs. *)
+  let to_string (i : instance) =
+    let t_to_string t =
+      Printf.sprintf "(V=%s w=%s d=%s)" (F.to_string t.volume) (F.to_string t.weight) (F.to_string t.delta)
+    in
+    Printf.sprintf "P=%s %s" (F.to_string i.procs)
+      (String.concat " " (Array.to_list (Array.map t_to_string i.tasks)))
+end

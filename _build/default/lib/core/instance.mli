@@ -1,0 +1,45 @@
+(** Instance construction and elementary per-task quantities
+    (Definition 1 of the paper). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Conversion of a spec rational. *)
+  val of_rat : Spec.rat -> F.t
+
+  (** Convert a field-neutral {!Spec.t} (validated) into a field
+      instance. Raises [Invalid_argument] on invalid specs. *)
+  val of_spec : Spec.t -> Types.Make(F).instance
+
+  (** Build directly from field values. *)
+  val make : procs:F.t -> Types.Make(F).task list -> Types.Make(F).instance
+
+  (** Task constructor; [weight] defaults to [1]. *)
+  val task : ?weight:F.t -> volume:F.t -> delta:F.t -> unit -> Types.Make(F).task
+
+  val num_tasks : Types.Make(F).instance -> int
+
+  (** Structural validity over the field: everything strictly positive,
+      [δ_i >= 1]. Deltas above [P] are allowed (they act as [P]). *)
+  val validate : Types.Make(F).instance -> (unit, string) result
+
+  (** Total work [Σ V_i]. *)
+  val total_volume : Types.Make(F).instance -> F.t
+
+  (** Total weight [Σ w_i]. *)
+  val total_weight : Types.Make(F).instance -> F.t
+
+  (** Effective parallelism cap [min δ_i P] of task [k]. *)
+  val effective_delta : Types.Make(F).instance -> int -> F.t
+
+  (** Height [h_k = V_k / min(δ_k, P)] (Definition 6). *)
+  val height : Types.Make(F).instance -> int -> F.t
+
+  (** Smith ratio [V_k / w_k]. *)
+  val smith_ratio : Types.Make(F).instance -> int -> F.t
+
+  (** [sub_instance i volumes] is the paper's subinstance [I[V'_i]]:
+      same tasks, modified volumes (zero volumes allowed). *)
+  val sub_instance : Types.Make(F).instance -> F.t array -> Types.Make(F).instance
+
+  (** One-line rendering for logs. *)
+  val to_string : Types.Make(F).instance -> string
+end

@@ -1,0 +1,164 @@
+(** Theorem 3 — fractional column schedules ↔ integer allocations.
+
+    [of_columns] is the constructive direction used in the paper's
+    proof (Figure 2): within each column the tasks' areas are laid out
+    consecutively over the processor×time rectangle, wrapping from one
+    processor to the next (exactly McNaughton's wrap rule applied per
+    column). Every task then uses either [⌊d_{i,j}⌋] or [⌈d_{i,j}⌉]
+    processors at every instant, and its completion time is unchanged.
+
+    [to_columns] is the averaging direction: any integer schedule
+    collapses to a column schedule by giving each task its average
+    allocation per column.
+
+    The field needs a floor operation for nothing: the wrap is computed
+    by walking processor bins sequentially with exact arithmetic. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module S = Schedule.Make (F)
+  open T
+
+  (** Per-task, per-column processor bookings of the wrap construction,
+      plus the demand profile. Bookings are the concrete Gantt chart;
+      demands feed {!Assignment}. *)
+  let of_columns (s : column_schedule) : integer_schedule * gantt =
+    let n = Array.length s.finish in
+    let nb_procs =
+      match F.to_float s.instance.procs with
+      | p when Float.is_integer p && p >= 1. -> int_of_float p
+      | _ -> invalid_arg "Integerize.of_columns: P must be an integer"
+    in
+    let bookings = Array.make nb_procs [] in
+    (* Raw (unmerged) demand steps per task: (start, end, procs). *)
+    let demand_raw = Array.make n [] in
+    for j = 0 to n - 1 do
+      let cstart = S.column_start s j in
+      let len = S.column_length s j in
+      if F.sign len > 0 then begin
+        (* Sequential fill: processor [p] is filled up to offset
+           [used] (a time offset within the column, in [0, len]). *)
+        let p = ref 0 in
+        let used = ref F.zero in
+        for i = 0 to n - 1 do
+          let a = s.alloc.(i).(j) in
+          if F.sign a > 0 then begin
+            let remaining_area = ref (F.mul a len) in
+            (* This task's bookings inside the column. *)
+            let mine = ref [] in
+            (* The approximate comparison absorbs float drift in the
+               accumulated areas; it is exact for rationals. *)
+            while not (F.leq_approx !remaining_area F.zero) do
+              if !p >= nb_procs then invalid_arg "Integerize.of_columns: column overflows P";
+              let room = F.sub len !used in
+              let take = F.min !remaining_area room in
+              if F.sign take > 0 then begin
+                let t0 = F.add cstart !used and t1 = F.add cstart (F.add !used take) in
+                bookings.(!p) <- { task = i; from_time = t0; to_time = t1 } :: bookings.(!p);
+                mine := (t0, t1) :: !mine;
+                used := F.add !used take;
+                remaining_area := F.sub !remaining_area take
+              end;
+              if F.sign (F.sub len !used) <= 0 then begin
+                incr p;
+                used := F.zero
+              end
+            done;
+            (* Demand profile of this task within the column: sweep the
+               booking endpoints. *)
+            let points =
+              List.sort_uniq F.compare (cstart :: F.add cstart len :: List.concat_map (fun (a, b) -> [ a; b ]) !mine)
+            in
+            let rec emit = function
+              | t0 :: (t1 :: _ as rest) ->
+                let count =
+                  List.fold_left
+                    (fun acc (a, b) -> if F.compare a t0 <= 0 && F.compare t1 b <= 0 then acc + 1 else acc)
+                    0 !mine
+                in
+                if count > 0 then demand_raw.(i) <- { start_time = t0; end_time = t1; procs = count } :: demand_raw.(i);
+                emit rest
+              | _ -> ()
+            in
+            emit points
+          end
+        done
+      end
+    done;
+    (* Sort and merge demands per task. *)
+    let demands =
+      Array.map
+        (fun raw ->
+          let sorted = List.sort (fun a b -> F.compare a.start_time b.start_time) raw in
+          let rec merge = function
+            | a :: b :: rest when a.procs = b.procs && F.equal a.end_time b.start_time ->
+              merge ({ a with end_time = b.end_time } :: rest)
+            | a :: rest -> a :: merge rest
+            | [] -> []
+          in
+          merge sorted)
+        demand_raw
+    in
+    let gantt = { instance = s.instance; processors = Array.map List.rev bookings } in
+    ({ instance = s.instance; demands }, gantt)
+
+  (** Averaging direction of Theorem 3: rebuild a column schedule from
+      integer demands. Completion times are the last demand ends. *)
+  let to_columns (is : integer_schedule) : column_schedule =
+    let n = Array.length is.demands in
+    let completion =
+      Array.map
+        (fun segs -> List.fold_left (fun acc seg -> F.max acc seg.end_time) F.zero segs)
+        is.demands
+    in
+    let order = S.sorted_order completion in
+    let finish = Array.map (fun i -> completion.(i)) order in
+    let alloc = Array.make_matrix n n F.zero in
+    for j = 0 to n - 1 do
+      let cstart = if j = 0 then F.zero else finish.(j - 1) in
+      let cend = finish.(j) in
+      let len = F.sub cend cstart in
+      if F.sign len > 0 then
+        for i = 0 to n - 1 do
+          let area =
+            List.fold_left
+              (fun acc seg ->
+                let lo = F.max seg.start_time cstart and hi = F.min seg.end_time cend in
+                if F.compare lo hi < 0 then F.add acc (F.mul (F.of_int seg.procs) (F.sub hi lo)) else acc)
+              F.zero is.demands.(i)
+          in
+          alloc.(i).(j) <- F.div area len
+        done
+    done;
+    { instance = is.instance; order; finish; alloc }
+
+  (** Check the Theorem 3 invariant on a wrap output: at any instant a
+      task holds either [⌊d⌋] or [⌈d⌉] processors of its fractional
+      column allocation. Returns the first violating task or [None]. *)
+  let check_floor_ceil (s : column_schedule) (is : integer_schedule) : int option =
+    let n = Array.length s.finish in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      if Option.is_none !bad then
+        for j = 0 to n - 1 do
+          if F.to_float (S.column_length s j) > 1e-9 then begin
+            let cstart = F.to_float (S.column_start s j) and cend = F.to_float s.finish.(j) in
+            let d = F.to_float s.alloc.(i).(j) in
+            let lo = Float.floor (d -. 1e-6) and hi = Float.ceil (d +. 1e-6) in
+            List.iter
+              (fun seg ->
+                (* Overlap of the segment interior with the column
+                   interior (slack absorbs float drift at edges). *)
+                let a = Float.max (F.to_float seg.start_time) cstart in
+                let b = Float.min (F.to_float seg.end_time) cend in
+                if b -. a > 1e-6 then begin
+                  let q = float_of_int seg.procs in
+                  if q < lo -. 0.5 || q > hi +. 0.5 then bad := Some i
+                end)
+              is.demands.(i)
+          end
+        done
+    done;
+    !bad
+end

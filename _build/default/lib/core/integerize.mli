@@ -1,0 +1,27 @@
+(** Theorem 3: constructive equivalence between fractional column
+    schedules and integer per-processor schedules.
+
+    [of_columns] lays each column's task areas consecutively over the
+    processor×time rectangle (a per-column McNaughton wrap, the
+    construction of the paper's Figure 2): every task then holds either
+    [⌊d_{i,j}⌋] or [⌈d_{i,j}⌉] processors at every instant.
+    [to_columns] is the averaging direction. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Wrap construction. Returns the per-task integer demand profiles
+      (for {!Assignment}) and the concrete per-processor Gantt chart of
+      the wrap itself. Raises [Invalid_argument] when [P] is not an
+      integer or a column overflows it. *)
+  val of_columns :
+    Types.Make(F).column_schedule -> Types.Make(F).integer_schedule * Types.Make(F).gantt
+
+  (** Averaging direction: collapse integer demands to the column
+      schedule with the same completion times. *)
+  val to_columns : Types.Make(F).integer_schedule -> Types.Make(F).column_schedule
+
+  (** Check the floor/ceil invariant of Theorem 3 on a wrap output;
+      returns the first violating task, or [None]. (Float-based
+      comparisons; intended for tests.) *)
+  val check_floor_ceil :
+    Types.Make(F).column_schedule -> Types.Make(F).integer_schedule -> int option
+end

@@ -1,0 +1,65 @@
+(** Maximum lateness (Table I row [Lmax]).
+
+    With due dates [d_i] and all release dates zero, the lateness of a
+    schedule is [max_i (C_i − d_i)]. By Theorem 8, a target lateness
+    [L] is achievable iff WF accepts the completion times [d_i + L]:
+    making every target later only helps, so feasibility is monotone in
+    [L] and binary search applies — the [O(n log n)]-per-probe
+    procedure the paper mentions as a consequence of WF.
+
+    [minimize] returns an interval of width [<= tol] bracketing the
+    optimum together with the schedule built at its upper end. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module WF = Water_filling.Make (F)
+  open T
+
+  let deadlines_of due l = Array.map (fun d -> F.add d l) due
+
+  (** Is lateness [l] feasible for due dates [due]? *)
+  let feasible (inst : instance) (due : F.t array) (l : F.t) : bool =
+    WF.feasible inst (deadlines_of due l)
+
+  (** Trivial bounds on the optimal lateness: below, no task can end
+      before [max(V_i/δ_i - d_i)] nor can the whole load beat the area
+      bound; above, the makespan-optimal schedule gives lateness
+      [T* - min d_i]. *)
+  let bounds (inst : instance) (due : F.t array) : F.t * F.t =
+    let module M = Makespan.Make (F) in
+    let n = I.num_tasks inst in
+    if Array.length due <> n then invalid_arg "Lateness.bounds: due length mismatch";
+    let t_star = M.optimal inst in
+    let lower =
+      (* Each task alone needs C_i >= V_i/δ_i, so L >= V_i/δ_i - d_i. *)
+      let rec go acc i =
+        if i >= n then acc else go (F.max acc (F.sub (I.height inst i) due.(i))) (i + 1)
+      in
+      (* And someone finishes at or after t_star... only the latest due
+         date is guaranteed: L >= t_star - max_i d_i. *)
+      let max_due = Array.fold_left F.max due.(0) due in
+      go (F.sub t_star max_due) 0
+    in
+    let min_due = Array.fold_left F.min due.(0) due in
+    (lower, F.sub t_star min_due)
+
+  (** Binary search for the minimal feasible lateness, to within [tol].
+      Returns [(lo, hi, schedule_at_hi)] with [hi - lo <= tol],
+      [lo] infeasible-or-optimal and [hi] feasible. *)
+  let minimize ?(tol = F.of_q 1 1_000_000) (inst : instance) (due : F.t array) :
+      F.t * F.t * column_schedule =
+    let lo, hi = bounds inst due in
+    if not (feasible inst due hi) then invalid_arg "Lateness.minimize: upper bound infeasible (bug)";
+    let rec search lo hi =
+      if F.compare (F.sub hi lo) tol <= 0 then (lo, hi)
+      else begin
+        let mid = F.div (F.add lo hi) (F.of_int 2) in
+        if feasible inst due mid then search lo mid else search mid hi
+      end
+    in
+    let lo, hi = if feasible inst due lo then (lo, lo) else search lo hi in
+    match WF.build inst (deadlines_of due hi) with
+    | Ok s -> (lo, hi, s)
+    | Error _ -> assert false
+end

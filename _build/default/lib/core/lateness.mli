@@ -1,0 +1,21 @@
+(** Maximum lateness (Table I row [Lmax]): [L] is achievable iff WF
+    accepts the targets [d_i + L] (Theorem 8), so feasibility is
+    monotone in [L] and binary search finds the optimum to any
+    tolerance at [O(n log n)] per probe. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Is lateness [l] feasible for the given due dates? *)
+  val feasible : Types.Make(F).instance -> F.t array -> F.t -> bool
+
+  (** Trivial lower/upper bounds on the optimal lateness. *)
+  val bounds : Types.Make(F).instance -> F.t array -> F.t * F.t
+
+  (** Binary search to within [tol] (default [1e-6] as a field value):
+      [(lo, hi, schedule_at_hi)] with [hi] feasible and [hi − lo <=
+      tol]. *)
+  val minimize :
+    ?tol:F.t ->
+    Types.Make(F).instance ->
+    F.t array ->
+    F.t * F.t * Types.Make(F).column_schedule
+end

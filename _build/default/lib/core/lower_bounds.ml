@@ -1,0 +1,68 @@
+(** Lower bounds on the optimal weighted completion time (Section III).
+
+    - [squashed_area] is [A(I)] (Definition 5): the optimum of the
+      relaxation where every [δ_i = P], i.e. single-processor weighted
+      scheduling at speed [P], solved by Smith's rule.
+    - [height_bound] is [H(I)] (Definition 6): the optimum with
+      [P = ∞], where each task just runs at its own cap.
+    - [mixed] combines both on a volume subdivision (Lemma 1):
+      [OPT(I) >= A(I[V¹]) + H(I[V²])] whenever [V¹_i + V²_i = V_i]. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  open T
+
+  (** [A(I) = Σ_i (Σ_{j >= i} w_j) V_i / P] with tasks sorted by
+      non-decreasing Smith ratio [V_i/w_i]. Zero-volume tasks (from
+      subinstances) contribute nothing and are skipped. *)
+  let squashed_area (inst : instance) =
+    let idx =
+      List.filter (fun i -> F.sign inst.tasks.(i).volume > 0) (List.init (I.num_tasks inst) (fun i -> i))
+    in
+    let sorted =
+      List.sort
+        (fun a b ->
+          (* V_a/w_a <= V_b/w_b  <=>  V_a·w_b <= V_b·w_a *)
+          F.compare
+            (F.mul inst.tasks.(a).volume inst.tasks.(b).weight)
+            (F.mul inst.tasks.(b).volume inst.tasks.(a).weight))
+        idx
+    in
+    (* Walk in Smith order, accumulating completion times of the
+       squashed (speed-P single machine) schedule. *)
+    let _, total =
+      List.fold_left
+        (fun (t, acc) i ->
+          let t' = F.add t (F.div inst.tasks.(i).volume inst.procs) in
+          (t', F.add acc (F.mul inst.tasks.(i).weight t')))
+        (F.zero, F.zero) sorted
+    in
+    total
+
+  (** [H(I) = Σ_i w_i · V_i / δ_i]. *)
+  let height_bound (inst : instance) =
+    let n = I.num_tasks inst in
+    let rec go acc i =
+      if i >= n then acc
+      else begin
+        let t = inst.tasks.(i) in
+        go (F.add acc (F.mul t.weight (F.div t.volume (I.effective_delta inst i)))) (i + 1)
+      end
+    in
+    go F.zero 0
+
+  (** [mixed inst v1 v2] is [A(I[v1]) + H(I[v2])]; requires
+      [v1 + v2 = V] componentwise (checked approximately). *)
+  let mixed (inst : instance) (v1 : F.t array) (v2 : F.t array) =
+    let n = I.num_tasks inst in
+    if Array.length v1 <> n || Array.length v2 <> n then invalid_arg "Lower_bounds.mixed: length mismatch";
+    for i = 0 to n - 1 do
+      if not (F.equal_approx (F.add v1.(i) v2.(i)) inst.tasks.(i).volume) then
+        invalid_arg "Lower_bounds.mixed: subdivision does not sum to V"
+    done;
+    F.add (squashed_area (I.sub_instance inst v1)) (height_bound (I.sub_instance inst v2))
+
+  (** Best of the two plain bounds. *)
+  let best (inst : instance) = F.max (squashed_area inst) (height_bound inst)
+end

@@ -1,0 +1,21 @@
+(** Lower bounds on the optimal weighted completion time
+    (Definitions 5–6 and Lemma 1 of Section III). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Squashed-area bound [A(I)]: the single-machine (speed [P]) Smith
+      optimum; ignores the [δ_i]. Zero-volume tasks contribute
+      nothing. *)
+  val squashed_area : Types.Make(F).instance -> F.t
+
+  (** Height bound [H(I) = Σ w_i V_i / min(δ_i, P)]: the [P = ∞]
+      optimum. *)
+  val height_bound : Types.Make(F).instance -> F.t
+
+  (** Mixed bound (Lemma 1): [A(I[v1]) + H(I[v2])] for a volume
+      subdivision [v1 + v2 = V] (checked; raises [Invalid_argument]
+      otherwise). *)
+  val mixed : Types.Make(F).instance -> F.t array -> F.t array -> F.t
+
+  (** [max (squashed_area i) (height_bound i)]. *)
+  val best : Types.Make(F).instance -> F.t
+end

@@ -1,0 +1,21 @@
+(** Optimal schedules through linear programming (Corollary 1): for a
+    fixed completion order the best schedule is an LP; the global
+    optimum enumerates orders. Exact when instantiated with
+    rationals — the ground truth of the Section V-A experiments. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Best schedule whose completion order is [pi] ([pi.(j)] finishes
+      [j]-th), as [(objective, schedule)]. [None] if the LP is
+      infeasible (cannot happen for valid instances). *)
+  val optimal_for_order :
+    Types.Make(F).instance -> int array -> (F.t * Types.Make(F).column_schedule) option
+
+  (** Global optimum by enumerating all [n!] completion orders;
+      guarded to [n <= max_tasks] (default 8, raises
+      [Invalid_argument] beyond). *)
+  val optimal : ?max_tasks:int -> Types.Make(F).instance -> F.t * Types.Make(F).column_schedule
+
+  (** Best greedy objective and insertion order over all [n!] orders
+      (the Section V-A quantity), same guard. *)
+  val best_greedy : ?max_tasks:int -> Types.Make(F).instance -> F.t * int array
+end

@@ -1,0 +1,33 @@
+(** Optimal makespan for malleable work-preserving tasks
+    (Table I row [Cmax]; Drozdowski's result, realized here through WF
+    in [O(n log n)]).
+
+    With all release dates zero, the optimal makespan is the classical
+    lower bound [T* = max(Σ V_i / P, max_i V_i / δ_i)]: giving every
+    task the target completion time [T*] makes WF allocate each one a
+    constant [V_i / T*] processors, which is feasible precisely at
+    [T*]. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module WF = Water_filling.Make (F)
+  open T
+
+  (** The optimal makespan [T*]. *)
+  let optimal (inst : instance) : F.t =
+    let n = I.num_tasks inst in
+    let area = F.div (I.total_volume inst) inst.procs in
+    let rec max_height acc i =
+      if i >= n then acc else max_height (F.max acc (I.height inst i)) (i + 1)
+    in
+    max_height area 0
+
+  (** A schedule achieving [T*]: WF with every completion at [T*]. *)
+  let schedule (inst : instance) : column_schedule =
+    let t_star = optimal inst in
+    let times = Array.make (I.num_tasks inst) t_star in
+    match WF.build inst times with
+    | Ok s -> s
+    | Error _ -> invalid_arg "Makespan.schedule: WF rejected the optimal makespan (impossible)"
+end

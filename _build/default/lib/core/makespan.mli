@@ -1,0 +1,11 @@
+(** Optimal makespan (Table I row [Cmax]): with zero release dates,
+    [T* = max(Σ V_i / P, max_i V_i / min(δ_i, P))], achieved by WF with
+    all completion times at [T*]. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** The optimal makespan [T*]. *)
+  val optimal : Types.Make(F).instance -> F.t
+
+  (** A schedule achieving [T*] (constant allocations [V_i/T*]). *)
+  val schedule : Types.Make(F).instance -> Types.Make(F).column_schedule
+end

@@ -1,0 +1,196 @@
+(** Extension: moldable tasks — the weaker model the paper's
+    introduction contrasts with malleability.
+
+    A {e moldable} task picks a fixed width [q_i ∈ {1..δ_i}] when it
+    starts and keeps it to completion (duration [V_i/q_i], no
+    preemption, no reallocation). Scheduling is rigid-rectangle list
+    scheduling. Comparing the best moldable schedule against the
+    malleable optimum quantifies what malleability buys — the model
+    ablation behind experiment E15.
+
+    Minimizing [Σ w_i C_i] for moldable tasks is NP-hard even with the
+    widths fixed; this module provides list scheduling for given widths
+    and orders, plus small-instance searches (width local search,
+    order enumeration). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module Ord = Orderings.Make (F)
+  open T
+
+  (* Availability profile: sorted [(start, avail)] segments, last one
+     extends to infinity. Unlike the malleable greedy profile, it is
+     NOT monotone (rectangles come and go). *)
+  type profile = (F.t * F.t) list
+
+  let initial_profile (inst : instance) : profile = [ (F.zero, inst.procs) ]
+
+  (* Earliest start >= 0 at which [q] processors are free during a
+     window of length [d]. *)
+  let earliest_fit (profile : profile) ~q ~d : F.t =
+    (* Candidate starts are the segment starts; scan each and check the
+       window. *)
+    let rec avail_at t last = function
+      | (s, a) :: rest when F.compare s t <= 0 -> avail_at t a rest
+      | _ -> last
+    in
+    let window_ok t =
+      let t_end = F.add t d in
+      (* Check the availability on [t, t_end): at t itself and at every
+         segment start inside the window. *)
+      let ok_at u = F.compare q (avail_at u F.zero profile) <= 0 in
+      ok_at t
+      && List.for_all
+           (fun (s, _) -> if F.compare t s < 0 && F.compare s t_end < 0 then ok_at s else true)
+           profile
+    in
+    let candidates = List.map fst profile in
+    let rec first = function
+      | [] -> invalid_arg "Moldable.earliest_fit: no feasible start (q > P?)"
+      | t :: rest -> if window_ok t then t else first rest
+    in
+    first candidates
+
+  (* Subtract [q] processors on [t0, t1) from the profile. *)
+  let reserve (profile : profile) ~q ~t0 ~t1 : profile =
+    let points = List.sort_uniq F.compare (t0 :: t1 :: List.map fst profile) in
+    let avail_at t =
+      let rec go last = function
+        | (s, a) :: rest when F.compare s t <= 0 -> go a rest
+        | _ -> last
+      in
+      match profile with [] -> F.zero | (_, a0) :: rest -> go a0 rest
+    in
+    let raw =
+      List.map
+        (fun t ->
+          let a = avail_at t in
+          if F.compare t0 t <= 0 && F.compare t t1 < 0 then (t, F.sub a q) else (t, a))
+        points
+    in
+    let rec dedup = function
+      | (t1', a1) :: (_, a2) :: rest when F.equal a1 a2 -> dedup ((t1', a1) :: rest)
+      | x :: rest -> x :: dedup rest
+      | [] -> []
+    in
+    dedup raw
+
+  (** One placed rectangle. *)
+  type placement = { task : int; width : int; start : F.t; finish : F.t }
+
+  (** List-schedule with fixed [widths] (per task, clamped to
+      [[1, min(δ_i, P)]]) in insertion order [order]. Each task starts
+      at the earliest time its width fits. Returns the placements,
+      indexed by task. *)
+  let schedule (inst : instance) ~(widths : int array) ~(order : int array) : placement array =
+    let n = I.num_tasks inst in
+    if Array.length widths <> n then invalid_arg "Moldable.schedule: widths length mismatch";
+    if Array.length order <> n then invalid_arg "Moldable.schedule: order length mismatch";
+    let placements = Array.make n { task = 0; width = 0; start = F.zero; finish = F.zero } in
+    let profile = ref (initial_profile inst) in
+    Array.iter
+      (fun i ->
+        let cap = I.effective_delta inst i in
+        let w = Stdlib.max 1 widths.(i) in
+        let w = if F.compare (F.of_int w) cap > 0 then int_of_float (F.to_float cap) else w in
+        let q = F.of_int w in
+        let d = F.div inst.tasks.(i).volume q in
+        let start = earliest_fit !profile ~q ~d in
+        let finish = F.add start d in
+        placements.(i) <- { task = i; width = w; start; finish };
+        profile := reserve !profile ~q ~t0:start ~t1:finish)
+      order;
+    placements
+
+  (** [Σ w_i C_i] of a placement set. *)
+  let objective (inst : instance) (placements : placement array) : F.t =
+    let acc = ref F.zero in
+    Array.iteri (fun i p -> acc := F.add !acc (F.mul inst.tasks.(i).weight p.finish)) placements;
+    !acc
+
+  let makespan (placements : placement array) : F.t =
+    Array.fold_left (fun acc p -> F.max acc p.finish) F.zero placements
+
+  (** Validity: capacity respected at every placement boundary, widths
+      within caps, durations consistent. *)
+  let check (inst : instance) (placements : placement array) : (unit, string) result =
+    let exception Bad of string in
+    try
+      Array.iteri
+        (fun i p ->
+          if p.width < 1 then raise (Bad (Printf.sprintf "task %d: width < 1" i));
+          if F.compare (F.of_int p.width) (I.effective_delta inst i) > 0 then
+            raise (Bad (Printf.sprintf "task %d: width above delta" i));
+          let expected = F.div inst.tasks.(i).volume (F.of_int p.width) in
+          if not (F.equal_approx (F.sub p.finish p.start) expected) then
+            raise (Bad (Printf.sprintf "task %d: wrong duration" i)))
+        placements;
+      let points =
+        List.sort_uniq F.compare
+          (List.concat_map (fun p -> [ p.start; p.finish ]) (Array.to_list placements))
+      in
+      List.iter
+        (fun t ->
+          let load = ref F.zero in
+          Array.iter
+            (fun p ->
+              if F.compare p.start t <= 0 && F.compare t p.finish < 0 then
+                load := F.add !load (F.of_int p.width))
+            placements;
+          if not (F.leq_approx !load inst.procs) then raise (Bad "capacity exceeded"))
+        points;
+      Ok ()
+    with Bad m -> Error m
+
+  (** Heuristic widths. *)
+  let widths_full (inst : instance) =
+    Array.init (I.num_tasks inst) (fun i -> int_of_float (F.to_float (I.effective_delta inst i)))
+
+  let widths_one (inst : instance) = Array.make (I.num_tasks inst) 1
+
+  (** Local search on widths for a fixed order: repeatedly try ±1 on
+      each task's width, keep improvements, until a fixpoint (at most
+      [max_rounds]). *)
+  let improve_widths ?(max_rounds = 10) (inst : instance) ~(order : int array) (widths : int array) :
+      int array * F.t =
+    let n = I.num_tasks inst in
+    let best_w = Array.copy widths in
+    let best = ref (objective inst (schedule inst ~widths:best_w ~order)) in
+    let improved = ref true in
+    let rounds = ref 0 in
+    while !improved && !rounds < max_rounds do
+      improved := false;
+      incr rounds;
+      for i = 0 to n - 1 do
+        List.iter
+          (fun dw ->
+            let w = best_w.(i) + dw in
+            let cap = int_of_float (F.to_float (I.effective_delta inst i)) in
+            if w >= 1 && w <= cap then begin
+              let saved = best_w.(i) in
+              best_w.(i) <- w;
+              let v = objective inst (schedule inst ~widths:best_w ~order) in
+              if F.compare v !best < 0 then begin
+                best := v;
+                improved := true
+              end
+              else best_w.(i) <- saved
+            end)
+          [ -1; 1 ]
+      done
+    done;
+    (best_w, !best)
+
+  (** Best moldable schedule found: Smith order, three width seeds,
+      local search on each. Returns the objective. *)
+  let best_heuristic (inst : instance) : F.t =
+    let order = Ord.smith inst in
+    let seeds = [ widths_full inst; widths_one inst ] in
+    List.fold_left
+      (fun acc seed ->
+        let _, v = improve_widths inst ~order seed in
+        F.min acc v)
+      (objective inst (schedule inst ~widths:(widths_full inst) ~order))
+      seeds
+end

@@ -1,0 +1,43 @@
+(** Extension: moldable tasks — fixed width chosen at start, no
+    reallocation (the weaker model the paper's introduction contrasts
+    with malleability). Used by experiment E15 to quantify what
+    malleability buys. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** One placed rectangle ([width] processors over
+      [[start, finish)]). *)
+  type placement = { task : int; width : int; start : F.t; finish : F.t }
+
+  (** Rigid list scheduling with fixed per-task [widths] in insertion
+      [order]: each task starts as early as its width fits. Widths are
+      clamped to [[1, min(δ_i, P)]]. *)
+  val schedule :
+    Types.Make(F).instance -> widths:int array -> order:int array -> placement array
+
+  (** [Σ w_i C_i] of a placement set (indexed by task). *)
+  val objective : Types.Make(F).instance -> placement array -> F.t
+
+  val makespan : placement array -> F.t
+
+  (** Capacity, width-cap and duration checks. *)
+  val check : Types.Make(F).instance -> placement array -> (unit, string) result
+
+  (** All tasks at full width [min(δ_i, P)]. *)
+  val widths_full : Types.Make(F).instance -> int array
+
+  (** All tasks at width 1. *)
+  val widths_one : Types.Make(F).instance -> int array
+
+  (** ±1 local search on widths for a fixed order; returns the improved
+      widths and their objective. *)
+  val improve_widths :
+    ?max_rounds:int ->
+    Types.Make(F).instance ->
+    order:int array ->
+    int array ->
+    int array * F.t
+
+  (** Best moldable objective found (Smith order, several width seeds,
+      local search). *)
+  val best_heuristic : Types.Make(F).instance -> F.t
+end

@@ -1,0 +1,87 @@
+(** Task orderings: permutation enumeration and the classical priority
+    rules used as greedy orders and baselines (Section V, Table I). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  open T
+
+  let identity n = Array.init n (fun i -> i)
+
+  (** [fold_permutations n f acc] folds [f] over all permutations of
+      [{0..n-1}] (Heap's algorithm). The array passed to [f] is reused
+      between calls — copy it if it must survive. *)
+  let fold_permutations n f acc =
+    let a = identity n in
+    let acc = ref (f acc a) in
+    let c = Array.make n 0 in
+    let i = ref 0 in
+    while !i < n do
+      if c.(!i) < !i then begin
+        let j = if !i land 1 = 0 then 0 else c.(!i) in
+        let tmp = a.(j) in
+        a.(j) <- a.(!i);
+        a.(!i) <- tmp;
+        acc := f !acc a;
+        c.(!i) <- c.(!i) + 1;
+        i := 0
+      end
+      else begin
+        c.(!i) <- 0;
+        incr i
+      end
+    done;
+    !acc
+
+  (** Number of permutations visited by [fold_permutations]. *)
+  let factorial n =
+    let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+    go 1 n
+
+  let sort_by inst cmp =
+    let idx = identity (I.num_tasks inst) in
+    Array.sort
+      (fun a b ->
+        let c = cmp a b in
+        if c <> 0 then c else Stdlib.compare a b)
+      idx;
+    idx
+
+  (** Smith / LRF order: non-decreasing [V_i / w_i] (equivalently,
+      largest ratio [w_i / V_i] first — Kawaguchi–Kyan). *)
+  let smith (inst : instance) =
+    sort_by inst (fun a b ->
+        F.compare
+          (F.mul inst.tasks.(a).volume inst.tasks.(b).weight)
+          (F.mul inst.tasks.(b).volume inst.tasks.(a).weight))
+
+  (** Shortest volume first (SPT). *)
+  let shortest_volume (inst : instance) =
+    sort_by inst (fun a b -> F.compare inst.tasks.(a).volume inst.tasks.(b).volume)
+
+  (** Largest weight first. *)
+  let largest_weight (inst : instance) =
+    sort_by inst (fun a b -> F.compare inst.tasks.(b).weight inst.tasks.(a).weight)
+
+  (** Non-increasing delta (widest task first). *)
+  let largest_delta (inst : instance) =
+    sort_by inst (fun a b -> F.compare inst.tasks.(b).delta inst.tasks.(a).delta)
+
+  (** Non-decreasing delta. *)
+  let smallest_delta (inst : instance) =
+    sort_by inst (fun a b -> F.compare inst.tasks.(a).delta inst.tasks.(b).delta)
+
+  (** Shortest height [V_i/δ_i] first. *)
+  let shortest_height (inst : instance) =
+    sort_by inst (fun a b -> F.compare (I.height inst a) (I.height inst b))
+
+  let reverse (sigma : int array) =
+    let n = Array.length sigma in
+    Array.init n (fun i -> sigma.(n - 1 - i))
+
+  (** Uniform random permutation. *)
+  let random (rng : Mwct_util.Rng.t) n =
+    let a = identity n in
+    Mwct_util.Rng.shuffle rng a;
+    a
+end

@@ -1,0 +1,32 @@
+(** Task orderings: permutation enumeration (Heap's algorithm) and the
+    classical priority rules used as greedy insertion orders and
+    baselines. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  val identity : int -> int array
+
+  (** Fold over all [n!] permutations of [{0..n−1}]. The array passed
+      to the callback is {e reused} — copy it if it must survive. *)
+  val fold_permutations : int -> ('a -> int array -> 'a) -> 'a -> 'a
+
+  val factorial : int -> int
+
+  (** Smith / LRF order: non-decreasing [V_i / w_i] (largest ratio
+      [w/V] first), ties by index. *)
+  val smith : Types.Make(F).instance -> int array
+
+  (** Shortest volume first (SPT). *)
+  val shortest_volume : Types.Make(F).instance -> int array
+
+  val largest_weight : Types.Make(F).instance -> int array
+  val largest_delta : Types.Make(F).instance -> int array
+  val smallest_delta : Types.Make(F).instance -> int array
+
+  (** Non-decreasing height [V_i / min(δ_i, P)]. *)
+  val shortest_height : Types.Make(F).instance -> int array
+
+  val reverse : int array -> int array
+
+  (** Uniform random permutation from the given generator. *)
+  val random : Mwct_util.Rng.t -> int -> int array
+end

@@ -1,0 +1,79 @@
+(** Preemption accounting (Section IV-B).
+
+    For fractional column schedules we count {e allocation changes}: a
+    task changes when its (fractional) processor count differs between
+    two consecutive positive-length columns in which it is active.
+    Starting and finishing do not count, matching the paper's
+    convention. Theorem 9: WF schedules have at most [n] changes in
+    total.
+
+    Integer-schedule preemption counting lives in {!Assignment}, which
+    realizes Theorem 10's [3n] bound. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module S = Schedule.Make (F)
+  open T
+
+  (** Allocation-change count of a single task: transitions between
+      consecutive positive-length columns, within the window from its
+      first activity to its completion column, where the allocation
+      value differs. The initial rise from zero and the final drop to
+      zero are free. *)
+  let task_changes (s : column_schedule) i =
+    let n = Array.length s.finish in
+    let pos =
+      let p = ref (n - 1) in
+      Array.iteri (fun j t -> if t = i then p := j) s.order;
+      !p
+    in
+    (* Walk positive-length columns up to [pos]; remember the previous
+       allocation once the task has started. *)
+    let changes = ref 0 in
+    let prev = ref None in
+    for j = 0 to pos do
+      (* Skip zero-length columns, including float near-ties. *)
+      if not (F.equal_approx (S.column_length s j) F.zero) then begin
+        let a = s.alloc.(i).(j) in
+        (match !prev with
+        | Some p when F.sign a > 0 && not (F.equal_approx a p) -> incr changes
+        | _ -> ());
+        if F.sign a > 0 then prev := Some a
+        else if Option.is_some !prev then begin
+          (* A gap: the task stopped and will restart — both count. *)
+          prev := None;
+          changes := !changes + 2
+        end
+      end
+    done;
+    !changes
+
+  (** Total allocation changes of a schedule (the paper's [N_n]). *)
+  let total_changes (s : column_schedule) =
+    let n = Array.length s.finish in
+    let rec go acc i = if i >= n then acc else go (acc + task_changes s i) (i + 1) in
+    go 0 0
+
+  (** Number of changes in the {e available} resource profile (the
+      paper's [M_n]): transitions between consecutive positive-length
+      columns where the total occupied height differs. *)
+  let availability_changes (s : column_schedule) =
+    let n = Array.length s.finish in
+    let heights =
+      Array.init n (fun j ->
+          let t = ref F.zero in
+          for i = 0 to n - 1 do
+            t := F.add !t s.alloc.(i).(j)
+          done;
+          !t)
+    in
+    let changes = ref 0 in
+    let prev = ref None in
+    for j = 0 to n - 1 do
+      if not (F.equal_approx (S.column_length s j) F.zero) then begin
+        (match !prev with Some p when not (F.equal_approx heights.(j) p) -> incr changes | _ -> ());
+        prev := Some heights.(j)
+      end
+    done;
+    !changes
+end

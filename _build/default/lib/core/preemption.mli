@@ -1,0 +1,18 @@
+(** Allocation-change accounting for fractional schedules
+    (Section IV-B). A task "changes" when its processor count differs
+    between two consecutive positive-length columns in which it is
+    active; starting and finishing are free, a gap (stop + restart)
+    costs two. Theorem 9: WF normal forms have at most [n] changes in
+    total. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Changes of one task. *)
+  val task_changes : Types.Make(F).column_schedule -> int -> int
+
+  (** Total changes (the paper's [N_n]). *)
+  val total_changes : Types.Make(F).column_schedule -> int
+
+  (** Changes of the {e available} height profile between consecutive
+      positive-length columns (the paper's [M_n]). *)
+  val availability_changes : Types.Make(F).column_schedule -> int
+end

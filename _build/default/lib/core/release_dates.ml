@@ -1,0 +1,125 @@
+(** Extension: release dates (the [r_i] of Table I's Cmax row, after
+    Drozdowski's application of Muntz–Coffman [10]).
+
+    With release dates, schedules are still column-based, but columns
+    are delimited by release times as well as completions. For the
+    makespan objective the structure is simple enough for an exact LP:
+    fix the columns at the distinct release times plus the (variable)
+    horizon [T]; only the last column's length depends on [T], so
+    minimizing [T] subject to capacity, caps and volume conservation is
+    linear. The LP has O(n²) variables — polynomial, in the spirit of
+    the O(n²) combinatorial algorithm the paper cites.
+
+    [feasible ~deadline] answers the decision version ("can all tasks
+    released at [r_i] finish by [deadline]?"), which also powers a
+    maximum-lateness-with-release-dates search. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module Sx = Mwct_simplex.Simplex.Make (F)
+  open T
+
+  (** Distinct sorted release points (always includes 0). *)
+  let release_points (releases : F.t array) : F.t list =
+    let pts = Array.to_list releases in
+    let pts = F.zero :: pts in
+    List.sort_uniq F.compare pts
+
+  (* Build the feasibility/optimization LP. [deadline = None] adds a
+     variable horizon and minimizes it; [Some d] fixes the horizon. *)
+  let build_lp (inst : instance) (releases : F.t array) (deadline : F.t option) =
+    let n = I.num_tasks inst in
+    if Array.length releases <> n then invalid_arg "Release_dates: releases length mismatch";
+    let pts = release_points releases in
+    (* Drop release points at or beyond a fixed deadline. *)
+    let pts = match deadline with None -> pts | Some d -> List.filter (fun p -> F.compare p d < 0) pts in
+    let pts = Array.of_list pts in
+    let k = Array.length pts in
+    (* Columns 0..k-1; column j spans [pts.(j), pts.(j+1)), the last
+       spans [pts.(k-1), T). *)
+    let p = Sx.create () in
+    let t_var = match deadline with None -> Some (Sx.add_var ~name:"T" p) | Some _ -> None in
+    let x = Array.init n (fun i -> Array.init k (fun j -> Sx.add_var ~name:(Printf.sprintf "x_%d_%d" i j) p)) in
+    (* Column length terms: fixed length for j < k-1; last column is
+       T - pts.(k-1) (or deadline - pts.(k-1)). *)
+    let fixed_len j = if j < k - 1 then Some (F.sub pts.(j + 1) pts.(j)) else None in
+    let last_start = pts.(k - 1) in
+    (* T must not precede the last release point. *)
+    (match t_var with
+    | Some t -> Sx.add_constraint p [ (t, F.one) ] Sx.Geq last_start
+    | None -> ());
+    (* Capacity and caps per column. *)
+    for j = 0 to k - 1 do
+      let cap_terms = ref [] in
+      for i = 0 to n - 1 do
+        cap_terms := (x.(i).(j), F.one) :: !cap_terms
+      done;
+      (match (fixed_len j, t_var, deadline) with
+      | Some len, _, _ -> Sx.add_constraint p !cap_terms Sx.Leq (F.mul inst.procs len)
+      | None, Some t, _ ->
+        (* Σ x - P·T <= -P·last_start *)
+        Sx.add_constraint p ((t, F.neg inst.procs) :: !cap_terms) Sx.Leq (F.mul inst.procs (F.neg last_start))
+      | None, None, Some d -> Sx.add_constraint p !cap_terms Sx.Leq (F.mul inst.procs (F.sub d last_start))
+      | None, None, None -> assert false);
+      for i = 0 to n - 1 do
+        let delta = I.effective_delta inst i in
+        (match (fixed_len j, t_var, deadline) with
+        | Some len, _, _ -> Sx.add_constraint p [ (x.(i).(j), F.one) ] Sx.Leq (F.mul delta len)
+        | None, Some t, _ ->
+          Sx.add_constraint p [ (x.(i).(j), F.one); (t, F.neg delta) ] Sx.Leq (F.mul delta (F.neg last_start))
+        | None, None, Some d -> Sx.add_constraint p [ (x.(i).(j), F.one) ] Sx.Leq (F.mul delta (F.sub d last_start))
+        | None, None, None -> assert false);
+        (* No work before the task's release. *)
+        if F.compare pts.(j) releases.(i) < 0 && (match fixed_len j with Some _ -> true | None -> false) then begin
+          (* Column j starts before r_i. If it also ends at or before
+             r_i, the task gets nothing; partial columns cannot happen
+             because all r_i are column boundaries. *)
+          if F.compare (match fixed_len j with Some l -> F.add pts.(j) l | None -> assert false) releases.(i) <= 0
+          then Sx.add_constraint p [ (x.(i).(j), F.one) ] Sx.Leq F.zero
+          else assert false
+        end
+        else if F.compare pts.(j) releases.(i) < 0 then
+          (* Last column starting before r_i: impossible since r_i is a
+             release point <= last_start. *)
+          assert false
+      done
+    done;
+    (* Volumes. *)
+    for i = 0 to n - 1 do
+      let terms = ref [] in
+      for j = 0 to k - 1 do
+        terms := (x.(i).(j), F.one) :: !terms
+      done;
+      Sx.add_constraint p !terms Sx.Eq inst.tasks.(i).volume
+    done;
+    (match t_var with Some t -> Sx.set_objective p [ (t, F.one) ] | None -> Sx.set_objective p []);
+    (p, t_var)
+
+  (** Minimal makespan with release dates (exact over rationals). *)
+  let optimal_makespan (inst : instance) (releases : F.t array) : F.t =
+    let p, t_var = build_lp inst releases None in
+    match (Sx.solve p, t_var) with
+    | Sx.Optimal { objective; _ }, Some _ -> objective
+    | _ -> invalid_arg "Release_dates.optimal_makespan: LP failed (invalid instance?)"
+
+  (** Can every task, released at [releases.(i)], finish by
+      [deadline]? *)
+  let feasible (inst : instance) (releases : F.t array) ~(deadline : F.t) : bool =
+    if Array.exists (fun r -> F.compare deadline r < 0) releases then false
+    else begin
+      let p, _ = build_lp inst releases (Some deadline) in
+      match Sx.solve p with Sx.Optimal _ -> true | Sx.Infeasible -> false | Sx.Unbounded -> false
+    end
+
+  (** Lower bound used in tests: the no-release-dates optimum plus the
+      latest release, and each task's own [r_i + V_i/δ_i]. *)
+  let makespan_lower_bound (inst : instance) (releases : F.t array) : F.t =
+    let module M = Makespan.Make (F) in
+    let n = I.num_tasks inst in
+    let per_task = ref F.zero in
+    for i = 0 to n - 1 do
+      per_task := F.max !per_task (F.add releases.(i) (I.height inst i))
+    done;
+    F.max (M.optimal inst) !per_task
+end

@@ -1,0 +1,20 @@
+(** Extension: release dates (the [r_i] of Table I's Cmax row).
+    Columns are fixed at the release points; only the horizon is
+    variable, so minimal makespan and deadline feasibility are linear
+    programs (exact over rationals). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Distinct sorted release points, always including [0]. *)
+  val release_points : F.t array -> F.t list
+
+  (** Minimal makespan with per-task release dates. *)
+  val optimal_makespan : Types.Make(F).instance -> F.t array -> F.t
+
+  (** Can every task, released at [releases.(i)], finish by
+      [deadline]? *)
+  val feasible : Types.Make(F).instance -> F.t array -> deadline:F.t -> bool
+
+  (** The larger of the no-release-dates [T*] and
+      [max_i (r_i + V_i/δ_i)] — a valid lower bound, used in tests. *)
+  val makespan_lower_bound : Types.Make(F).instance -> F.t array -> F.t
+end

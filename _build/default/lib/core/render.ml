@@ -1,0 +1,176 @@
+(** Schedule rendering: ASCII Gantt charts for terminals and SVG for
+    reports.
+
+    Renders the three artifact kinds of the library — column schedules
+    (fractional allocations over columns), Gantt charts (per-processor
+    bookings from {!Integerize} / {!Assignment}), and column-height
+    profiles (the "water level" picture of Figure 3/4 in the paper). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module S = Schedule.Make (F)
+  open T
+
+  let task_letter t = Char.chr (Char.code 'A' + (t mod 26))
+
+  (* ---------- ASCII ---------- *)
+
+  (** ASCII Gantt: one row per processor, ['.'] for idle; task [k] is
+      shown as the letter ['A' + k mod 26]. [width] characters span the
+      horizon. *)
+  let gantt_to_ascii ?(width = 60) (g : gantt) : string =
+    let horizon =
+      Array.fold_left
+        (fun acc bs -> List.fold_left (fun acc b -> Float.max acc (F.to_float b.to_time)) acc bs)
+        0. g.processors
+    in
+    let horizon = if horizon <= 0. then 1. else horizon in
+    let buf = Buffer.create 1024 in
+    Array.iteri
+      (fun p bookings ->
+        let row = Bytes.make width '.' in
+        List.iter
+          (fun b ->
+            let x0 = int_of_float (F.to_float b.from_time /. horizon *. float_of_int width) in
+            let x1 = int_of_float (F.to_float b.to_time /. horizon *. float_of_int width) in
+            for x = x0 to Stdlib.min (width - 1) (x1 - 1) do
+              Bytes.set row x (task_letter b.task)
+            done)
+          bookings;
+        Buffer.add_string buf (Printf.sprintf "P%-2d |%s|\n" p (Bytes.to_string row)))
+      g.processors;
+    Buffer.add_string buf
+      (Printf.sprintf "     0%s%.3f\n" (String.make (Stdlib.max 1 (width - 6)) ' ') horizon);
+    Buffer.contents buf
+
+  (** ASCII column profile: for each column, its interval, the ending
+      task, and the per-task allocations. *)
+  let columns_to_ascii (s : column_schedule) : string =
+    let n = Array.length s.finish in
+    let buf = Buffer.create 1024 in
+    for j = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "column %2d [%8.3f, %8.3f] ends %c :" j
+           (F.to_float (S.column_start s j))
+           (F.to_float s.finish.(j))
+           (task_letter s.order.(j)));
+      for i = 0 to n - 1 do
+        if F.sign s.alloc.(i).(j) > 0 then
+          Buffer.add_string buf (Printf.sprintf " %c=%.3f" (task_letter i) (F.to_float s.alloc.(i).(j)))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+
+  (* ---------- SVG ---------- *)
+
+  (* A small qualitative palette, cycled by task index. *)
+  let palette =
+    [|
+      "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948"; "#b07aa1"; "#ff9da7";
+      "#9c755f"; "#bab0ac";
+    |]
+
+  let color t = palette.(t mod Array.length palette)
+
+  let svg_header ~w ~h =
+    Printf.sprintf
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"11\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+      w h w h w h
+
+  (** SVG Gantt chart: time on the x-axis, one lane per processor, one
+      colored rectangle per booking, labeled with the task letter when
+      wide enough. *)
+  let gantt_to_svg ?(width = 720) ?(lane_height = 28) (g : gantt) : string =
+    let nb = Array.length g.processors in
+    let horizon =
+      Array.fold_left
+        (fun acc bs -> List.fold_left (fun acc b -> Float.max acc (F.to_float b.to_time)) acc bs)
+        0. g.processors
+    in
+    let horizon = if horizon <= 0. then 1. else horizon in
+    let margin_left = 36 and margin_top = 8 and margin_bottom = 22 in
+    let plot_w = width - margin_left - 8 in
+    let h = margin_top + (nb * lane_height) + margin_bottom in
+    let x_of t = margin_left + int_of_float (t /. horizon *. float_of_int plot_w) in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (svg_header ~w:width ~h);
+    Array.iteri
+      (fun p bookings ->
+        let y = margin_top + (p * lane_height) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"4\" y=\"%d\" fill=\"#333\">P%d</text>\n<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n"
+             (y + (lane_height / 2) + 4) p margin_left (y + lane_height) (margin_left + plot_w)
+             (y + lane_height));
+        List.iter
+          (fun b ->
+            let x0 = x_of (F.to_float b.from_time) and x1 = x_of (F.to_float b.to_time) in
+            let w = Stdlib.max 1 (x1 - x0) in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"><title>task %d: [%g, %g]</title></rect>\n"
+                 x0 (y + 2) w (lane_height - 4) (color b.task) b.task (F.to_float b.from_time)
+                 (F.to_float b.to_time));
+            if w >= 14 then
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<text x=\"%d\" y=\"%d\" fill=\"white\" text-anchor=\"middle\">%c</text>\n"
+                   (x0 + (w / 2))
+                   (y + (lane_height / 2) + 4)
+                   (task_letter b.task)))
+          bookings)
+      g.processors;
+    (* x axis ticks: 0 and horizon. *)
+    let y_axis = margin_top + (nb * lane_height) + 14 in
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333\">0</text>\n" margin_left y_axis);
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333\" text-anchor=\"end\">%.3f</text>\n"
+         (margin_left + plot_w) y_axis horizon);
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+
+  (** SVG of a column schedule: stacked per-column allocation bands
+      (the paper's Gantt-chart view of MWCT-CB-F). *)
+  let columns_to_svg ?(width = 720) ?(height = 240) (s : column_schedule) : string =
+    let n = Array.length s.finish in
+    let horizon = if n = 0 then 1. else Float.max 1e-9 (F.to_float s.finish.(n - 1)) in
+    let procs = F.to_float s.instance.procs in
+    let margin_left = 36 and margin_top = 8 and margin_bottom = 22 in
+    let plot_w = width - margin_left - 8 in
+    let plot_h = height - margin_top - margin_bottom in
+    let x_of t = margin_left + int_of_float (t /. horizon *. float_of_int plot_w) in
+    let y_of load = margin_top + plot_h - int_of_float (load /. procs *. float_of_int plot_h) in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (svg_header ~w:width ~h:height);
+    for j = 0 to n - 1 do
+      let x0 = x_of (F.to_float (S.column_start s j)) and x1 = x_of (F.to_float s.finish.(j)) in
+      if x1 > x0 then begin
+        let stack = ref 0. in
+        for i = 0 to n - 1 do
+          let a = F.to_float s.alloc.(i).(j) in
+          if a > 0. then begin
+            let y1 = y_of !stack and y0 = y_of (!stack +. a) in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"><title>task %d: %.3f procs</title></rect>\n"
+                 x0 y0 (x1 - x0) (Stdlib.max 1 (y1 - y0)) (color i) i a);
+            stack := !stack +. a
+          end
+        done
+      end
+    done;
+    (* frame: capacity line and axis labels *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#c00\" stroke-dasharray=\"4 3\"/><text x=\"4\" y=\"%d\" fill=\"#c00\">P=%g</text>\n"
+         margin_left (y_of procs) (margin_left + plot_w) (y_of procs) (y_of procs + 4) procs);
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333\">0</text>\n" margin_left (height - 6));
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333\" text-anchor=\"end\">%.3f</text>\n"
+         (margin_left + plot_w) (height - 6) horizon);
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,22 @@
+(** Schedule rendering: ASCII Gantt charts for terminals, SVG for
+    reports (the library's analogue of the paper's Figures 2–7). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** The letter used for task [t] (['A' + t mod 26]). *)
+  val task_letter : int -> char
+
+  (** ASCII Gantt: one row per processor, ['.'] = idle. *)
+  val gantt_to_ascii : ?width:int -> Types.Make(F).gantt -> string
+
+  (** ASCII column profile: interval, ending task and allocations per
+      column. *)
+  val columns_to_ascii : Types.Make(F).column_schedule -> string
+
+  (** SVG Gantt chart (one lane per processor, tooltips on
+      bookings). *)
+  val gantt_to_svg : ?width:int -> ?lane_height:int -> Types.Make(F).gantt -> string
+
+  (** SVG stacked-band view of a column schedule, with the capacity
+      line. *)
+  val columns_to_svg : ?width:int -> ?height:int -> Types.Make(F).column_schedule -> string
+end

@@ -1,0 +1,177 @@
+(** Column-based fractional schedules (MWCT-CB-F, Definition 2):
+    accessors, the weighted-completion-time objective, and a full
+    validity checker used pervasively in tests.
+
+    The validity conditions are exactly those of Definition 2:
+    non-decreasing column ends, per-column capacity [Σ_i d_{i,j} <= P],
+    per-task caps [d_{i,j} <= δ_i], volume conservation
+    [Σ_j d_{i,j}·l_j = V_i], and no allocation after a task's own
+    completion column. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module O = Mwct_field.Field.Ops (F)
+  open T
+
+  (** Number of columns (= number of tasks). *)
+  let num_columns (s : column_schedule) = Array.length s.finish
+
+  (** [column_start s j] is the left edge of column [j]. *)
+  let column_start (s : column_schedule) j = if j = 0 then F.zero else s.finish.(j - 1)
+
+  (** [column_length s j] is [l_j = C_j - C_{j-1}]; may be zero when two
+      tasks complete simultaneously. *)
+  let column_length (s : column_schedule) j = F.sub s.finish.(j) (column_start s j)
+
+  (** [position s i] is the column at whose end task [i] completes. *)
+  let position (s : column_schedule) i =
+    let rec go j =
+      if j >= Array.length s.order then invalid_arg "Schedule.position: task not in order"
+      else if s.order.(j) = i then j
+      else go (j + 1)
+    in
+    go 0
+
+  (** Completion time [C_i] of task [i]. *)
+  let completion_time (s : column_schedule) i = s.finish.(position s i)
+
+  (** All completion times, indexed by task. *)
+  let completion_times (s : column_schedule) =
+    let n = num_columns s in
+    let c = Array.make n F.zero in
+    Array.iteri (fun j i -> c.(i) <- s.finish.(j)) s.order;
+    c
+
+  (** The paper's objective [Σ w_i C_i]. *)
+  let weighted_completion_time (s : column_schedule) =
+    let c = completion_times s in
+    O.sum_up_to (Array.length c) (fun i -> F.mul s.instance.tasks.(i).weight c.(i))
+
+  (** Unweighted [Σ C_i]. *)
+  let sum_completion_time (s : column_schedule) =
+    O.sum_array (completion_times s)
+
+  (** Makespan [max C_i]. *)
+  let makespan (s : column_schedule) =
+    let n = num_columns s in
+    if n = 0 then F.zero else s.finish.(n - 1)
+
+  (** Volume processed for task [i] (should equal [V_i]). *)
+  let processed_volume (s : column_schedule) i =
+    O.sum_up_to (num_columns s) (fun j -> F.mul s.alloc.(i).(j) (column_length s j))
+
+  (** Total allocated area [Σ_i Σ_j d_{i,j}·l_j] (equals [Σ V_i] in a
+      valid schedule). *)
+  let total_area (s : column_schedule) =
+    O.sum_up_to (num_columns s) (fun j ->
+        let len = column_length s j in
+        O.sum_up_to (num_columns s) (fun i -> F.mul s.alloc.(i).(j) len))
+
+  (** Fraction of the [P × makespan] rectangle that is busy. *)
+  let utilization (s : column_schedule) =
+    let span = makespan s in
+    if F.sign span <= 0 then F.zero else F.div (total_area s) (F.mul s.instance.procs span)
+
+  (** Idle processor-time up to the makespan. *)
+  let idle_area (s : column_schedule) =
+    F.sub (F.mul s.instance.procs (makespan s)) (total_area s)
+
+  type violation =
+    | Bad_shape of string
+    | Not_sorted of int  (** column whose end precedes its start *)
+    | Negative_alloc of int * int
+    | Over_delta of int * int
+    | Over_capacity of int
+    | Late_alloc of int * int  (** allocation after the task's completion column *)
+    | Volume_mismatch of int
+
+  let violation_to_string = function
+    | Bad_shape m -> "bad shape: " ^ m
+    | Not_sorted j -> Printf.sprintf "column %d ends before it starts" j
+    | Negative_alloc (i, j) -> Printf.sprintf "task %d has negative allocation in column %d" i j
+    | Over_delta (i, j) -> Printf.sprintf "task %d exceeds its delta in column %d" i j
+    | Over_capacity j -> Printf.sprintf "column %d exceeds P processors" j
+    | Late_alloc (i, j) -> Printf.sprintf "task %d allocated in column %d after its completion" i j
+    | Volume_mismatch i -> Printf.sprintf "task %d volume mismatch" i
+
+  (** Full validity check. With [~exact:true] every comparison is
+      strict; otherwise the field's approximate comparisons are used
+      (needed for the float engine). *)
+  let check ?(exact = false) (s : column_schedule) : (unit, violation) result =
+    let le a b = if exact then F.compare a b <= 0 else F.leq_approx a b in
+    let eq a b = if exact then F.equal a b else F.equal_approx a b in
+    let n = I.num_tasks s.instance in
+    let exception Bad of violation in
+    try
+      if Array.length s.order <> n then raise (Bad (Bad_shape "order length"));
+      if Array.length s.finish <> n then raise (Bad (Bad_shape "finish length"));
+      if Array.length s.alloc <> n then raise (Bad (Bad_shape "alloc rows"));
+      Array.iter (fun row -> if Array.length row <> n then raise (Bad (Bad_shape "alloc cols"))) s.alloc;
+      (* order must be a permutation *)
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then raise (Bad (Bad_shape "order not a permutation"));
+          seen.(i) <- true)
+        s.order;
+      (* columns sorted, starting at or after 0 *)
+      for j = 0 to n - 1 do
+        if not (le (column_start s j) s.finish.(j)) then raise (Bad (Not_sorted j))
+      done;
+      (* per-column constraints *)
+      let positions = Array.make n 0 in
+      Array.iteri (fun j i -> positions.(i) <- j) s.order;
+      for j = 0 to n - 1 do
+        let col_total = ref F.zero in
+        for i = 0 to n - 1 do
+          let a = s.alloc.(i).(j) in
+          if not (le F.zero a) then raise (Bad (Negative_alloc (i, j)));
+          if not (le a (I.effective_delta s.instance i)) then raise (Bad (Over_delta (i, j)));
+          if j > positions.(i) && F.sign a > 0 && not (eq a F.zero) then raise (Bad (Late_alloc (i, j)));
+          col_total := F.add !col_total a
+        done;
+        (* A zero-length column carries no work; its allocations are
+           irrelevant but we still bound them for hygiene. *)
+        if not (le !col_total s.instance.procs) then raise (Bad (Over_capacity j))
+      done;
+      (* volume conservation *)
+      for i = 0 to n - 1 do
+        if not (eq (processed_volume s i) s.instance.tasks.(i).volume) then raise (Bad (Volume_mismatch i))
+      done;
+      Ok ()
+    with Bad v -> Error v
+
+  (** [is_valid s] is [check] collapsed to a boolean. *)
+  let is_valid ?exact s = match check ?exact s with Ok () -> true | Error _ -> false
+
+  (** Sort order for building schedules: sorts task indices by target
+      completion time, ties broken by index for determinism. *)
+  let sorted_order (times : num array) : int array =
+    let idx = Array.init (Array.length times) (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = F.compare times.(a) times.(b) in
+        if c <> 0 then c else Stdlib.compare a b)
+      idx;
+    idx
+
+  (** Render a compact per-column allocation table (tests, demos). *)
+  let to_string (s : column_schedule) =
+    let n = num_columns s in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "columns:";
+    for j = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf " [%s..%s]->T%d" (F.to_string (column_start s j)) (F.to_string s.finish.(j)) s.order.(j))
+    done;
+    Buffer.add_char buf '\n';
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "T%d:" i);
+      for j = 0 to n - 1 do
+        Buffer.add_string buf (" " ^ F.to_string s.alloc.(i).(j))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+end

@@ -1,0 +1,71 @@
+(** Column-based fractional schedules (MWCT-CB-F, Definition 2):
+    accessors, objectives, and the full validity checker. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Number of columns (one per task). *)
+  val num_columns : Types.Make(F).column_schedule -> int
+
+  (** Left edge of column [j] ([0] for the first column). *)
+  val column_start : Types.Make(F).column_schedule -> int -> F.t
+
+  (** Duration [l_j = C_j − C_{j−1}]; zero for simultaneous
+      completions. *)
+  val column_length : Types.Make(F).column_schedule -> int -> F.t
+
+  (** Column at whose end task [i] completes. Raises
+      [Invalid_argument] if [i] is not in the order. *)
+  val position : Types.Make(F).column_schedule -> int -> int
+
+  (** Completion time [C_i]. *)
+  val completion_time : Types.Make(F).column_schedule -> int -> F.t
+
+  (** All completion times, indexed by task. *)
+  val completion_times : Types.Make(F).column_schedule -> F.t array
+
+  (** The paper's objective [Σ w_i C_i]. *)
+  val weighted_completion_time : Types.Make(F).column_schedule -> F.t
+
+  (** Unweighted [Σ C_i]. *)
+  val sum_completion_time : Types.Make(F).column_schedule -> F.t
+
+  (** Makespan [max C_i]. *)
+  val makespan : Types.Make(F).column_schedule -> F.t
+
+  (** Volume actually processed for task [i] (equals [V_i] in a valid
+      schedule). *)
+  val processed_volume : Types.Make(F).column_schedule -> int -> F.t
+
+  (** Total allocated area (equals [Σ V_i] in a valid schedule). *)
+  val total_area : Types.Make(F).column_schedule -> F.t
+
+  (** Busy fraction of the [P × makespan] rectangle, in [[0, 1]]. *)
+  val utilization : Types.Make(F).column_schedule -> F.t
+
+  (** Idle processor-time up to the makespan. *)
+  val idle_area : Types.Make(F).column_schedule -> F.t
+
+  (** First violated condition of Definition 2, if any. *)
+  type violation =
+    | Bad_shape of string
+    | Not_sorted of int
+    | Negative_alloc of int * int
+    | Over_delta of int * int
+    | Over_capacity of int
+    | Late_alloc of int * int
+    | Volume_mismatch of int
+
+  val violation_to_string : violation -> string
+
+  (** Full validity check. [~exact:true] uses strict comparisons
+      (rational engine); the default tolerates the field's epsilon. *)
+  val check : ?exact:bool -> Types.Make(F).column_schedule -> (unit, violation) result
+
+  val is_valid : ?exact:bool -> Types.Make(F).column_schedule -> bool
+
+  (** Task indices sorted by target completion time (stable: ties by
+      index), the canonical completion order used by WF and friends. *)
+  val sorted_order : F.t array -> int array
+
+  (** Compact multi-line rendering (columns + allocation matrix). *)
+  val to_string : Types.Make(F).column_schedule -> string
+end

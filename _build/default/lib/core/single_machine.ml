@@ -1,0 +1,61 @@
+(** Polynomial special cases of Table I.
+
+    - [smith]: when every [δ_i = P] the malleable problem collapses to
+      weighted single-machine scheduling at speed [P]; Smith's rule
+      (non-decreasing [V_i/w_i]) is optimal [Smith 1956].
+    - [spt]: when every [δ_i = 1] and weights are equal, shortest
+      processing time first on [P] machines is optimal for [Σ C_i]
+      [McNaughton 1959 / conservation arguments]. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module Ord = Orderings.Make (F)
+  open T
+
+  (** Optimal [Σ w_i C_i] under the relaxation [δ_i = P]: run the tasks
+      back-to-back in Smith order at speed [P]. Returns the objective
+      and the completion times. This equals the squashed-area bound
+      [A(I)] by construction. *)
+  let smith (inst : instance) : F.t * F.t array =
+    let order = Ord.smith inst in
+    let n = I.num_tasks inst in
+    let c = Array.make n F.zero in
+    let t = ref F.zero in
+    Array.iter
+      (fun i ->
+        t := F.add !t (F.div inst.tasks.(i).volume inst.procs);
+        c.(i) <- !t)
+      order;
+    let obj = ref F.zero in
+    for i = 0 to n - 1 do
+      obj := F.add !obj (F.mul inst.tasks.(i).weight c.(i))
+    done;
+    (!obj, c)
+
+  (** Optimal [Σ C_i] under [δ_i = 1]: SPT list scheduling on the [P]
+      processors (no preemption needed). Returns the objective and the
+      completion times. Weights are ignored, as in the Table I row. *)
+  let spt (inst : instance) : F.t * F.t array =
+    let nb_procs =
+      match F.to_float inst.procs with
+      | p when Float.is_integer p && p >= 1. -> int_of_float p
+      | _ -> invalid_arg "Single_machine.spt: P must be an integer"
+    in
+    let order = Ord.shortest_volume inst in
+    let n = I.num_tasks inst in
+    let c = Array.make n F.zero in
+    let load = Array.make nb_procs F.zero in
+    Array.iter
+      (fun i ->
+        (* Next machine = the least loaded (SPT round-robin). *)
+        let best = ref 0 in
+        for m = 1 to nb_procs - 1 do
+          if F.compare load.(m) load.(!best) < 0 then best := m
+        done;
+        load.(!best) <- F.add load.(!best) inst.tasks.(i).volume;
+        c.(i) <- load.(!best))
+      order;
+    let obj = Array.fold_left F.add F.zero c in
+    (obj, c)
+end

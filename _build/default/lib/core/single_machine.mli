@@ -1,0 +1,15 @@
+(** Polynomial special cases of Table I: Smith's rule for [δ_i = P]
+    (weighted single-machine at speed [P]) and SPT on [P] machines for
+    [δ_i = 1] with equal weights. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Optimal [Σ w_i C_i] under the relaxation [δ_i = P]; returns
+      [(objective, completion times)]. Equals the squashed-area bound
+      [A(I)] by construction. *)
+  val smith : Types.Make(F).instance -> F.t * F.t array
+
+  (** Optimal [Σ C_i] under [δ_i = 1] (weights ignored): SPT list
+      scheduling. Raises [Invalid_argument] if [P] is not an
+      integer. *)
+  val spt : Types.Make(F).instance -> F.t * F.t array
+end

@@ -1,0 +1,42 @@
+type rat = { num : int; den : int }
+
+type task = { volume : rat; weight : rat; delta : int }
+type t = { procs : int; tasks : task array }
+
+let rat num den =
+  if den <= 0 then invalid_arg "Spec.rat: denominator must be positive";
+  { num; den }
+
+let rat_of_int n = { num = n; den = 1 }
+let task ?(weight = rat_of_int 1) ~volume ~delta () = { volume; weight; delta }
+let make ~procs tasks = { procs; tasks = Array.of_list tasks }
+let num_tasks t = Array.length t.tasks
+
+let validate t =
+  if t.procs < 1 then Error "procs must be >= 1"
+  else begin
+    let check i tk =
+      if tk.volume.num <= 0 || tk.volume.den <= 0 then Error (Printf.sprintf "task %d: volume must be positive" i)
+      else if tk.weight.num <= 0 || tk.weight.den <= 0 then
+        Error (Printf.sprintf "task %d: weight must be positive" i)
+      else if tk.delta < 1 then Error (Printf.sprintf "task %d: delta must be >= 1" i)
+      else Ok ()
+    in
+    let rec go i =
+      if i >= Array.length t.tasks then Ok ()
+      else begin
+        match check i t.tasks.(i) with Ok () -> go (i + 1) | Error _ as e -> e
+      end
+    in
+    go 0
+  end
+
+let rat_to_string r = if r.den = 1 then string_of_int r.num else Printf.sprintf "%d/%d" r.num r.den
+
+let to_string t =
+  let task_to_string tk =
+    Printf.sprintf "(V=%s w=%s d=%d)" (rat_to_string tk.volume) (rat_to_string tk.weight) tk.delta
+  in
+  Printf.sprintf "P=%d %s" t.procs (String.concat " " (Array.to_list (Array.map task_to_string t.tasks)))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,39 @@
+(** Field-neutral instance descriptions.
+
+    Generators and file formats produce specs with small integer
+    rationals; {!Instance.Make.of_spec} converts them into any field.
+    Using exact integer fractions (rather than floats) means the same
+    instance is represented {e identically} in the float engine and the
+    exact rational engine, so cross-engine comparisons are meaningful. *)
+
+(** An exact rational given by two machine integers, [den > 0]. *)
+type rat = { num : int; den : int }
+
+type task = {
+  volume : rat;  (** total work [V_i > 0] *)
+  weight : rat;  (** objective weight [w_i > 0] *)
+  delta : int;  (** parallelism cap [δ_i >= 1], in processors *)
+}
+
+type t = {
+  procs : int;  (** number of identical processors [P >= 1] *)
+  tasks : task array;
+}
+
+val rat : int -> int -> rat
+val rat_of_int : int -> rat
+
+(** [task ~volume ~weight ~delta] with [weight] defaulting to [1]. *)
+val task : ?weight:rat -> volume:rat -> delta:int -> unit -> task
+
+val make : procs:int -> task list -> t
+val num_tasks : t -> int
+
+(** Structural sanity: positive volumes, weights, deltas, procs.
+    Returns an error message for the first violation. *)
+val validate : t -> (unit, string) result
+
+(** One-line rendering, e.g. for experiment logs. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+(** Plain-text instance format, for the CLI and for sharing instances
+    between runs.
+
+    {v
+    # comments and blank lines are ignored
+    procs 4
+    task 6 3 4        # volume weight delta
+    task 1/2 1 1      # rationals as p/q
+    task 5/4 2/3 2
+    v}
+
+    Volumes and weights are rationals ([p] or [p/q]); [procs] and
+    [delta] are integers. *)
+
+let parse_rat s : (Spec.rat, string) result =
+  match String.index_opt s '/' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some n -> Ok (Spec.rat_of_int n)
+    | None -> Error (Printf.sprintf "not a number: %S" s))
+  | Some i -> (
+    let num = String.sub s 0 i and den = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt num, int_of_string_opt den) with
+    | Some n, Some d when d > 0 -> Ok (Spec.rat n d)
+    | _ -> Error (Printf.sprintf "not a rational: %S" s))
+
+let strip_comment line = match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let tokens line =
+  String.split_on_char ' ' (String.trim (strip_comment line)) |> List.filter (fun t -> t <> "")
+
+(** Parse an instance description. *)
+let of_string (text : string) : (Spec.t, string) result =
+  let lines = String.split_on_char '\n' text in
+  let procs = ref None in
+  let tasks = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if Option.is_none !error then begin
+        let fail msg = error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+        match tokens line with
+        | [] -> ()
+        | [ "procs"; p ] -> (
+          match int_of_string_opt p with
+          | Some p when p >= 1 -> procs := Some p
+          | _ -> fail "procs expects a positive integer")
+        | [ "task"; v; w; d ] -> (
+          match (parse_rat v, parse_rat w, int_of_string_opt d) with
+          | Ok volume, Ok weight, Some delta when delta >= 1 ->
+            tasks := Spec.task ~volume ~weight ~delta () :: !tasks
+          | Error e, _, _ | _, Error e, _ -> fail e
+          | _ -> fail "task expects: volume weight delta (delta a positive integer)")
+        | t :: _ -> fail (Printf.sprintf "unknown directive %S" t)
+      end)
+    lines;
+  match (!error, !procs) with
+  | Some e, _ -> Error e
+  | None, None -> Error "missing 'procs' line"
+  | None, Some procs -> (
+    let spec = Spec.make ~procs (List.rev !tasks) in
+    match Spec.validate spec with Ok () -> Ok spec | Error e -> Error e)
+
+(** Render an instance in the same format. *)
+let to_string (s : Spec.t) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "procs %d\n" s.Spec.procs);
+  Array.iter
+    (fun (t : Spec.task) ->
+      let rat (r : Spec.rat) = if r.Spec.den = 1 then string_of_int r.Spec.num else Printf.sprintf "%d/%d" r.Spec.num r.Spec.den in
+      Buffer.add_string buf (Printf.sprintf "task %s %s %d\n" (rat t.Spec.volume) (rat t.Spec.weight) t.Spec.delta))
+    s.Spec.tasks;
+  Buffer.contents buf
+
+(** Read an instance from a file. *)
+let load (path : string) : (Spec.t, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

@@ -1,0 +1,24 @@
+(** Plain-text instance format:
+
+    {v
+    # comments and blank lines are ignored
+    procs 4
+    task 6 3 4        # volume weight delta
+    task 1/2 1 1      # rationals as p/q
+    v}
+
+    Volumes and weights are rationals ([p] or [p/q]); [procs] and
+    [delta] are positive integers. *)
+
+(** Parse one rational token. *)
+val parse_rat : string -> (Spec.rat, string) result
+
+(** Parse a full instance description; the error carries the offending
+    line. The result is validated ({!Spec.validate}). *)
+val of_string : string -> (Spec.t, string) result
+
+(** Render in the same format (parse ∘ print is the identity). *)
+val to_string : Spec.t -> string
+
+(** Read an instance from a file. *)
+val load : string -> (Spec.t, string) result

@@ -1,0 +1,54 @@
+(** Shared concrete types of the scheduling core, as one applicative
+    functor over the field.
+
+    Every other module of [mwct_core] instantiates [Types.Make (F)]
+    internally; because OCaml functors are applicative, all instances
+    over the same field [F] share these types, which keeps the rest of
+    the library free of sharing constraints. Records are deliberately
+    concrete: a schedule is data, and downstream code (checkers,
+    pretty-printers, experiments) is expected to traverse it. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  type num = F.t
+
+  (** A malleable work-preserving task: volume [V_i], weight [w_i] and
+      parallelism cap [δ_i] (Definition 1 of the paper). [delta] is an
+      integer number of processors but is stored in the field because
+      the algorithms compare it with fractional allocations. *)
+  type task = { volume : num; weight : num; delta : num }
+
+  (** Problem instance [I = (P, (w_i), (V_i), (δ_i))]. *)
+  type instance = { procs : num; tasks : task array }
+
+  (** Column-based fractional schedule (Definition 2, MWCT-CB-F).
+
+      Column [j] (0-based) is the time interval
+      []finish.(j-1), finish.(j)]] (with [finish.(-1) = 0]);
+      [order.(j)] is the index of the task completing at the end of
+      column [j], so [finish] is non-decreasing. [alloc.(i).(j)] is the
+      constant (fractional) number of processors given to task [i]
+      during column [j]; it must be [0] for columns after the task's
+      own completion column. *)
+  type column_schedule = {
+    instance : instance;
+    order : int array;
+    finish : num array;
+    alloc : num array array;
+  }
+
+  (** A maximal interval [[start_time, end_time)] during which a task
+      occupies a constant integer number of processors. *)
+  type demand_segment = { start_time : num; end_time : num; procs : int }
+
+  (** Integer-allocation schedule: for each task, its demand profile as
+      consecutive segments (Theorem 3 output, before processors are
+      named). *)
+  type integer_schedule = { instance : instance; demands : demand_segment list array }
+
+  (** One booking of a named processor by a task. *)
+  type booking = { task : int; from_time : num; to_time : num }
+
+  (** Fully concrete Gantt chart: per-processor booking lists (sorted by
+      time), as built by {!Assignment}. *)
+  type gantt = { instance : instance; processors : booking list array }
+end

@@ -1,0 +1,141 @@
+(** Algorithm WF — the paper's normal form (Section IV, Algorithm 2).
+
+    Given an instance and a target completion time for every task, WF
+    rebuilds a valid column schedule if one exists (Theorem 8): tasks
+    are processed by non-decreasing completion time, and each is poured
+    like water over the columns it may use, subject to its cap [δ_i]
+    and to the current column heights. The resulting occupation is a
+    non-increasing function of time (Lemma 3), which tests verify.
+
+    The water level [h*] for a task solves
+    [Σ_k l_k · clamp(h* − h_k, 0, δ_i) = V_i]; we find it by an event
+    sweep over the sorted breakpoints [{h_k, h_k + δ_i}], so scheduling
+    each task costs [O(n log n)] and the whole normal form
+    [O(n² log n)] — the complexity improvement over Chen et al. that
+    Section IV discusses. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module S = Schedule.Make (F)
+  open T
+
+  (** Water level for one task: minimal [h <= cap] such that
+      [Σ l_k · clamp(h − h_k, 0, delta) >= v], or [None] when even
+      [h = cap] is not enough (up to the field's tolerance, in which
+      case [cap] is returned). Only the first [ncols] columns are
+      considered; zero-length columns are ignored. *)
+  let water_level ~heights ~lengths ~ncols ~delta ~cap v =
+    if F.sign v <= 0 then Some F.zero
+    else begin
+      (* Events: at level h_k the column k starts filling (+l_k); at
+         h_k + delta it saturates (-l_k). Levels beyond [cap] are cut. *)
+      let events = ref [] in
+      for k = 0 to ncols - 1 do
+        if F.sign lengths.(k) > 0 then begin
+          let h = heights.(k) in
+          if F.compare h cap < 0 then begin
+            events := (h, lengths.(k)) :: !events;
+            let top = F.add h delta in
+            if F.compare top cap < 0 then events := (top, F.neg lengths.(k)) :: !events
+          end
+        end
+      done;
+      let events = List.sort (fun (a, _) (b, _) -> F.compare a b) !events in
+      (* Sweep. [level]/[filled] track the current point of the
+         piecewise-linear function; [slope] its right derivative. *)
+      let rec sweep level filled slope = function
+        | [] ->
+          (* Last stretch reaches up to [cap]. *)
+          let at_cap = F.add filled (F.mul slope (F.sub cap level)) in
+          if F.compare filled v >= 0 then Some level
+          else if F.compare at_cap v >= 0 && F.sign slope > 0 then
+            Some (F.add level (F.div (F.sub v filled) slope))
+          else if F.leq_approx v at_cap then Some cap
+          else None
+        | (lv, dslope) :: rest ->
+          if F.compare filled v >= 0 then Some level
+          else begin
+            let gained = F.mul slope (F.sub lv level) in
+            let filled' = F.add filled gained in
+            if F.compare filled' v >= 0 && F.sign slope > 0 then
+              Some (F.add level (F.div (F.sub v filled) slope))
+            else sweep lv filled' (F.add slope dslope) rest
+          end
+      in
+      match events with
+      | [] -> if F.leq_approx v F.zero then Some F.zero else None
+      | (lv0, _) :: _ -> sweep lv0 F.zero F.zero events
+    end
+
+  (** [build inst times] runs Algorithm WF with target completion times
+      [times] (indexed by task). Returns the normal-form schedule, or
+      [Error k] where [k] is the first task (by completion order) that
+      cannot be allocated — the certificate of Theorem 8 that {e no}
+      valid schedule has these completion times. *)
+  let build (inst : instance) (times : num array) : (column_schedule, int) result =
+    let n = I.num_tasks inst in
+    if Array.length times <> n then invalid_arg "Water_filling.build: times length mismatch";
+    let order = S.sorted_order times in
+    let finish = Array.map (fun i -> times.(i)) order in
+    let lengths =
+      Array.init n (fun j -> if j = 0 then finish.(0) else F.sub finish.(j) (finish.(j - 1)))
+    in
+    let alloc = Array.make_matrix n n F.zero in
+    let heights = Array.make n F.zero in
+    let exception Fail of int in
+    try
+      for j = 0 to n - 1 do
+        let task_idx = order.(j) in
+        let delta = I.effective_delta inst task_idx in
+        let v = inst.tasks.(task_idx).volume in
+        match water_level ~heights ~lengths ~ncols:(j + 1) ~delta ~cap:inst.procs v with
+        | None -> raise (Fail task_idx)
+        | Some level ->
+          for k = 0 to j do
+            if F.sign lengths.(k) > 0 then begin
+              let room = F.sub level heights.(k) in
+              let a = F.max F.zero (F.min room delta) in
+              (* Drop negligible slivers (float level an epsilon above a
+                 column): they would register as spurious allocation
+                 changes. Exact fields are unaffected. *)
+              if F.sign a > 0 && not (F.equal_approx a F.zero) then begin
+                alloc.(task_idx).(k) <- a;
+                (* Unsaturated columns are leveled to exactly [level]:
+                   assigning it directly (rather than adding [a]) keeps
+                   merged columns bit-identical under floats, which
+                   later change-counting relies on. *)
+                if F.compare room delta <= 0 then heights.(k) <- level
+                else heights.(k) <- F.add heights.(k) a
+              end
+            end
+          done
+      done;
+      Ok { instance = inst; order; finish; alloc }
+    with Fail k -> Error k
+
+  (** Theorem 8 feasibility test: do the given completion times admit a
+      valid schedule? *)
+  let feasible inst times = match build inst times with Ok _ -> true | Error _ -> false
+
+  (** Normalization: rebuild any valid schedule in normal form from its
+      completion times alone (the paper's central construction). The
+      completion times — hence the objective — are preserved exactly. *)
+  let normalize (s : column_schedule) : column_schedule =
+    match build s.instance (S.completion_times s) with
+    | Ok s' -> s'
+    | Error k ->
+      (* Theorem 8: impossible for a valid input schedule. *)
+      invalid_arg (Printf.sprintf "Water_filling.normalize: input schedule invalid (task %d)" k)
+
+  (** Column heights of a schedule (occupied processors per column),
+      used to check Lemma 3 (non-increasing occupation). *)
+  let column_heights (s : column_schedule) : num array =
+    let n = Array.length s.finish in
+    Array.init n (fun j ->
+        let total = ref F.zero in
+        for i = 0 to n - 1 do
+          total := F.add !total s.alloc.(i).(j)
+        done;
+        !total)
+end

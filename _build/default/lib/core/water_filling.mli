@@ -1,0 +1,40 @@
+(** Algorithm WF — the paper's normal form (Section IV, Algorithm 2,
+    Theorem 8).
+
+    Rebuilds a valid column schedule from target completion times
+    alone, by pouring each task (in completion order) like water over
+    its admissible columns, subject to its cap [δ_i]. Succeeds exactly
+    when {e some} valid schedule has the given completion times. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Water level for one task: minimal [h <= cap] with
+      [Σ_k l_k·clamp(h − h_k, 0, delta) >= v], or [None] when even
+      [h = cap] is insufficient (beyond the field tolerance). Exposed
+      for white-box tests. *)
+  val water_level :
+    heights:F.t array ->
+    lengths:F.t array ->
+    ncols:int ->
+    delta:F.t ->
+    cap:F.t ->
+    F.t ->
+    F.t option
+
+  (** [build inst times] runs WF. [Error k] identifies the first task
+      (by completion order) that cannot be allocated — Theorem 8's
+      certificate that the times are infeasible. *)
+  val build :
+    Types.Make(F).instance -> F.t array -> (Types.Make(F).column_schedule, int) result
+
+  (** Theorem 8 feasibility predicate. *)
+  val feasible : Types.Make(F).instance -> F.t array -> bool
+
+  (** Rebuild a valid schedule in normal form from its own completion
+      times; preserves the objective. Raises [Invalid_argument] when
+      the input schedule is itself invalid. *)
+  val normalize : Types.Make(F).column_schedule -> Types.Make(F).column_schedule
+
+  (** Occupied processors per column; non-increasing across
+      positive-length columns for WF outputs (Lemma 3). *)
+  val column_heights : Types.Make(F).column_schedule -> F.t array
+end

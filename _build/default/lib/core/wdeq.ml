@@ -1,0 +1,126 @@
+(** WDEQ — Weighted Dynamic EQuipartition (Algorithm 1, Section III).
+
+    The non-clairvoyant policy: at every instant the platform is shared
+    between alive tasks in proportion to their weights; a task whose
+    proportional share exceeds its cap [δ_i] is clipped to [δ_i] and
+    the surplus redistributed among the others, repeatedly, until a
+    fixpoint. Shares are recomputed whenever a task completes.
+
+    The module {e simulates} the policy on a clairvoyant instance
+    (volumes are used only to find the next completion event, exactly
+    as a real execution would reveal it) and records the diagnostics
+    needed to check Lemma 2's bound
+    [TC_WD(I) <= 2·(A(I[VF̄]) + H(I[VF]))]. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module S = Schedule.Make (F)
+  open T
+
+  (** Per-run diagnostics: for each task, the volume it processed while
+      running at its full allocation [δ_i] ([full_volume], the paper's
+      [VF_i]) and while limited by equipartition ([limited_volume], the
+      paper's [VF̄_i]). The two sum to [V_i]. *)
+  type diagnostics = { full_volume : F.t array; limited_volume : F.t array }
+
+  (** One round of Algorithm 1: shares for the alive tasks.
+      [alive] gives (index, weight, delta); the result maps each alive
+      index to its share. Total shares never exceed [p]. *)
+  let shares ~p alive : (int * F.t) list =
+    (* Iteratively saturate tasks whose fair share exceeds delta. *)
+    let rec go unsat saturated r w =
+      (* r = remaining processors, w = remaining weight. *)
+      let violating, rest =
+        List.partition (fun (_, wi, di) -> F.compare (F.mul di w) (F.mul wi r) < 0) unsat
+      in
+      match violating with
+      | [] ->
+        let give =
+          List.map (fun (i, wi, _) -> (i, if F.sign w > 0 then F.div (F.mul wi r) w else F.zero)) rest
+        in
+        saturated @ give
+      | _ ->
+        let r' = List.fold_left (fun acc (_, _, di) -> F.sub acc di) r violating in
+        let w' = List.fold_left (fun acc (_, wi, _) -> F.sub acc wi) w violating in
+        go rest (List.map (fun (i, _, di) -> (i, di)) violating @ saturated) r' w'
+    in
+    let w0 = List.fold_left (fun acc (_, wi, _) -> F.add acc wi) F.zero alive in
+    go alive [] p w0
+
+  (** Simulate a dynamic-equipartition run. [use_weights = false] gives
+      plain DEQ (Deng et al.), the unweighted special case. *)
+  let simulate ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
+    let n = I.num_tasks inst in
+    let remaining = Array.map (fun t -> t.volume) inst.tasks in
+    let alive = Array.make n true in
+    let full_volume = Array.make n F.zero in
+    let limited_volume = Array.make n F.zero in
+    let order = Array.make n 0 in
+    let finish = Array.make n F.zero in
+    let alloc = Array.make_matrix n n F.zero in
+    let t_now = ref F.zero in
+    let col = ref 0 in
+    while !col < n do
+      let alive_list =
+        List.filter_map
+          (fun i ->
+            if alive.(i) then
+              Some (i, (if use_weights then inst.tasks.(i).weight else F.one), I.effective_delta inst i)
+            else None)
+          (List.init n (fun i -> i))
+      in
+      let share_list = shares ~p:inst.procs alive_list in
+      (* Time to the next completion. *)
+      let dt =
+        List.fold_left
+          (fun acc (i, s) ->
+            if F.sign s > 0 then begin
+              let ti = F.div remaining.(i) s in
+              match acc with None -> Some ti | Some a -> Some (F.min a ti)
+            end
+            else acc)
+          None share_list
+      in
+      let dt = match dt with Some d -> d | None -> invalid_arg "Wdeq.simulate: no task can progress" in
+      let t_end = F.add !t_now dt in
+      (* Record the column's allocations and advance volumes. *)
+      let deltas = Array.map (fun _ -> F.zero) remaining in
+      List.iter (fun (i, s) -> deltas.(i) <- s) share_list;
+      let finished = ref [] in
+      List.iter
+        (fun (i, s) ->
+          let processed = F.mul s dt in
+          remaining.(i) <- F.sub remaining.(i) processed;
+          let saturated = F.equal_approx s (I.effective_delta inst i) in
+          if saturated then full_volume.(i) <- F.add full_volume.(i) processed
+          else limited_volume.(i) <- F.add limited_volume.(i) processed;
+          if F.leq_approx remaining.(i) F.zero then finished := i :: !finished)
+        share_list;
+      let finished = List.sort Stdlib.compare !finished in
+      (match finished with
+      | [] -> invalid_arg "Wdeq.simulate: no completion at event (numeric drift)"
+      | _ -> ());
+      (* One column per completed task: the first carries the duration,
+         simultaneous completions give zero-length columns. *)
+      List.iteri
+        (fun k i ->
+          let j = !col + k in
+          order.(j) <- i;
+          finish.(j) <- t_end;
+          alive.(i) <- false;
+          if k = 0 then Array.iteri (fun i' s -> alloc.(i').(j) <- s) deltas)
+        finished;
+      col := !col + List.length finished;
+      t_now := t_end
+    done;
+    ({ instance = inst; order; finish; alloc }, { full_volume; limited_volume })
+
+  (** WDEQ schedule of an instance. *)
+  let wdeq inst = simulate ~use_weights:true inst
+
+  (** DEQ (unweighted dynamic equipartition) on the same instance; the
+      schedule ignores weights but the objective can still be evaluated
+      with them. *)
+  let deq inst = simulate ~use_weights:false inst
+end

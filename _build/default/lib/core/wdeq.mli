@@ -1,0 +1,32 @@
+(** WDEQ — Weighted Dynamic EQuipartition (Algorithm 1, Section III),
+    the paper's non-clairvoyant 2-approximation (Theorem 4), simulated
+    on clairvoyant instances (volumes are used only to locate the next
+    completion event). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Per-run diagnostics for the Lemma 2 bound: volume processed at
+      full allocation ([full_volume], the paper's [VF]) and volume
+      processed while limited by equipartition ([limited_volume],
+      [VF̄]); the two sum to [V_i]. *)
+  type diagnostics = { full_volume : F.t array; limited_volume : F.t array }
+
+  (** One round of Algorithm 1: shares for the alive tasks, given
+      [(index, weight, delta)] triples. Total shares never exceed
+      [p]. *)
+  val shares : p:F.t -> (int * F.t * F.t) list -> (int * F.t) list
+
+  (** Simulate a dynamic-equipartition run to completion.
+      [~use_weights:false] gives DEQ (the unweighted policy of Deng et
+      al.). *)
+  val simulate :
+    ?use_weights:bool ->
+    Types.Make(F).instance ->
+    Types.Make(F).column_schedule * diagnostics
+
+  (** WDEQ (weighted shares). *)
+  val wdeq : Types.Make(F).instance -> Types.Make(F).column_schedule * diagnostics
+
+  (** DEQ: unweighted shares; the objective can still be evaluated with
+      the instance's weights. *)
+  val deq : Types.Make(F).instance -> Types.Make(F).column_schedule * diagnostics
+end

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Experiments_scale Float List Mwct_core Mwct_rational Mwct_util Mwct_workload Printf Sys

@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Experiments_scale Mwct_util

@@ -1,0 +1,1 @@
+lib/experiments/kk_family.ml: Array Experiments_scale Float List Mwct_core Mwct_util Printf String

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Experiments_scale List Mwct_core Mwct_util Mwct_workload Printf

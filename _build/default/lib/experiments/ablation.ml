@@ -1,0 +1,116 @@
+(** Ablation studies (E12) for the design choices DESIGN.md calls out.
+
+    - {b Assignment}: Theorem 10 rests on the Lemma-10 "sticky"
+      processor assignment. Ablating it — counting preemptions directly
+      on the per-column wrap Gantt, where processors are re-dealt every
+      column — shows how much the assignment buys.
+    - {b Engine}: the same algorithms run on floats and on exact
+      rationals; the ablation measures the cost of exactness (and
+      checks the results agree). *)
+
+module EF = Mwct_core.Engine.Float
+module EQ = Mwct_core.Engine.Exact
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+module Q = Mwct_rational.Rational
+module Tablefmt = Mwct_util.Tablefmt
+
+(* Preemptions counted directly on a gantt (bookings that end before
+   their task completes) — used on the raw wrap output. *)
+let gantt_preemptions (g : EF.Types.gantt) : int = EF.Assignment.preemptions g
+
+let assignment_table scale =
+  let per_size = match scale with Experiments_scale.Quick -> 25 | Full -> 200 in
+  let t =
+    Tablefmt.create
+      ~title:"E12a / ablation: preemptions of the raw per-column wrap vs the Lemma-10 sticky assignment"
+      [ "tasks"; "procs"; "wrap mean"; "wrap max"; "sticky mean"; "sticky max"; "bound 3n" ]
+  in
+  Tablefmt.set_align t (List.init 7 (fun _ -> Tablefmt.Right));
+  List.iter
+    (fun (n, procs) ->
+      let rng = Rng.create (12_000 + n) in
+      let wrap_tot = ref 0 and wrap_max = ref 0 in
+      let stick_tot = ref 0 and stick_max = ref 0 in
+      for _ = 1 to per_size do
+        let spec = G.uniform (Rng.split rng) ~procs ~n () in
+        let inst = EF.Instance.of_spec spec in
+        let sigma = EF.Orderings.random (Rng.split rng) n in
+        let s = EF.Water_filling.normalize (EF.Greedy.run inst sigma) in
+        let is, wrap_gantt = EF.Integerize.of_columns s in
+        let wrap_p = gantt_preemptions wrap_gantt in
+        let stick_p = EF.Assignment.preemptions (EF.Assignment.assign is) in
+        wrap_tot := !wrap_tot + wrap_p;
+        wrap_max := max !wrap_max wrap_p;
+        stick_tot := !stick_tot + stick_p;
+        stick_max := max !stick_max stick_p
+      done;
+      let mean x = float_of_int x /. float_of_int per_size in
+      Tablefmt.add_row t
+        [
+          string_of_int n;
+          string_of_int procs;
+          Printf.sprintf "%.1f" (mean !wrap_tot);
+          string_of_int !wrap_max;
+          Printf.sprintf "%.1f" (mean !stick_tot);
+          string_of_int !stick_max;
+          string_of_int (3 * n);
+        ])
+    [ (5, 4); (10, 8); (20, 16) ];
+  t
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let engine_table scale =
+  let reps = match scale with Experiments_scale.Quick -> 5 | Full -> 30 in
+  let t =
+    Tablefmt.create ~title:"E12b / ablation: float engine vs exact rational engine (same instances)"
+      [ "kernel"; "n"; "float (ms/run)"; "exact (ms/run)"; "slowdown"; "results agree" ]
+  in
+  Tablefmt.set_align t [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Left ];
+  let row label n frun qrun =
+    (* Warm up once to factor allocation of the instance out. *)
+    let vf, tf =
+      time (fun () ->
+          let v = ref 0. in
+          for _ = 1 to reps do
+            v := frun ()
+          done;
+          !v)
+    in
+    let vq, tq =
+      time (fun () ->
+          let v = ref Q.zero in
+          for _ = 1 to reps do
+            v := qrun ()
+          done;
+          !v)
+    in
+    let agree = Float.abs (vf -. Q.to_float vq) < 1e-6 in
+    Tablefmt.add_row t
+      [
+        label;
+        string_of_int n;
+        Printf.sprintf "%.3f" (tf /. float_of_int reps *. 1000.);
+        Printf.sprintf "%.3f" (tq /. float_of_int reps *. 1000.);
+        Printf.sprintf "%.0fx" (tq /. Float.max 1e-9 tf);
+        string_of_bool agree;
+      ]
+  in
+  let n = 30 in
+  let spec = G.uniform (Rng.create 12_345) ~procs:8 ~n () in
+  let fi = EF.Instance.of_spec spec and qi = EQ.Instance.of_spec spec in
+  let sigma = Array.init n (fun i -> i) in
+  row "greedy objective" n
+    (fun () -> EF.Greedy.objective fi sigma)
+    (fun () -> EQ.Greedy.objective qi sigma);
+  row "wdeq objective" n
+    (fun () -> EF.Schedule.weighted_completion_time (fst (EF.Wdeq.wdeq fi)))
+    (fun () -> EQ.Schedule.weighted_completion_time (fst (EQ.Wdeq.wdeq qi)));
+  row "WF makespan schedule" n
+    (fun () -> EF.Schedule.makespan (EF.Makespan.schedule fi))
+    (fun () -> EQ.Schedule.makespan (EQ.Makespan.schedule qi));
+  t

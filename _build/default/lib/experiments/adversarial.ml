@@ -1,0 +1,161 @@
+(** Adversarial worst-case search (E11).
+
+    Random instances barely stress approximation guarantees (E1/E6 find
+    WDEQ below 1.4 where the proof allows 2). This module hunts for bad
+    instances by hill climbing on the instance attributes — the
+    standard empirical companion to worst-case analysis, and the
+    natural follow-up to the open questions of the paper's conclusion.
+
+    The search space is the dyadic grid of {!Mwct_workload.Generator}:
+    volumes and weights with denominator [den], integer deltas. A move
+    perturbs one attribute of one task; the score is
+    [algorithm(I) / OPT(I)] with OPT from the Corollary-1 LP. *)
+
+module EF = Mwct_core.Engine.Float
+module Spec = Mwct_core.Spec
+module Rng = Mwct_util.Rng
+module Tablefmt = Mwct_util.Tablefmt
+
+type target = {
+  label : string;
+  (* objective value of the algorithm under study *)
+  algo : EF.Types.instance -> float;
+  (* transform applied to candidate specs (e.g. force delta = 1) *)
+  project : Spec.t -> Spec.t;
+  (* the guarantee the paper states (for the table) *)
+  claim : string;
+  bound : float;
+  (* search geometry: LRF needs more tasks than processors to be
+     stressed at all, the LP enumeration caps n *)
+  procs : int;
+  n : int;
+}
+
+let objective = EF.Schedule.weighted_completion_time
+
+let wdeq_target =
+  {
+    label = "WDEQ vs OPT";
+    algo = (fun inst -> objective (fst (EF.Wdeq.wdeq inst)));
+    project = (fun s -> s);
+    claim = "<= 2 (Thm 4)";
+    bound = 2.;
+    procs = 4;
+    n = 4;
+  }
+
+let deq_unweighted_target =
+  {
+    label = "DEQ vs OPT (w = 1)";
+    algo = (fun inst -> objective (fst (EF.Wdeq.deq inst)));
+    project =
+      (fun s ->
+        Spec.make ~procs:s.Spec.procs
+          (Array.to_list (Array.map (fun (t : Spec.task) -> { t with Spec.weight = Spec.rat_of_int 1 }) s.Spec.tasks)));
+    claim = "<= 2 [13]";
+    bound = 2.;
+    procs = 4;
+    n = 4;
+  }
+
+let lrf_target =
+  {
+    label = "LRF vs OPT (delta = 1)";
+    algo = (fun inst -> objective (EF.Greedy.run inst (EF.Orderings.smith inst)));
+    project =
+      (fun s ->
+        Spec.make ~procs:s.Spec.procs
+          (Array.to_list (Array.map (fun (t : Spec.task) -> { t with Spec.delta = 1 }) s.Spec.tasks)));
+    claim = "<= (1+sqrt 2)/2 [17]";
+    bound = (1. +. sqrt 2.) /. 2.;
+    procs = 2;
+    n = 5;
+  }
+
+let best_greedy_target =
+  {
+    label = "best greedy vs OPT";
+    algo = (fun inst -> fst (EF.Lp_schedule.best_greedy inst));
+    project = (fun s -> s);
+    claim = "= 1 (Conjecture 12)";
+    bound = 1.;
+    procs = 4;
+    n = 5;
+  }
+
+let targets = [ wdeq_target; deq_unweighted_target; lrf_target; best_greedy_target ]
+
+let den = 16
+
+(* One random spec on the search grid. *)
+let random_spec rng ~procs ~n =
+  Mwct_workload.Generator.uniform rng ~procs ~n ~den ()
+
+(* Perturb one attribute of one task. *)
+let mutate rng (s : Spec.t) : Spec.t =
+  let tasks = Array.copy s.Spec.tasks in
+  let i = Rng.int rng (Array.length tasks) in
+  let t = tasks.(i) in
+  let bump (r : Spec.rat) =
+    let step = 1 + Rng.int rng 3 in
+    let num = if Rng.bool rng then r.Spec.num + step else Stdlib.max 1 (r.Spec.num - step) in
+    Spec.rat (Stdlib.min (2 * den) num) r.Spec.den
+  in
+  tasks.(i) <-
+    (match Rng.int rng 3 with
+    | 0 -> { t with Spec.volume = bump t.Spec.volume }
+    | 1 -> { t with Spec.weight = bump t.Spec.weight }
+    | _ ->
+      let d = t.Spec.delta + (if Rng.bool rng then 1 else -1) in
+      { t with Spec.delta = Stdlib.max 1 (Stdlib.min (s.Spec.procs - 1) d) });
+  Spec.make ~procs:s.Spec.procs (Array.to_list tasks)
+
+let score (target : target) (s : Spec.t) : float =
+  let s = target.project s in
+  let inst = EF.Instance.of_spec s in
+  let opt, _ = EF.Lp_schedule.optimal inst in
+  if opt <= 0. then 1. else target.algo inst /. opt
+
+(** Hill-climb [target] from [restarts] random starts. Returns the
+    best (ratio, spec) found. *)
+let hunt ~restarts ~steps (target : target) (seed : int) : float * Spec.t =
+  let rng = Rng.create seed in
+  let best_ratio = ref 0. and best_spec = ref None in
+  for _ = 1 to restarts do
+    let current = ref (random_spec (Rng.split rng) ~procs:target.procs ~n:target.n) in
+    let current_score = ref (score target !current) in
+    for _ = 1 to steps do
+      let cand = mutate rng !current in
+      let cand_score = score target cand in
+      if cand_score >= !current_score then begin
+        current := cand;
+        current_score := cand_score
+      end
+    done;
+    if !current_score > !best_ratio then begin
+      best_ratio := !current_score;
+      best_spec := Some !current
+    end
+  done;
+  match !best_spec with Some s -> (!best_ratio, s) | None -> assert false
+
+let table scale =
+  let restarts, steps = match scale with Experiments_scale.Quick -> (4, 40) | Full -> (20, 300) in
+  let t =
+    Tablefmt.create ~title:"E11 / adversarial search: worst ratios found by hill climbing"
+      [ "target"; "claimed bound"; "worst ratio found"; "witness instance" ]
+  in
+  Tablefmt.set_align t [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Left ];
+  List.iteri
+    (fun k target ->
+      let ratio, spec = hunt ~restarts ~steps target (11_000 + k) in
+      let ok = ratio <= target.bound +. 1e-6 in
+      Tablefmt.add_row t
+        [
+          target.label;
+          target.claim ^ (if ok then "" else " VIOLATED");
+          Printf.sprintf "%.4f" ratio;
+          Spec.to_string spec;
+        ])
+    targets;
+  t

@@ -1,0 +1,3 @@
+(** Shared experiment sizing: [Quick] keeps the whole battery around a
+    minute for bench runs; [Full] uses paper-scale sample counts. *)
+type t = Quick | Full

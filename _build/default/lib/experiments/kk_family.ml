@@ -1,0 +1,112 @@
+(** E13 — probing the Kawaguchi–Kyan bound (Table I's LRF row).
+
+    With [δ_i = 1] and [w_i = p_i] every job has the same Smith ratio,
+    so {e every} order is a valid LRF tie-break — the adversary picks
+    the worst one. By McNaughton's theorem preemption does not improve
+    [Σ w_i C_i] on identical machines, so the optimum is the best list
+    schedule; for [n <= 9] both extremes are exact by enumerating the
+    [n!] list orders.
+
+    A hill climb over the job sizes then searches for the instance
+    maximizing [worst-LRF / OPT]. The Kawaguchi–Kyan bound says this
+    ratio is below [(1+√2)/2 ≈ 1.2071] always; it is known to be
+    approached only asymptotically, so small-[n] values strictly below
+    it (but visibly above 1) are the expected, correct shape.
+
+    Amusingly, the "natural" tight-looking family — P long jobs plus
+    k·P unit jobs — has {e exactly} ratio 1 between its two extreme
+    orders: with [w = p] the objective of a list order equals that of
+    the reversed order (the same reversal symmetry as Conjecture 13).
+    The bad instances are asymmetric, which is what the search finds. *)
+
+module EF = Mwct_core.Engine.Float
+module Rng = Mwct_util.Rng
+module Tablefmt = Mwct_util.Tablefmt
+
+(* Objective of the list schedule of [sizes] (p = w, delta = 1) on [p]
+   machines, in the given order: each job goes to the least-loaded
+   machine. *)
+let list_objective ~procs (sizes : float array) (order : int array) : float =
+  let load = Array.make procs 0. in
+  let obj = ref 0. in
+  Array.iter
+    (fun i ->
+      let best = ref 0 in
+      for m = 1 to procs - 1 do
+        if load.(m) < load.(!best) then best := m
+      done;
+      load.(!best) <- load.(!best) +. sizes.(i);
+      obj := !obj +. (sizes.(i) *. load.(!best)))
+    order;
+  !obj
+
+(* (worst over orders, best over orders). *)
+let extremes ~procs (sizes : float array) : float * float =
+  let n = Array.length sizes in
+  let module O = EF.Orderings in
+  O.fold_permutations n
+    (fun (worst, best) order ->
+      let v = list_objective ~procs sizes order in
+      (Float.max worst v, Float.min best v))
+    (0., infinity)
+
+let ratio ~procs sizes =
+  let worst, best = extremes ~procs sizes in
+  if best <= 0. then 1. else worst /. best
+
+(* Hill climb on the dyadic size grid. *)
+let hunt ~procs ~n ~restarts ~steps seed =
+  let den = 8 in
+  let rng = Rng.create seed in
+  let random_sizes () = Array.init n (fun _ -> float_of_int (Rng.dyadic rng ~den) /. float_of_int den) in
+  let mutate sizes =
+    let s = Array.copy sizes in
+    let i = Rng.int rng n in
+    let bump = float_of_int (1 + Rng.int rng 3) /. float_of_int den in
+    s.(i) <- Float.max (1. /. float_of_int den) (if Rng.bool rng then s.(i) +. bump else s.(i) -. bump);
+    s
+  in
+  let best_ratio = ref 1. and best_sizes = ref (random_sizes ()) in
+  for _ = 1 to restarts do
+    let cur = ref (random_sizes ()) in
+    let cur_score = ref (ratio ~procs !cur) in
+    for _ = 1 to steps do
+      let cand = mutate !cur in
+      let score = ratio ~procs cand in
+      if score >= !cur_score then begin
+        cur := cand;
+        cur_score := score
+      end
+    done;
+    if !cur_score > !best_ratio then begin
+      best_ratio := !cur_score;
+      best_sizes := !cur
+    end
+  done;
+  (!best_ratio, !best_sizes)
+
+let table scale =
+  let restarts, steps, sizes_of_n =
+    match scale with
+    | Experiments_scale.Quick -> (6, 60, [ (2, 5); (2, 6); (3, 6); (3, 7) ])
+    | Full -> (10, 120, [ (2, 5); (2, 6); (2, 7); (3, 6); (3, 7); (3, 8); (4, 8) ])
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        "E13 / Kawaguchi-Kyan probe: worst LRF tie-break vs OPT on w=p, delta=1 instances (bound 1.20711)"
+      [ "P"; "n"; "worst ratio found"; "witness sizes" ]
+  in
+  Tablefmt.set_align t [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Left ];
+  List.iteri
+    (fun k (procs, n) ->
+      let r, sizes = hunt ~procs ~n ~restarts ~steps (13_000 + k) in
+      Tablefmt.add_row t
+        [
+          string_of_int procs;
+          string_of_int n;
+          Printf.sprintf "%.5f" r;
+          String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.3f") sizes));
+        ])
+    sizes_of_n;
+  t

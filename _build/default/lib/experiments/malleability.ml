@@ -1,0 +1,51 @@
+(** E15 — the value of malleability (a model ablation beyond the
+    paper).
+
+    The introduction motivates malleable tasks against weaker models;
+    this experiment quantifies the gap on random instances:
+    the exact malleable optimum (Corollary-1 LP) vs the best moldable
+    schedule found (fixed width per task, local search) vs two rigid
+    baselines (all-widths-δ and all-widths-1 list schedules).
+    Malleability can only help; the measured ratios say by how much. *)
+
+module EF = Mwct_core.Engine.Float
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+module Stats = Mwct_util.Stats
+module Tablefmt = Mwct_util.Tablefmt
+
+let table scale =
+  let count = match scale with Experiments_scale.Quick -> 60 | Full -> 400 in
+  let t =
+    Tablefmt.create
+      ~title:"E15 / value of malleability: objective ratios over the malleable optimum (LP)"
+      [ "tasks"; "procs"; "moldable best"; "rigid width=delta"; "rigid width=1" ]
+  in
+  Tablefmt.set_align t (List.init 5 (fun _ -> Tablefmt.Right));
+  List.iter
+    (fun (n, procs) ->
+      let rng = Rng.create (15_000 + n) in
+      let mold = ref [] and full = ref [] and one = ref [] in
+      for _ = 1 to count do
+        let spec = G.uniform (Rng.split rng) ~procs ~n () in
+        let inst = EF.Instance.of_spec spec in
+        let opt, _ = EF.Lp_schedule.optimal inst in
+        let order = EF.Orderings.smith inst in
+        mold := (EF.Moldable.best_heuristic inst /. opt) :: !mold;
+        full :=
+          (EF.Moldable.objective inst (EF.Moldable.schedule inst ~widths:(EF.Moldable.widths_full inst) ~order)
+          /. opt)
+          :: !full;
+        one :=
+          (EF.Moldable.objective inst (EF.Moldable.schedule inst ~widths:(EF.Moldable.widths_one inst) ~order)
+          /. opt)
+          :: !one
+      done;
+      let fmt l =
+        let s = Stats.summarize l in
+        Printf.sprintf "mean %.3f / max %.3f" s.Stats.mean s.Stats.max
+      in
+      Tablefmt.add_row t
+        [ string_of_int n; string_of_int procs; fmt !mold; fmt !full; fmt !one ])
+    [ (3, 4); (4, 4); (5, 6) ];
+  t

@@ -1,0 +1,56 @@
+(** E14 — the organ-pipe conjecture (a new observation, beyond the
+    paper).
+
+    The E3 survey shows the optimal greedy order on the Section V-B
+    class follows an organ-pipe pattern over the delta ranks
+    (1,3,5,…,6,4,2). This experiment quantifies it: how often is the
+    organ-pipe order {e exactly} optimal, and how much does it lose
+    when it is not? The paper proves the pattern for n <= 3 and
+    (modulo its typo) n = 4; for n >= 5 it itself notes the optimum
+    depends on the delta values, so the organ-pipe can only be a
+    heuristic — a very good one, as the numbers show. *)
+
+module EF = Mwct_core.Engine.Float
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+module Spec = Mwct_core.Spec
+module Tablefmt = Mwct_util.Tablefmt
+
+let table scale =
+  let draws = match scale with Experiments_scale.Quick -> 60 | Full -> 400 in
+  let t =
+    Tablefmt.create
+      ~title:"E14 / organ-pipe order on the homogeneous class: optimality rate and worst loss"
+      [ "tasks"; "draws"; "organ-pipe optimal"; "max relative loss"; "mean relative loss" ]
+  in
+  Tablefmt.set_align t (List.init 5 (fun _ -> Tablefmt.Right));
+  List.iter
+    (fun n ->
+      let rng = Rng.create (14_000 + n) in
+      let optimal = ref 0 in
+      let max_loss = ref 0. and total_loss = ref 0. in
+      for _ = 1 to draws do
+        let ds = G.homogeneous_deltas (Rng.split rng) ~n ~den:4096 () in
+        let deltas = Array.map (fun (r : Spec.rat) -> float_of_int r.Spec.num /. float_of_int r.Spec.den) ds in
+        let pipe = EF.Homogeneous.total deltas (EF.Homogeneous.organ_pipe deltas) in
+        let best = ref infinity in
+        EF.Orderings.fold_permutations n
+          (fun () order ->
+            let v = EF.Homogeneous.total deltas order in
+            if v < !best then best := v)
+          ();
+        let loss = (pipe -. !best) /. !best in
+        if loss <= 1e-9 then incr optimal;
+        if loss > !max_loss then max_loss := loss;
+        total_loss := !total_loss +. loss
+      done;
+      Tablefmt.add_row t
+        [
+          string_of_int n;
+          string_of_int draws;
+          Printf.sprintf "%d/%d" !optimal draws;
+          Printf.sprintf "%.2e" !max_loss;
+          Printf.sprintf "%.2e" (!total_loss /. float_of_int draws);
+        ])
+    [ 3; 4; 5; 6; 7 ];
+  t

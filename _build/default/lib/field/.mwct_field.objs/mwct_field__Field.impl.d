@@ -1,0 +1,1 @@
+lib/field/field.ml: Array Float Format List Stdlib

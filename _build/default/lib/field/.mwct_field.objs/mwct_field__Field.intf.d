@@ -1,0 +1,1 @@
+lib/field/field.mli: Format

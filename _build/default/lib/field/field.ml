@@ -1,0 +1,71 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_q : int -> int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val sign : t -> int
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+  val leq_approx : t -> t -> bool
+  val equal_approx : t -> t -> bool
+end
+
+module Ops (F : S) = struct
+  let ( + ) = F.add
+  let ( - ) = F.sub
+  let ( * ) = F.mul
+  let ( / ) = F.div
+  let ( ~- ) = F.neg
+  let ( = ) a b = F.equal a b
+  let ( < ) a b = F.compare a b < 0
+  let ( <= ) a b = F.compare a b <= 0
+  let ( > ) a b = F.compare a b > 0
+  let ( >= ) a b = F.compare a b >= 0
+  let ( <> ) a b = not (F.equal a b)
+  let sum l = List.fold_left F.add F.zero l
+
+  let sum_up_to n f =
+    let rec go acc i = if Stdlib.( >= ) i n then acc else go (F.add acc (f i)) (Stdlib.( + ) i 1) in
+    go F.zero 0
+
+  let sum_array a = Array.fold_left F.add F.zero a
+end
+
+module Float_field = struct
+  type t = float
+
+  let epsilon = 1e-9
+  let zero = 0.
+  let one = 1.
+  let of_int = float_of_int
+  let of_q n d = if d = 0 then raise Division_by_zero else float_of_int n /. float_of_int d
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div a b = if b = 0. then raise Division_by_zero else a /. b
+  let neg = Stdlib.( ~-. )
+  let abs = Float.abs
+  let compare = Float.compare
+  let equal = Float.equal
+  let sign x = if x > 0. then 1 else if x < 0. then -1 else 0
+  let min = Float.min
+  let max = Float.max
+  let to_float x = x
+  let to_string = string_of_float
+  let pp fmt x = Format.fprintf fmt "%g" x
+  let leq_approx a b = a <= b +. epsilon
+  let equal_approx a b = Float.abs (a -. b) <= epsilon
+end

@@ -1,0 +1,1 @@
+lib/ncv/policy.ml: List Mwct_field Stdlib

@@ -1,0 +1,1 @@
+lib/ncv/policy.mli: Mwct_field

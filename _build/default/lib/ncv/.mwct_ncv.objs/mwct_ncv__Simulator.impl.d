@@ -1,0 +1,1 @@
+lib/ncv/simulator.ml: Array List Mwct_core Mwct_field Mwct_rational Policy Printf

@@ -1,0 +1,1 @@
+lib/ncv/simulator.mli: Mwct_core Mwct_field Mwct_rational Policy

@@ -1,0 +1,86 @@
+(** Non-clairvoyant allocation policies.
+
+    A policy sees only what a real runtime would see: the set of
+    currently-alive tasks with their weights and caps — never the
+    remaining volumes. It returns a share (a fractional processor
+    count) per alive task; the simulator guarantees the shares are
+    clipped to the caps and to the total capacity before use, so a
+    policy returning slightly-infeasible shares is still safe.
+
+    [Wdeq] is Algorithm 1 of the paper; [Deq] its unweighted special
+    case; [Equi] ignores caps in the fair share (then gets clipped) —
+    the classical equipartition; [Priority_weight] gives everything to
+    the heaviest alive tasks first (a greedy non-clairvoyant
+    heuristic). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  (** What a policy may observe about one alive task. *)
+  type view = { id : int; weight : F.t; cap : F.t }
+
+  type t = Wdeq | Deq | Equi | Priority_weight
+
+  let name = function
+    | Wdeq -> "wdeq"
+    | Deq -> "deq"
+    | Equi -> "equi"
+    | Priority_weight -> "priority-weight"
+
+  let all = [ Wdeq; Deq; Equi; Priority_weight ]
+
+  (* Weighted water-filling fixpoint (Algorithm 1): saturate tasks whose
+     proportional share exceeds their cap, redistribute, repeat. *)
+  let rec wdeq_shares remaining_p remaining_w saturated = function
+    | [] -> saturated
+    | unsat ->
+      let violating, rest =
+        List.partition (fun v -> F.compare (F.mul v.cap remaining_w) (F.mul v.weight remaining_p) < 0) unsat
+      in
+      (match violating with
+      | [] ->
+        saturated
+        @ List.map
+            (fun v ->
+              (v.id, if F.sign remaining_w > 0 then F.div (F.mul v.weight remaining_p) remaining_w else F.zero))
+            rest
+      | _ ->
+        let p' = List.fold_left (fun acc v -> F.sub acc v.cap) remaining_p violating in
+        let w' = List.fold_left (fun acc v -> F.sub acc v.weight) remaining_w violating in
+        wdeq_shares p' w' (List.map (fun v -> (v.id, v.cap)) violating @ saturated) rest)
+
+  (** [shares policy ~capacity views] — the allocation for this
+      instant. Always returns every alive id exactly once, with
+      non-negative shares summing to at most [capacity]. *)
+  let shares (policy : t) ~(capacity : F.t) (views : view list) : (int * F.t) list =
+    match views with
+    | [] -> []
+    | _ -> (
+      match policy with
+      | Wdeq ->
+        let w0 = List.fold_left (fun acc v -> F.add acc v.weight) F.zero views in
+        wdeq_shares capacity w0 [] views
+      | Deq ->
+        let unw = List.map (fun v -> { v with weight = F.one }) views in
+        let w0 = F.of_int (List.length views) in
+        wdeq_shares capacity w0 [] unw
+      | Equi ->
+        (* Plain 1/n share clipped to the cap; surplus is wasted (the
+           point of comparing against DEQ). *)
+        let fair = F.div capacity (F.of_int (List.length views)) in
+        List.map (fun v -> (v.id, F.min fair v.cap)) views
+      | Priority_weight ->
+        (* Heaviest first, each up to its cap, until capacity runs out. *)
+        let sorted =
+          List.sort (fun a b ->
+              let c = F.compare b.weight a.weight in
+              if c <> 0 then c else Stdlib.compare a.id b.id)
+            views
+        in
+        let remaining = ref capacity in
+        List.map
+          (fun v ->
+            let give = F.min v.cap !remaining in
+            let give = F.max F.zero give in
+            remaining := F.sub !remaining give;
+            (v.id, give))
+          sorted)
+end

@@ -1,0 +1,23 @@
+(** Non-clairvoyant allocation policies: what a runtime that cannot see
+    remaining volumes can decide at each instant. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** What a policy observes about one alive task. *)
+  type view = { id : int; weight : F.t; cap : F.t }
+
+  (** [Wdeq] — Algorithm 1 of the paper (weighted equipartition with
+      cap clipping and surplus redistribution); [Deq] — its unweighted
+      special case; [Equi] — plain [P/n] clipped to the cap, surplus
+      wasted; [Priority_weight] — heaviest tasks first up to their
+      caps. *)
+  type t = Wdeq | Deq | Equi | Priority_weight
+
+  val name : t -> string
+
+  (** All policies, for sweeps. *)
+  val all : t list
+
+  (** [shares policy ~capacity views]: one share per alive id;
+      non-negative, within caps, summing to at most [capacity]. *)
+  val shares : t -> capacity:F.t -> view list -> (int * F.t) list
+end

@@ -1,0 +1,247 @@
+(** Event-driven non-clairvoyant simulator with task arrivals.
+
+    Generalizes {!Mwct_core.Engine.Make.Wdeq} (which assumes all tasks
+    present at time 0): tasks arrive at release dates; whenever a task
+    arrives or completes, the policy's shares are recomputed from the
+    alive set. Volumes are used by the simulator only to detect
+    completions — the policy never sees them, preserving
+    non-clairvoyance.
+
+    The output is an event trace plus per-task records; helpers compute
+    the paper's objective and convert the trace to segment form for
+    validity checking. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Mwct_core.Types.Make (F)
+  module I = Mwct_core.Instance.Make (F)
+  module P = Policy.Make (F)
+
+  type event = Arrival of int | Completion of int
+
+  type record = {
+    release : F.t;
+    completion : F.t;
+    (* Piecewise-constant rates: (from, to, share), chronological. *)
+    segments : (F.t * F.t * F.t) list;
+  }
+
+  type trace = {
+    instance : T.instance;
+    policy : P.t;
+    events : (F.t * event) list;  (** chronological *)
+    records : record array;
+  }
+
+  (** Simulate [policy] on [inst] with [releases] (defaults to all
+      zeros). Raises [Invalid_argument] if a task can never progress
+      (impossible for the provided policies: every alive task has a
+      positive weight and cap... except [Priority_weight], which can
+      starve tasks while heavier ones run — starvation resolves when
+      the heavy tasks finish, so progress is still guaranteed). *)
+  let run ?releases (inst : T.instance) (policy : P.t) : trace =
+    let n = I.num_tasks inst in
+    let releases = match releases with Some r -> r | None -> Array.make n F.zero in
+    if Array.length releases <> n then invalid_arg "Simulator.run: releases length mismatch";
+    let remaining = Array.map (fun (t : T.task) -> t.T.volume) inst.T.tasks in
+    let completed = Array.make n false in
+    let alive = Array.make n false in
+    let segments = Array.make n [] in
+    let completion = Array.make n F.zero in
+    let events = ref [] in
+    (* Pending arrivals sorted by release. *)
+    let pending =
+      List.sort
+        (fun a b -> F.compare releases.(a) releases.(b))
+        (List.init n (fun i -> i))
+      |> ref
+    in
+    let t_now = ref F.zero in
+    (* Pop arrivals due at or before now. *)
+    let admit_due () =
+      let rec go () =
+        match !pending with
+        | i :: rest when F.compare releases.(i) !t_now <= 0 ->
+          pending := rest;
+          alive.(i) <- true;
+          events := (releases.(i), Arrival i) :: !events;
+          go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    admit_due ();
+    let n_done = ref 0 in
+    let guard = ref 0 in
+    while !n_done < n do
+      incr guard;
+      if !guard > 4 * n + 16 then invalid_arg "Simulator.run: event-loop guard tripped (no progress)";
+      let views =
+        List.filter_map
+          (fun i ->
+            if alive.(i) then
+              Some { P.id = i; weight = inst.T.tasks.(i).T.weight; cap = I.effective_delta inst i }
+            else None)
+          (List.init n (fun i -> i))
+      in
+      let share_list = P.shares policy ~capacity:inst.T.procs views in
+      (* Next completion among alive tasks with positive shares. *)
+      let next_completion =
+        List.fold_left
+          (fun acc (i, s) ->
+            if F.sign s > 0 then begin
+              let eta = F.add !t_now (F.div remaining.(i) s) in
+              match acc with Some best when F.compare best eta <= 0 -> acc | _ -> Some eta
+            end
+            else acc)
+          None share_list
+      in
+      (* Next arrival. *)
+      let next_arrival = match !pending with [] -> None | i :: _ -> Some releases.(i) in
+      let t_next =
+        match (next_completion, next_arrival) with
+        | None, None -> invalid_arg "Simulator.run: deadlock (alive tasks but nothing can progress)"
+        | Some c, None -> c
+        | None, Some a -> a
+        | Some c, Some a -> F.min c a
+      in
+      let dt = F.sub t_next !t_now in
+      (* Advance everyone; record segments. *)
+      List.iter
+        (fun (i, s) ->
+          if F.sign s > 0 && F.sign dt > 0 then begin
+            segments.(i) <- (!t_now, t_next, s) :: segments.(i);
+            remaining.(i) <- F.sub remaining.(i) (F.mul s dt)
+          end)
+        share_list;
+      t_now := t_next;
+      (* Completions at t_next. *)
+      List.iter
+        (fun (i, s) ->
+          if F.sign s > 0 && F.leq_approx remaining.(i) F.zero && not completed.(i) then begin
+            completed.(i) <- true;
+            alive.(i) <- false;
+            completion.(i) <- !t_now;
+            incr n_done;
+            events := (!t_now, Completion i) :: !events
+          end)
+        share_list;
+      admit_due ()
+    done;
+    let records =
+      Array.init n (fun i ->
+          { release = releases.(i); completion = completion.(i); segments = List.rev segments.(i) })
+    in
+    { instance = inst; policy; events = List.rev !events; records }
+
+  (** The paper's objective on a trace. *)
+  let weighted_completion_time (tr : trace) : F.t =
+    let acc = ref F.zero in
+    Array.iteri
+      (fun i r -> acc := F.add !acc (F.mul tr.instance.T.tasks.(i).T.weight r.completion))
+      tr.records;
+    !acc
+
+  (** Weighted flow time [Σ w_i (C_i − r_i)] — the objective the
+      related-work row [14] targets. *)
+  let weighted_flow_time (tr : trace) : F.t =
+    let acc = ref F.zero in
+    Array.iteri
+      (fun i r ->
+        acc := F.add !acc (F.mul tr.instance.T.tasks.(i).T.weight (F.sub r.completion r.release)))
+      tr.records;
+    !acc
+
+  let makespan (tr : trace) : F.t =
+    Array.fold_left (fun acc r -> F.max acc r.completion) F.zero tr.records
+
+  (** Processed volume per task (should equal the instance volumes). *)
+  let processed_volume (tr : trace) : F.t array =
+    Array.map
+      (fun r ->
+        List.fold_left (fun acc (a, b, s) -> F.add acc (F.mul s (F.sub b a))) F.zero r.segments)
+      tr.records
+
+  (** Validity of a trace: shares within caps, capacity respected at
+      every instant, no work before release, volumes conserved. *)
+  let check (tr : trace) : (unit, string) result =
+    let n = Array.length tr.records in
+    let exception Bad of string in
+    try
+      (* Per-task checks. *)
+      Array.iteri
+        (fun i r ->
+          List.iter
+            (fun (a, b, s) ->
+              if F.compare a b >= 0 then raise (Bad (Printf.sprintf "task %d: empty segment" i));
+              if F.compare a r.release < 0 then raise (Bad (Printf.sprintf "task %d: runs before release" i));
+              if not (F.leq_approx s (I.effective_delta tr.instance i)) then
+                raise (Bad (Printf.sprintf "task %d: share above cap" i));
+              if F.sign s < 0 then raise (Bad (Printf.sprintf "task %d: negative share" i)))
+            r.segments)
+        tr.records;
+      (* Volumes. *)
+      let pv = processed_volume tr in
+      Array.iteri
+        (fun i v ->
+          if not (F.equal_approx v tr.instance.T.tasks.(i).T.volume) then
+            raise (Bad (Printf.sprintf "task %d: volume mismatch" i)))
+        pv;
+      (* Capacity at segment boundaries (shares are piecewise constant
+         between consecutive boundaries). *)
+      let boundaries =
+        List.sort_uniq F.compare
+          (List.concat_map
+             (fun (r : record) -> List.concat_map (fun (a, b, _) -> [ a; b ]) r.segments)
+             (Array.to_list tr.records))
+      in
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          let mid_lo = a and mid_hi = b in
+          let total = ref F.zero in
+          for i = 0 to n - 1 do
+            List.iter
+              (fun (s0, s1, s) ->
+                if F.compare s0 mid_lo <= 0 && F.compare mid_hi s1 <= 0 then total := F.add !total s)
+              tr.records.(i).segments
+          done;
+          if not (F.leq_approx !total tr.instance.T.procs) then
+            raise (Bad "capacity exceeded between events");
+          pairs rest
+        | _ -> ()
+      in
+      pairs boundaries;
+      Ok ()
+    with Bad msg -> Error msg
+
+  (** Collapse a zero-release trace to a column schedule so the core
+      checkers/objective agree with the simulator's. *)
+  let to_column_schedule (tr : trace) : T.column_schedule =
+    let module S = Mwct_core.Schedule.Make (F) in
+    let n = Array.length tr.records in
+    let completion = Array.map (fun r -> r.completion) tr.records in
+    let order = S.sorted_order completion in
+    let finish = Array.map (fun i -> completion.(i)) order in
+    let alloc = Array.make_matrix n n F.zero in
+    for j = 0 to n - 1 do
+      let cstart = if j = 0 then F.zero else finish.(j - 1) in
+      let cend = finish.(j) in
+      let len = F.sub cend cstart in
+      if F.sign len > 0 then
+        for i = 0 to n - 1 do
+          let area =
+            List.fold_left
+              (fun acc (a, b, s) ->
+                let lo = F.max a cstart and hi = F.min b cend in
+                if F.compare lo hi < 0 then F.add acc (F.mul s (F.sub hi lo)) else acc)
+              F.zero tr.records.(i).segments
+          in
+          alloc.(i).(j) <- F.div area len
+        done
+    done;
+    { T.instance = tr.instance; order; finish; alloc }
+end
+
+(** Pre-applied engines. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

@@ -1,0 +1,1 @@
+lib/rational/rational.ml: Bigint Float Format Int64 Mwct_bigint Nat Stdlib String

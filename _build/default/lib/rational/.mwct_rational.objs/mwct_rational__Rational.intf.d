@@ -1,0 +1,1 @@
+lib/rational/rational.mli: Bigint Format Mwct_bigint Mwct_field

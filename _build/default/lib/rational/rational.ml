@@ -1,0 +1,115 @@
+open Mwct_bigint
+
+type t = { num : Bigint.t; den : Bigint.t (* > 0, coprime with num *) }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den } else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_q n d = make (Bigint.of_int n) (Bigint.of_int d)
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+
+let sub a b =
+  make (Bigint.sub (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b =
+  if Bigint.is_zero b.num then raise Division_by_zero;
+  make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+let neg a = { a with num = Bigint.neg a.num }
+let abs a = { a with num = Bigint.abs a.num }
+
+let inv a =
+  if Bigint.is_zero a.num then raise Division_by_zero;
+  make a.den a.num
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let sign a = Bigint.sign a.num
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = Bigint.equal a.den Bigint.one
+
+let floor a =
+  let q, r = Bigint.divmod a.num a.den in
+  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+
+let ceil a =
+  let q, r = Bigint.divmod a.num a.den in
+  if Bigint.sign r > 0 then Bigint.add q Bigint.one else q
+
+let to_float a =
+  (* Scale so both parts fit comfortably in doubles before dividing. *)
+  let nb = Nat.num_bits (Bigint.mag a.num) and db = Nat.num_bits (Bigint.mag a.den) in
+  let extra = Stdlib.max 0 (Stdlib.max nb db - 900) in
+  if extra = 0 then Bigint.to_float a.num /. Bigint.to_float a.den
+  else begin
+    let scale_down b = Bigint.make ~sign:(Bigint.sign b) (Nat.shift_right (Bigint.mag b) extra) in
+    Bigint.to_float (scale_down a.num) /. Bigint.to_float (scale_down a.den)
+  end
+
+let to_string a = if is_integer a then Bigint.to_string a.num else Bigint.to_string a.num ^ "/" ^ Bigint.to_string a.den
+
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then of_bigint (Bigint.of_int (int_of_float f))
+  else if not (Float.is_finite f) then invalid_arg "Rational.of_float: not finite"
+  else begin
+    (* Exact dyadic decomposition: f = m·2^e with m a 53-bit integer. *)
+    let m, e = Float.frexp f in
+    let mant = Int64.of_float (Float.ldexp m 53) in
+    let num = Bigint.of_int (Int64.to_int mant) in
+    let exp = e - 53 in
+    if exp >= 0 then of_bigint (Bigint.mul num (Bigint.pow (Bigint.of_int 2) exp))
+    else make num (Bigint.pow (Bigint.of_int 2) (-exp))
+  end
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+    let n = Bigint.of_string (String.sub s 0 i) in
+    let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+let hash a = (Bigint.hash a.num * 31) + Bigint.hash a.den
+
+module Rat_field = struct
+  type nonrec t = t
+
+  let zero = zero
+  let one = one
+  let of_int = of_int
+  let of_q = of_q
+  let add = add
+  let sub = sub
+  let mul = mul
+  let div = div
+  let neg = neg
+  let abs = abs
+  let compare = compare
+  let equal = equal
+  let sign = sign
+  let min = min
+  let max = max
+  let to_float = to_float
+  let to_string = to_string
+  let pp = pp
+  let leq_approx a b = compare a b <= 0
+  let equal_approx = equal
+end

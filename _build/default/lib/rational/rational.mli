@@ -1,0 +1,73 @@
+(** Exact rational numbers over {!Mwct_bigint.Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    coprime with the numerator; zero is [0/1]. This module is the exact
+    engine of the library — the reproduction of the paper's Sage checks
+    (Conjecture 13) and the exact simplex both run on it. *)
+
+open Mwct_bigint
+
+type t
+
+val zero : t
+val one : t
+
+(** [make num den] is the normalized fraction. Raises
+    [Division_by_zero] when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_int : int -> t
+
+(** [of_q num den] is [num/den] for OCaml ints. *)
+val of_q : int -> int -> t
+
+val of_bigint : Bigint.t -> t
+
+(** Canonical numerator (sign-carrying). *)
+val num : t -> Bigint.t
+
+(** Canonical denominator (always positive). *)
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero] on a zero divisor. *)
+val div : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val is_integer : t -> bool
+
+(** Largest integer [<= t] (floor), as a [Bigint]. *)
+val floor : t -> Bigint.t
+
+(** Smallest integer [>= t] (ceiling), as a [Bigint]. *)
+val ceil : t -> Bigint.t
+
+val to_float : t -> float
+
+(** [of_float f] is the {e exact} rational value of the double [f]
+    (every finite double is a dyadic rational). Raises
+    [Invalid_argument] on NaN/infinity. *)
+val of_float : float -> t
+
+(** Renders ["p/q"] (or just ["p"] when integral). *)
+val to_string : t -> string
+
+(** Parses ["p"], ["-p"], or ["p/q"]. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+val hash : t -> int
+
+(** The {!Mwct_field.Field.S} instance. [leq_approx]/[equal_approx] are
+    the exact comparisons. *)
+module Rat_field : Mwct_field.Field.S with type t = t

@@ -1,0 +1,1 @@
+lib/simplex/simplex.ml: Array List Mwct_field Option Printf

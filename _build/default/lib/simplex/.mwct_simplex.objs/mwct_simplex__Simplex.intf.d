@@ -1,0 +1,1 @@
+lib/simplex/simplex.mli: Mwct_field

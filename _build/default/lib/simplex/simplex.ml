@@ -1,0 +1,292 @@
+module Make (F : Mwct_field.Field.S) = struct
+  module O = Mwct_field.Field.Ops (F)
+
+  type var = int
+  type relation = Leq | Geq | Eq
+
+  type constr = { coeffs : (var * F.t) list; rel : relation; rhs : F.t }
+
+  type problem = {
+    maximize : bool;
+    mutable nvars : int;
+    mutable names : string list; (* reversed *)
+    mutable constraints : constr list; (* reversed *)
+    mutable objective : (var * F.t) list;
+  }
+
+  type outcome =
+    | Optimal of { objective : F.t; values : F.t array; duals : F.t array }
+    | Infeasible
+    | Unbounded
+
+  let create ?(maximize = false) () =
+    { maximize; nvars = 0; names = []; constraints = []; objective = [] }
+
+  let add_var ?name p =
+    let v = p.nvars in
+    p.nvars <- v + 1;
+    let name = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
+    p.names <- name :: p.names;
+    v
+
+  let num_vars p = p.nvars
+  let var_name p v = List.nth p.names (p.nvars - 1 - v)
+
+  let add_constraint p coeffs rel rhs =
+    List.iter
+      (fun (v, _) -> if v < 0 || v >= p.nvars then invalid_arg "Simplex.add_constraint: unknown variable")
+      coeffs;
+    p.constraints <- { coeffs; rel; rhs } :: p.constraints
+
+  let set_objective p coeffs =
+    List.iter
+      (fun (v, _) -> if v < 0 || v >= p.nvars then invalid_arg "Simplex.set_objective: unknown variable")
+      coeffs;
+    p.objective <- coeffs
+
+  let is_zero x = F.equal_approx x F.zero
+
+  (* Dense tableau in "dictionary" form.
+
+     Layout: columns 0 .. total-1 are structural, slack, then artificial
+     variables; column [total] is the right-hand side. Row i of [rows]
+     is the equation expressing basic variable [basis.(i)]. [obj] is the
+     current reduced-cost row (cost of each column under the current
+     basis), [obj_const] the current objective value (negated
+     convention: objective = obj_const). *)
+  type tableau = {
+    rows : F.t array array;
+    basis : int array;
+    obj : F.t array;
+    mutable obj_const : F.t;
+    total : int;
+  }
+
+  let pivot (t : tableau) ~row ~col =
+    let m = Array.length t.rows in
+    let piv = t.rows.(row).(col) in
+    let prow = t.rows.(row) in
+    let width = t.total + 1 in
+    (* Normalize the pivot row. *)
+    for j = 0 to width - 1 do
+      prow.(j) <- F.div prow.(j) piv
+    done;
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let f = t.rows.(i).(col) in
+        if not (F.equal f F.zero) then begin
+          let r = t.rows.(i) in
+          for j = 0 to width - 1 do
+            r.(j) <- F.sub r.(j) (F.mul f prow.(j))
+          done;
+          (* Re-zero the pivot column entry exactly (floats drift). *)
+          r.(col) <- F.zero
+        end
+      end
+    done;
+    let f = t.obj.(col) in
+    if not (F.equal f F.zero) then begin
+      for j = 0 to t.total - 1 do
+        t.obj.(j) <- F.sub t.obj.(j) (F.mul f prow.(j))
+      done;
+      t.obj_const <- F.sub t.obj_const (F.mul f prow.(t.total));
+      t.obj.(col) <- F.zero
+    end;
+    t.basis.(row) <- col
+
+  type pivot_rule = Bland | Dantzig
+
+  (* Entering column: Bland = least index with negative reduced cost
+     (anti-cycling, the exactness-safe default); Dantzig = most
+     negative reduced cost (fewer iterations in practice, can cycle on
+     degenerate problems — callers using it get a Bland fallback via
+     [solve]'s degeneracy counter... in this implementation we simply
+     keep Bland for the guarantee and expose Dantzig for the ablation
+     bench). Leaving row: tightest ratio, ties by least basic index. *)
+  let rec iterate ?(rule = Bland) ?(budget = max_int) (t : tableau) ~allowed =
+    (* A Dantzig run that exhausts its budget (possible cycling on a
+       degenerate basis) restarts from the current tableau with Bland,
+       which terminates from any basis. *)
+    let rule = if budget <= 0 then Bland else rule in
+    let entering =
+      match rule with
+      | Bland ->
+        let rec find j =
+          if j >= allowed then None
+          else if F.compare t.obj.(j) F.zero < 0 && not (is_zero t.obj.(j)) then Some j
+          else find (j + 1)
+        in
+        find 0
+      | Dantzig ->
+        let best = ref None in
+        for j = 0 to allowed - 1 do
+          if F.compare t.obj.(j) F.zero < 0 && not (is_zero t.obj.(j)) then begin
+            match !best with
+            | Some (v, _) when F.compare v t.obj.(j) <= 0 -> ()
+            | _ -> best := Some (t.obj.(j), j)
+          end
+        done;
+        Option.map snd !best
+    in
+    match entering with
+    | None -> `Optimal
+    | Some col ->
+      let m = Array.length t.rows in
+      let best = ref None in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if F.compare a F.zero > 0 && not (is_zero a) then begin
+          let ratio = F.div t.rows.(i).(t.total) a in
+          match !best with
+          | None -> best := Some (ratio, i)
+          | Some (r, i') ->
+            let c = F.compare ratio r in
+            if c < 0 || (c = 0 && t.basis.(i) < t.basis.(i')) then best := Some (ratio, i)
+        end
+      done;
+      (match !best with
+      | None -> `Unbounded
+      | Some (_, row) ->
+        pivot t ~row ~col;
+        iterate ~rule ~budget:(budget - 1) t ~allowed)
+
+  let solve ?(rule = Bland) p =
+    let constraints = List.rev p.constraints in
+    let m = List.length constraints in
+    let n = p.nvars in
+    (* Count slack and artificial columns. *)
+    let num_slack = List.length (List.filter (fun c -> c.rel <> Eq) constraints) in
+    let total = n + num_slack + m in
+    (* Every row gets an artificial variable column (simpler and uniform;
+       for Leq rows with non-negative rhs the slack could serve as the
+       initial basis, but the artificial is harmless and removed by
+       phase 1). *)
+    let rows = Array.init m (fun _ -> Array.make (total + 1) F.zero) in
+    let basis = Array.make m 0 in
+    let flipped = Array.make m false in
+    let slack_idx = ref n in
+    List.iteri
+      (fun i c ->
+        let row = rows.(i) in
+        (* Accumulate coefficients. *)
+        List.iter (fun (v, coef) -> row.(v) <- F.add row.(v) coef) c.coeffs;
+        row.(total) <- c.rhs;
+        (match c.rel with
+        | Leq ->
+          row.(!slack_idx) <- F.one;
+          incr slack_idx
+        | Geq ->
+          row.(!slack_idx) <- F.neg F.one;
+          incr slack_idx
+        | Eq -> ());
+        (* Make rhs non-negative (remember the flip for dual
+           recovery). *)
+        if F.compare row.(total) F.zero < 0 then begin
+          flipped.(i) <- true;
+          for j = 0 to total do
+            row.(j) <- F.neg row.(j)
+          done
+        end;
+        (* Artificial variable for this row. *)
+        let art = n + num_slack + i in
+        row.(art) <- F.one;
+        basis.(i) <- art)
+      constraints;
+    (* Phase 1: minimize the sum of artificials. Reduced costs: the
+       artificial columns have cost 1, others 0; subtract basic rows. *)
+    let obj = Array.make total F.zero in
+    for j = n + num_slack to total - 1 do
+      obj.(j) <- F.one
+    done;
+    let t = { rows; basis; obj; obj_const = F.zero; total } in
+    (* Price out the initial basis (all artificial, cost 1 each). *)
+    Array.iteri
+      (fun i _ ->
+        let r = rows.(i) in
+        for j = 0 to total - 1 do
+          t.obj.(j) <- F.sub t.obj.(j) r.(j)
+        done;
+        t.obj_const <- F.sub t.obj_const r.(total))
+      rows;
+    match iterate ~rule:Bland t ~allowed:total with
+    | `Unbounded -> Infeasible (* phase 1 is bounded below by 0; cannot happen *)
+    | `Optimal ->
+    (* obj_const now holds -(sum of artificials) at optimum. *)
+    if not (is_zero t.obj_const) then Infeasible
+    else begin
+      (* Drive any artificial still in the basis out (degenerate rows). *)
+      let struct_cols = n + num_slack in
+      Array.iteri
+        (fun i b ->
+          if b >= struct_cols then begin
+            (* Find a non-zero structural entry to pivot on. *)
+            let rec find j =
+              if j >= struct_cols then None else if not (is_zero rows.(i).(j)) then Some j else find (j + 1)
+            in
+            match find 0 with
+            | Some col -> pivot t ~row:i ~col
+            | None -> () (* all-zero row: redundant constraint, leave it *)
+          end)
+        (Array.copy t.basis);
+      (* Phase 2: install the real objective, priced out over the basis. *)
+      let sign = if p.maximize then F.neg F.one else F.one in
+      let cost = Array.make total F.zero in
+      List.iter (fun (v, c) -> cost.(v) <- F.add cost.(v) (F.mul sign c)) p.objective;
+      Array.blit cost 0 t.obj 0 total;
+      t.obj_const <- F.zero;
+      Array.iteri
+        (fun i b ->
+          if b < total && not (F.equal cost.(b) F.zero) then begin
+            let cb = cost.(b) in
+            let r = rows.(i) in
+            for j = 0 to total - 1 do
+              t.obj.(j) <- F.sub t.obj.(j) (F.mul cb r.(j))
+            done;
+            t.obj_const <- F.sub t.obj_const (F.mul cb r.(total))
+          end)
+        t.basis;
+      (* Artificial columns are forbidden from re-entering. Dantzig can
+         cycle on degenerate bases; guard with an iteration budget and
+         restart with Bland if it trips. *)
+      let budget = match rule with Bland -> max_int | Dantzig -> 100 * (m + total) in
+      match iterate ~rule ~budget t ~allowed:struct_cols with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let values = Array.make n F.zero in
+        Array.iteri (fun i b -> if b < n then values.(b) <- rows.(i).(total)) t.basis;
+        (* Minimization stored sign·c; objective value = -obj_const for
+           the transformed problem, restore the user's sense. *)
+        let v = F.neg t.obj_const in
+        let objective = if p.maximize then F.neg v else v in
+        (* Duals: the reduced cost of row i's artificial column is
+           -y_i for the transformed (sign-normalized, minimized)
+           problem; undo the row flips and the objective sense so that
+           strong duality reads [objective = Σ duals·rhs] in the
+           user's data. *)
+        let duals =
+          Array.init m (fun i ->
+              let y = F.neg t.obj.(n + num_slack + i) in
+              let y = if flipped.(i) then F.neg y else y in
+              if p.maximize then F.neg y else y)
+        in
+        Optimal { objective; values; duals }
+    end
+
+  let value_of outcome v =
+    match outcome with
+    | Optimal { values; _ } -> values.(v)
+    | Infeasible | Unbounded -> invalid_arg "Simplex.value_of: not optimal"
+
+  let check_feasible p values ~slack =
+    let le a b = if slack then F.leq_approx a b else F.compare a b <= 0 in
+    let ok_nonneg = Array.for_all (fun x -> le F.zero x) values in
+    ok_nonneg
+    && List.for_all
+         (fun c ->
+           let lhs = O.sum (List.map (fun (v, coef) -> F.mul coef values.(v)) c.coeffs) in
+           match c.rel with
+           | Leq -> le lhs c.rhs
+           | Geq -> le c.rhs lhs
+           | Eq -> le lhs c.rhs && le c.rhs lhs)
+         (List.rev p.constraints)
+end

@@ -1,0 +1,70 @@
+(** Linear programming by the two-phase primal simplex method,
+    functorized over the number field.
+
+    Instantiated with exact rationals this is an {e exact} LP solver —
+    Bland's anti-cycling rule guarantees termination — which is what
+    makes the Corollary-1 optimum of the paper a usable ground truth for
+    the Section V-A experiments. Instantiated with floats it is a fast
+    approximate solver for large experiment batches (pivot tolerances
+    come from [F.equal_approx]).
+
+    Problems are stated over non-negative variables:
+    minimize (or maximize) [c·x] subject to [A x {<=,>=,=} b], [x >= 0].
+    This matches the paper's LP, whose variables ([C_i] and [x_{i,j}])
+    are all non-negative. *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  type var = private int
+
+  (** Mutable problem under construction. *)
+  type problem
+
+  type relation = Leq | Geq | Eq
+
+  type outcome =
+    | Optimal of { objective : F.t; values : F.t array; duals : F.t array }
+        (** [values] is indexed by variable; [objective] is the value
+            of the stated objective (even for maximization). [duals]
+            has one multiplier per constraint, in insertion order,
+            normalized so that strong duality reads
+            [objective = Σ_i duals.(i)·rhs_i] on the user's data. *)
+    | Infeasible
+    | Unbounded
+
+  (** [create ()] is an empty problem (minimization by default). *)
+  val create : ?maximize:bool -> unit -> problem
+
+  (** [add_var p] declares a fresh non-negative variable. *)
+  val add_var : ?name:string -> problem -> var
+
+  (** Number of variables declared so far. *)
+  val num_vars : problem -> int
+
+  val var_name : problem -> var -> string
+
+  (** [add_constraint p coeffs rel rhs] adds [Σ c_i·x_i rel rhs].
+      Mentioning the same variable twice accumulates its coefficients. *)
+  val add_constraint : problem -> (var * F.t) list -> relation -> F.t -> unit
+
+  (** [set_objective p coeffs] sets the linear objective. *)
+  val set_objective : problem -> (var * F.t) list -> unit
+
+  (** Pivot rule for phase 2: [Bland] (default) is anti-cycling and
+      exactness-safe; [Dantzig] (most negative reduced cost) usually
+      pivots fewer times and falls back to Bland if it exceeds an
+      iteration budget on a degenerate basis. Phase 1 always uses
+      Bland. *)
+  type pivot_rule = Bland | Dantzig
+
+  (** Solve with the two-phase simplex. *)
+  val solve : ?rule:pivot_rule -> problem -> outcome
+
+  (** [value_of outcome v] reads one variable from an [Optimal] outcome;
+      raises [Invalid_argument] otherwise. *)
+  val value_of : outcome -> var -> F.t
+
+  (** [check_feasible p values ~slack] verifies that an assignment
+      satisfies every constraint (used in tests and as a paranoia check
+      of solver output); [slack] selects approximate comparison. *)
+  val check_feasible : problem -> F.t array -> slack:bool -> bool
+end

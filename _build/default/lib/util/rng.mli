@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Experiments must be reproducible across runs and platforms, so the
+    library does not use [Stdlib.Random]. SplitMix64 passes BigCrush and
+    has a trivially splittable state, which makes per-experiment
+    independent streams easy. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a statistically independent
+    generator, for nested experiments. *)
+val split : t -> t
+
+(** Next raw 64-bit value (as an OCaml [int], so 63 significant bits). *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [[0, bound-1]]. [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [[lo, hi]] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [dyadic t ~den] is a uniform numerator in [[1, den]]: the rational
+    [k/den] in [(0, 1]]. Meant to be used with [den] a power of two so
+    the value is exact in both the float and rational engines. *)
+val dyadic : t -> den:int -> int
+
+(** [shuffle t a] shuffles [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

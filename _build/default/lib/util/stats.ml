@@ -1,0 +1,56 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ ->
+    let n = List.length xs in
+    List.fold_left ( +. ) 0. xs /. float_of_int n
+
+let quantile q xs =
+  match xs with
+  | [] -> invalid_arg "Stats.quantile: empty"
+  | _ ->
+    if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of range";
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = pos -. float_of_int lo in
+      (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+    end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs /. float_of_int n in
+    {
+      count = n;
+      mean = m;
+      stddev = sqrt var;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+      p50 = quantile 0.5 xs;
+      p90 = quantile 0.9 xs;
+      p99 = quantile 0.99 xs;
+    }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.6g sd=%.3g min=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

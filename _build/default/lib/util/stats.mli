@@ -1,0 +1,26 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** [summarize xs] computes the summary of a non-empty list of samples.
+    Raises [Invalid_argument] on an empty list. *)
+val summarize : float list -> summary
+
+(** [mean xs] of a non-empty list. *)
+val mean : float list -> float
+
+(** [quantile q xs] with [q] in [[0, 1]], by linear interpolation on the
+    sorted samples. *)
+val quantile : float -> float list -> float
+
+(** [pp_summary fmt s] prints a one-line human-readable summary. *)
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string list;
+  mutable align : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?title headers = { title; headers; align = List.map (fun _ -> Left) headers; rows = [] }
+
+let set_align t aligns =
+  if List.length aligns <> List.length t.headers then invalid_arg "Tablefmt.set_align: width mismatch";
+  t.align <- aligns
+
+let add_row t row =
+  if List.length row <> List.length t.headers then invalid_arg "Tablefmt.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> Stdlib.max w (String.length cell)) ws row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf ("== " ^ title ^ " ==");
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let render_row cells =
+    let padded = List.map2 (fun (w, a) c -> pad a w c) (List.combine widths t.align) cells in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |");
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  let sep = List.map (fun w -> String.make w '-') widths in
+  Buffer.add_string buf ("|-" ^ String.concat "-|-" sep ^ "-|");
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let csv_cell c =
+  let needs_quoting = String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c in
+  if not needs_quoting then c
+  else begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment regenerated from the paper prints its rows through
+    this module so that bench output is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title headers] starts a table. All rows must have the same
+    width as [headers]. *)
+val create : ?title:string -> string list -> t
+
+(** Set per-column alignment (default all [Left]). Length must match the
+    header width. *)
+val set_align : t -> align list -> unit
+
+(** Append one row of cells. *)
+val add_row : t -> string list -> unit
+
+(** Render the full table, with column widths fitted to contents. *)
+val render : t -> string
+
+(** Render as RFC-4180-ish CSV (quoting cells containing commas,
+    quotes or newlines). The title is not included. *)
+val to_csv : t -> string
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array List Mwct_core Mwct_util Spec Stdlib

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Mwct_core Mwct_util Spec

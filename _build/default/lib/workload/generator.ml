@@ -1,0 +1,94 @@
+open Mwct_core
+module Rng = Mwct_util.Rng
+
+let check_pow2 den = if den <= 0 || den land (den - 1) <> 0 then invalid_arg "Generator: den must be a power of two"
+
+let dyadic rng den = Spec.rat (Rng.dyadic rng ~den) den
+
+let uniform rng ~procs ~n ?(den = 1024) () =
+  check_pow2 den;
+  if procs < 2 then invalid_arg "Generator.uniform: needs procs >= 2 so that delta < P is non-empty";
+  let task _ =
+    Spec.task ~volume:(dyadic rng den) ~weight:(dyadic rng den) ~delta:(Rng.int_in rng 1 (procs - 1)) ()
+  in
+  Spec.make ~procs (List.init n task)
+
+let uniform_unweighted rng ~procs ~n ?(den = 1024) () =
+  check_pow2 den;
+  if procs < 2 then invalid_arg "Generator.uniform_unweighted: needs procs >= 2";
+  let task _ = Spec.task ~volume:(dyadic rng den) ~delta:(Rng.int_in rng 1 (procs - 1)) () in
+  Spec.make ~procs (List.init n task)
+
+let wide rng ~procs ~n ?(den = 1024) () =
+  check_pow2 den;
+  let lo = (procs / 2) + 1 in
+  (* smallest integer > P/2 *)
+  let task _ = Spec.task ~volume:(dyadic rng den) ~delta:(Rng.int_in rng lo procs) () in
+  Spec.make ~procs (List.init n task)
+
+let unit_tasks rng ~procs ~n () =
+  let lo = (procs + 1) / 2 in
+  (* smallest integer >= P/2 *)
+  let task _ = Spec.task ~volume:(Spec.rat_of_int 1) ~delta:(Rng.int_in rng lo procs) () in
+  Spec.make ~procs (List.init n task)
+
+let homogeneous_deltas rng ~n ?(den = 1024) () =
+  check_pow2 den;
+  Array.init n (fun _ ->
+      (* numerator uniform in [den/2, den] -> delta in [1/2, 1]. *)
+      Spec.rat (Rng.int_in rng (den / 2) den) den)
+
+let mixed rng ~procs ~n ?(den = 1024) () =
+  check_pow2 den;
+  let task k =
+    if k mod 4 = 0 then
+      (* wide, heavy *)
+      Spec.task
+        ~volume:(Spec.rat (den + Rng.dyadic rng ~den) den) (* in (1, 2] *)
+        ~weight:(dyadic rng den)
+        ~delta:(Stdlib.max 1 (procs - Rng.int rng (Stdlib.max 1 (procs / 4))))
+        ()
+    else
+      (* narrow, light *)
+      Spec.task ~volume:(dyadic rng den) ~weight:(dyadic rng den)
+        ~delta:(Rng.int_in rng 1 (Stdlib.max 1 (procs / 4)))
+        ()
+  in
+  Spec.make ~procs (List.init n task)
+
+let due_dates rng ~n ~spread ?(den = 64) () =
+  check_pow2 den;
+  Array.init n (fun _ -> Spec.rat (Rng.dyadic rng ~den:(spread * den)) den)
+
+let heavy_tailed rng ~procs ~n ?(levels = 6) ?(den = 1024) () =
+  check_pow2 den;
+  if procs < 2 then invalid_arg "Generator.heavy_tailed: needs procs >= 2";
+  let task _ =
+    (* Geometric level: each level halves the volume; level 0 has
+       probability 1/2, level 1 probability 1/4, ... *)
+    let rec level k = if k >= levels || Rng.bool rng then k else level (k + 1) in
+    let k = level 0 in
+    Spec.task
+      ~volume:(Spec.rat 1 (1 lsl k))
+      ~weight:(dyadic rng den)
+      ~delta:(Rng.int_in rng 1 (procs - 1))
+      ()
+  in
+  Spec.make ~procs (List.init n task)
+
+let bimodal rng ~procs ~n ?(den = 1024) () =
+  check_pow2 den;
+  if procs < 2 then invalid_arg "Generator.bimodal: needs procs >= 2";
+  let task k =
+    if k land 1 = 0 then
+      (* mouse: tiny and narrow *)
+      Spec.task ~volume:(Spec.rat (Rng.dyadic rng ~den:(den / 8)) den) ~weight:(dyadic rng den) ~delta:1 ()
+    else
+      (* elephant: heavy and wide *)
+      Spec.task
+        ~volume:(Spec.rat (den + Rng.dyadic rng ~den:(2 * den)) den)
+        ~weight:(dyadic rng den)
+        ~delta:(Stdlib.max 1 (procs - 1))
+        ()
+  in
+  Spec.make ~procs (List.init n task)

@@ -1,0 +1,48 @@
+(** Random instance generators for the paper's experiment families.
+
+    All generators emit {!Mwct_core.Spec.t} values whose rationals have
+    power-of-two denominators, so instances convert {e exactly} to both
+    the float and the rational engine (see DESIGN.md §7).
+
+    The paper's Section V-A experiment draws uniform tasks with
+    [δ_i < P], [w_i < 1], [V_i < 1] on a normalized platform; our
+    [uniform] scales that platform to an integer [P] and draws integer
+    [δ_i ∈ [1, P−1]] and dyadic weights/volumes in [(0, 1]]. *)
+
+open Mwct_core
+
+(** [uniform rng ~procs ~n] — the Section V-A family. [den] (default
+    1024, a power of two) is the grain of volumes and weights. *)
+val uniform : Mwct_util.Rng.t -> procs:int -> n:int -> ?den:int -> unit -> Spec.t
+
+(** Same, with all weights 1 (the unweighted experiments). *)
+val uniform_unweighted : Mwct_util.Rng.t -> procs:int -> n:int -> ?den:int -> unit -> Spec.t
+
+(** Theorem 11 family: homogeneous weights and [δ_i > P/2]. *)
+val wide : Mwct_util.Rng.t -> procs:int -> n:int -> ?den:int -> unit -> Spec.t
+
+(** Conjecture 13 family projected to specs: [V = w = 1],
+    [δ_i ∈ [⌈P/2⌉, P]]. *)
+val unit_tasks : Mwct_util.Rng.t -> procs:int -> n:int -> unit -> Spec.t
+
+(** Fractional deltas in [[1/2, 1]] (denominator [den], a power of two)
+    for the Section V-B normalized problem ({!Mwct_core.Homogeneous}). *)
+val homogeneous_deltas : Mwct_util.Rng.t -> n:int -> ?den:int -> unit -> Spec.rat array
+
+(** Heterogeneous mix: a few wide heavy tasks and many narrow light
+    ones — the shape of the Figure 1 bandwidth-sharing motivation. *)
+val mixed : Mwct_util.Rng.t -> procs:int -> n:int -> ?den:int -> unit -> Spec.t
+
+(** Due dates for lateness experiments: dyadic values in
+    [(0, spread]]. *)
+val due_dates : Mwct_util.Rng.t -> n:int -> spread:int -> ?den:int -> unit -> Spec.rat array
+
+(** Heavy-tailed volumes: [V = 2^{-k}] with [k] geometric-ish in
+    [[0, levels]], weights uniform dyadic — a Zipf-like load where a
+    few tasks dominate the work. *)
+val heavy_tailed : Mwct_util.Rng.t -> procs:int -> n:int -> ?levels:int -> ?den:int -> unit -> Spec.t
+
+(** Bimodal: half "mice" (tiny volume, narrow), half "elephants"
+    (large volume, wide) — the classic stress shape for fair-sharing
+    policies. *)
+val bimodal : Mwct_util.Rng.t -> procs:int -> n:int -> ?den:int -> unit -> Spec.t

@@ -1,0 +1,1 @@
+test/support/support.ml: Alcotest Engine List Mwct_core Mwct_rational Mwct_util Mwct_workload QCheck2 Spec

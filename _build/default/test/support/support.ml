@@ -1,0 +1,41 @@
+(* Shared helpers for the core test suites. *)
+
+open Mwct_core
+module EF = Engine.Float
+module EQ = Engine.Exact
+module Rng = Mwct_util.Rng
+module Q = Mwct_rational.Rational
+
+let finst spec = EF.Instance.of_spec spec
+let qinst spec = EQ.Instance.of_spec spec
+
+(* Hand-rolled spec: volumes/weights given as (num, den) pairs. *)
+let spec ~procs tasks =
+  Spec.make ~procs
+    (List.map (fun ((vn, vd), (wn, wd), d) -> Spec.task ~volume:(Spec.rat vn vd) ~weight:(Spec.rat wn wd) ~delta:d ()) tasks)
+
+(* Unweighted shortcut. *)
+let uspec ~procs tasks =
+  Spec.make ~procs (List.map (fun ((vn, vd), d) -> Spec.task ~volume:(Spec.rat vn vd) ~delta:d ()) tasks)
+
+(* QCheck generators of specs driven by the deterministic workload
+   generators: a random seed selects the instance. *)
+let gen_spec ?(max_procs = 8) ?(max_n = 6) ?(den = 64) kind =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000_000 in
+  let* procs = int_range 2 max_procs in
+  let* n = int_range 1 max_n in
+  let rng = Rng.create seed in
+  return
+    (match kind with
+    | `Uniform -> Mwct_workload.Generator.uniform rng ~procs ~n ~den ()
+    | `Unweighted -> Mwct_workload.Generator.uniform_unweighted rng ~procs ~n ~den ()
+    | `Wide -> Mwct_workload.Generator.wide rng ~procs ~n ~den ()
+    | `Unit -> Mwct_workload.Generator.unit_tasks rng ~procs ~n ()
+    | `Mixed -> Mwct_workload.Generator.mixed rng ~procs ~n ~den ())
+
+let check_close ?(tol = 1e-6) name expected actual =
+  Alcotest.(check (float tol)) name expected actual
+
+(* Render a spec into a qcheck print function. *)
+let print_spec = Spec.to_string

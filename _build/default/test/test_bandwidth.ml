@@ -1,0 +1,115 @@
+(* Tests for the Figure-1 bandwidth-sharing application: the
+   equivalence between throughput maximization and weighted completion
+   time minimization, and the policy comparisons the paper's
+   introduction motivates. *)
+
+module B = Mwct_bandwidth.Bandwidth.Float
+module BQ = Mwct_bandwidth.Bandwidth.Exact
+module Q = Mwct_rational.Rational
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-9))
+
+let scenario ~p ~horizon workers =
+  {
+    B.server_capacity = p;
+    horizon;
+    workers =
+      List.map (fun (v, b, r) -> { B.code_size = v; bandwidth = b; rate = r }) workers |> Array.of_list;
+  }
+
+let test_throughput_hand () =
+  (* One worker: V=2, bw=1, rate=3, horizon 5: C=2, work = 3*(5-2)=9. *)
+  let sc = scenario ~p:2. ~horizon:5. [ (2., 1., 3.) ] in
+  f "fifo" 9. (B.throughput sc B.Fifo);
+  f "wdeq same for one worker" 9. (B.throughput sc B.Wdeq)
+
+let test_completion_after_horizon_ignored () =
+  (* A worker finishing after the horizon contributes zero (not
+     negative). *)
+  let sc = scenario ~p:1. ~horizon:1. [ (5., 1., 2.); (1., 1., 4.) ] in
+  let tp = B.tasks_processed sc [| 5.; 0.5 |] in
+  f "only the early worker counts" 2. tp
+
+let test_equivalence_identity () =
+  let sc = scenario ~p:2. ~horizon:10. [ (2., 1., 3.); (1., 2., 1.) ] in
+  let c = B.completions sc B.Smith_greedy in
+  f "throughput = W·T − ΣwC" 0. (B.equivalence_gap sc c)
+
+let test_policies_ranked () =
+  (* Smith greedy should beat FIFO and equal-split on a heterogeneous
+     scenario; WDEQ sits between (2-approx of the best). *)
+  let sc =
+    scenario ~p:4. ~horizon:8.
+      [ (4., 2., 1.); (1., 1., 5.); (2., 4., 2.); (3., 2., 1.) ]
+  in
+  let tp p = B.throughput sc p in
+  Alcotest.(check bool) "smith-greedy >= fifo" true (tp B.Smith_greedy >= tp B.Fifo -. 1e-9);
+  Alcotest.(check bool) "smith-greedy >= equal-split" true (tp B.Smith_greedy >= tp B.Equal_split -. 1e-9);
+  Alcotest.(check bool) "wdeq >= equal-split" true (tp B.Wdeq >= tp B.Equal_split -. 1e-9)
+
+let test_exact_engine () =
+  let sc =
+    {
+      BQ.server_capacity = Q.of_int 2;
+      horizon = Q.of_int 5;
+      workers = [| { BQ.code_size = Q.of_int 2; bandwidth = Q.of_int 1; rate = Q.of_int 3 } |];
+    }
+  in
+  Alcotest.(check string) "exact throughput" "9" (Q.to_string (BQ.throughput sc BQ.Fifo))
+
+(* Property: maximizing throughput = minimizing weighted completion
+   time — the schedule with smaller Σ w C has larger throughput, on
+   scenarios where all completions are before the horizon. *)
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* n = int_range 1 6 in
+  let* p = int_range 2 6 in
+  let rng = Rng.create seed in
+  let workers =
+    Array.init n (fun _ ->
+        {
+          B.code_size = float_of_int (Rng.dyadic rng ~den:64) /. 64. *. 4.;
+          bandwidth = float_of_int (Rng.int_in rng 1 (p - 1));
+          rate = float_of_int (Rng.dyadic rng ~den:64) /. 64.;
+        })
+  in
+  (* Horizon large enough for any policy to finish everything. *)
+  let total = Array.fold_left (fun a w -> a +. w.B.code_size) 0. workers in
+  return { B.server_capacity = float_of_int p; horizon = (2. *. total) +. 4.; workers }
+
+let prop_equivalence =
+  QCheck2.Test.make ~name:"throughput identity holds for every policy" ~count:200 gen_scenario
+    (fun sc ->
+      List.for_all
+        (fun p -> Float.abs (B.equivalence_gap sc (B.completions sc p)) < 1e-6)
+        [ B.Fifo; B.Equal_split; B.Smith_greedy; B.Wdeq ])
+
+let prop_smaller_objective_larger_throughput =
+  QCheck2.Test.make ~name:"smaller Σ w C ⟺ larger throughput" ~count:200 gen_scenario (fun sc ->
+      let weighted_completion c =
+        let acc = ref 0. in
+        Array.iteri (fun i wk -> acc := !acc +. (wk.B.rate *. c.(i))) sc.B.workers;
+        !acc
+      in
+      let c1 = B.completions sc B.Smith_greedy and c2 = B.completions sc B.Fifo in
+      let o1 = weighted_completion c1 and o2 = weighted_completion c2 in
+      let t1 = B.tasks_processed sc c1 and t2 = B.tasks_processed sc c2 in
+      (* identical ordering up to tolerance *)
+      (o1 -. o2) *. (t2 -. t1) >= -1e-6)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "bandwidth"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "throughput hand" `Quick test_throughput_hand;
+          Alcotest.test_case "late completion ignored" `Quick test_completion_after_horizon_ignored;
+          Alcotest.test_case "equivalence identity" `Quick test_equivalence_identity;
+          Alcotest.test_case "policies ranked" `Quick test_policies_ranked;
+          Alcotest.test_case "exact engine" `Quick test_exact_engine;
+        ] );
+      ("properties", q [ prop_equivalence; prop_smaller_objective_larger_throughput ]);
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the arbitrary-precision substrate: Nat, Bigint, Rational.
+   Strategy: property tests against OCaml's native int arithmetic on
+   moderate values, plus hand-picked large-value cases that exercise
+   multi-limb code paths (carries, Knuth division, gcd). *)
+
+open Mwct_bigint
+module Q = Mwct_rational.Rational
+
+let nat = Alcotest.testable (Fmt.of_to_string Nat.to_string) Nat.equal
+let bigint = Alcotest.testable (Fmt.of_to_string Bigint.to_string) Bigint.equal
+let rational = Alcotest.testable (Fmt.of_to_string Q.to_string) Q.equal
+
+(* ---------- Nat unit tests ---------- *)
+
+let test_nat_basic () =
+  Alcotest.(check nat) "0 + 0" Nat.zero (Nat.add Nat.zero Nat.zero);
+  Alcotest.(check nat) "1 + 1 = 2" Nat.two (Nat.add Nat.one Nat.one);
+  Alcotest.(check (option int)) "to_int round trip" (Some 123456789) (Nat.to_int (Nat.of_int 123456789));
+  Alcotest.(check string) "to_string zero" "0" (Nat.to_string Nat.zero);
+  Alcotest.(check string) "to_string small" "42" (Nat.to_string (Nat.of_int 42));
+  Alcotest.(check bool) "is_zero zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check bool) "is_zero one" false (Nat.is_zero Nat.one)
+
+let test_nat_large_decimal () =
+  let s = "123456789012345678901234567890123456789012345678901234567890" in
+  Alcotest.(check string) "decimal round trip" s (Nat.to_string (Nat.of_string s));
+  let a = Nat.of_string s in
+  let b = Nat.of_string "999999999999999999999999999999" in
+  let product = Nat.mul a b in
+  (* (a * b) / b = a with remainder 0. *)
+  let q, r = Nat.divmod product b in
+  Alcotest.(check nat) "mul/div round trip quotient" a q;
+  Alcotest.(check nat) "mul/div round trip remainder" Nat.zero r
+
+let test_nat_pow () =
+  Alcotest.(check string) "2^100"
+    "1267650600228229401496703205376"
+    (Nat.to_string (Nat.pow Nat.two 100));
+  Alcotest.(check nat) "x^0 = 1" Nat.one (Nat.pow (Nat.of_int 7919) 0);
+  Alcotest.(check string) "10^30 = shift in decimal"
+    ("1" ^ String.make 30 '0')
+    (Nat.to_string (Nat.pow Nat.ten 30))
+
+let test_nat_shift () =
+  let a = Nat.of_string "987654321987654321987654321" in
+  Alcotest.(check nat) "shift left/right cancel" a (Nat.shift_right (Nat.shift_left a 67) 67);
+  Alcotest.(check nat) "shift_left = mul 2^k" (Nat.mul a (Nat.pow Nat.two 67)) (Nat.shift_left a 67);
+  Alcotest.(check nat) "shift_right drops floor" (Nat.div a (Nat.pow Nat.two 13)) (Nat.shift_right a 13)
+
+let test_nat_division_edge () =
+  (* Divisor that forces the add-back branch of Knuth D is hard to hit at
+     random; at least pin down the classical tricky shape. *)
+  let b30 = Nat.pow Nat.two 30 in
+  let u = Nat.sub (Nat.mul b30 (Nat.mul b30 b30)) Nat.one in
+  (* u = 2^90 - 1 *)
+  let v = Nat.sub (Nat.mul b30 b30) Nat.one in
+  (* v = 2^60 - 1; u = v * 2^30 + (2^30 - 1) ... check identity instead *)
+  let q, r = Nat.divmod u v in
+  Alcotest.(check nat) "identity u = q*v + r" u (Nat.add (Nat.mul q v) r);
+  Alcotest.(check bool) "remainder < divisor" true (Nat.compare r v < 0);
+  (* Division by a single-limb divisor. *)
+  let q, r = Nat.divmod u (Nat.of_int 1000003) in
+  Alcotest.(check nat) "single limb identity" u (Nat.add (Nat.mul q (Nat.of_int 1000003)) r)
+
+let test_nat_gcd () =
+  let a = Nat.mul (Nat.of_string "123456789123456789") (Nat.of_int 600851475) in
+  let b = Nat.mul (Nat.of_string "987654321987654321") (Nat.of_int 600851475) in
+  let g = Nat.gcd a b in
+  Alcotest.(check nat) "gcd divides a" Nat.zero (Nat.rem a g);
+  Alcotest.(check nat) "gcd divides b" Nat.zero (Nat.rem b g);
+  Alcotest.(check nat) "gcd with zero" a (Nat.gcd a Nat.zero)
+
+let test_nat_num_bits () =
+  Alcotest.(check int) "bits of 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits of 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "bits of 2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100));
+  Alcotest.(check int) "bits of 2^100-1" 100 (Nat.num_bits (Nat.sub (Nat.pow Nat.two 100) Nat.one))
+
+let test_nat_to_float () =
+  Alcotest.(check (float 1e-6)) "to_float small" 123456.0 (Nat.to_float (Nat.of_int 123456));
+  let x = Nat.to_float (Nat.pow Nat.two 100) in
+  Alcotest.(check (float 1e20)) "to_float 2^100" (2. ** 100.) x
+
+(* ---------- Nat property tests ---------- *)
+
+let small_nat_gen = QCheck2.Gen.map Nat.of_int (QCheck2.Gen.int_bound 1_000_000_000)
+let int_pair = QCheck2.Gen.pair (QCheck2.Gen.int_bound 1_000_000_000) (QCheck2.Gen.int_bound 1_000_000_000)
+
+let prop_add_matches_int =
+  QCheck2.Test.make ~name:"nat add matches int" ~count:500 int_pair (fun (a, b) ->
+      Nat.to_int (Nat.add (Nat.of_int a) (Nat.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck2.Test.make ~name:"nat mul matches int" ~count:500
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 2_000_000) (QCheck2.Gen.int_bound 2_000_000))
+    (fun (a, b) -> Nat.to_int (Nat.mul (Nat.of_int a) (Nat.of_int b)) = Some (a * b))
+
+let prop_divmod_matches_int =
+  QCheck2.Test.make ~name:"nat divmod matches int" ~count:500
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 1_000_000_000) (QCheck2.Gen.int_range 1 100_000))
+    (fun (a, b) ->
+      let q, r = Nat.divmod (Nat.of_int a) (Nat.of_int b) in
+      Nat.to_int q = Some (a / b) && Nat.to_int r = Some (a mod b))
+
+let prop_mul_commutative =
+  QCheck2.Test.make ~name:"nat mul commutative (multi-limb)" ~count:200
+    (QCheck2.Gen.pair small_nat_gen small_nat_gen)
+    (fun (a, b) ->
+      let a = Nat.mul a (Nat.pow Nat.two 75) in
+      Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_division_identity =
+  QCheck2.Test.make ~name:"nat division identity on large operands" ~count:200
+    (QCheck2.Gen.quad (QCheck2.Gen.int_bound 1_000_000_000) (QCheck2.Gen.int_bound 1_000_000_000)
+       (QCheck2.Gen.int_bound 1_000_000_000)
+       (QCheck2.Gen.int_range 1 1_000_000_000))
+    (fun (a, b, c, d) ->
+      (* u spans ~4 limbs, v spans ~2 limbs. *)
+      let u = Nat.add (Nat.mul (Nat.of_int a) (Nat.pow Nat.two 64)) (Nat.mul (Nat.of_int b) (Nat.of_int c)) in
+      let v = Nat.add (Nat.mul (Nat.of_int d) (Nat.pow Nat.two 31)) (Nat.of_int c) in
+      let q, r = Nat.divmod u v in
+      Nat.equal u (Nat.add (Nat.mul q v) r) && Nat.compare r v < 0)
+
+let prop_karatsuba_matches_schoolbook =
+  (* Operands large enough (hundreds of limbs) to exercise the
+     Karatsuba path, including asymmetric sizes. *)
+  QCheck2.Test.make ~name:"karatsuba = schoolbook on large operands" ~count:30
+    (QCheck2.Gen.triple (QCheck2.Gen.int_bound 1_000_000_000) (QCheck2.Gen.int_range 200 350)
+       (QCheck2.Gen.int_range 200 600))
+    (fun (seed, la, lb) ->
+      (* Deterministic pseudo-random limb patterns from the seed. *)
+      let gen_nat len salt =
+        let x = ref (Nat.of_int ((seed lxor salt) + 1)) in
+        for i = 1 to len do
+          x := Nat.add_int (Nat.mul_int !x ((seed + (i * salt)) land 0x3FFFFFF lor 1)) (i land 0xFFFF)
+        done;
+        !x
+      in
+      let a = gen_nat la 7919 and b = gen_nat lb 104729 in
+      Nat.equal (Nat.mul a b) (Nat.mul_schoolbook a b))
+
+let test_karatsuba_edge_cases () =
+  let big = Nat.pow Nat.two 4000 in
+  (* power-of-two operands with many zero limbs *)
+  Alcotest.(check nat) "2^4000 * 2^4000 = 2^8000" (Nat.pow Nat.two 8000) (Nat.mul big big);
+  Alcotest.(check nat) "big * 0" Nat.zero (Nat.mul big Nat.zero);
+  Alcotest.(check nat) "big * 1" big (Nat.mul big Nat.one);
+  (* asymmetric: huge times single limb *)
+  Alcotest.(check nat) "big * 3 = big + big + big" (Nat.add big (Nat.add big big)) (Nat.mul big (Nat.of_int 3))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"nat decimal round trip" ~count:200
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 1_000_000_000) (QCheck2.Gen.int_bound 80))
+    (fun (a, k) ->
+      let x = Nat.mul (Nat.of_int a) (Nat.pow Nat.ten k) in
+      Nat.equal x (Nat.of_string (Nat.to_string x)))
+
+(* ---------- Bigint tests ---------- *)
+
+let test_bigint_signs () =
+  let a = Bigint.of_int (-17) and b = Bigint.of_int 5 in
+  Alcotest.(check (option int)) "div trunc" (Some (-3)) (Bigint.to_int (Bigint.div a b));
+  Alcotest.(check (option int)) "rem sign" (Some (-2)) (Bigint.to_int (Bigint.rem a b));
+  Alcotest.(check bigint) "neg involutive" a (Bigint.neg (Bigint.neg a));
+  Alcotest.(check (option int)) "min_int round trip" (Some min_int) (Bigint.to_int (Bigint.of_int min_int));
+  Alcotest.(check (option int)) "max_int round trip" (Some max_int) (Bigint.to_int (Bigint.of_int max_int))
+
+let test_bigint_pow_parity () =
+  Alcotest.(check (option int)) "(-2)^3" (Some (-8)) (Bigint.to_int (Bigint.pow (Bigint.of_int (-2)) 3));
+  Alcotest.(check (option int)) "(-2)^4" (Some 16) (Bigint.to_int (Bigint.pow (Bigint.of_int (-2)) 4))
+
+let gen_small_signed = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+let prop_bigint_ring =
+  QCheck2.Test.make ~name:"bigint ring ops match int" ~count:500
+    (QCheck2.Gen.triple gen_small_signed gen_small_signed gen_small_signed)
+    (fun (a, b, c) ->
+      let ba = Bigint.of_int a and bb = Bigint.of_int b and bc = Bigint.of_int c in
+      Bigint.to_int (Bigint.add ba (Bigint.mul bb bc)) = Some (a + (b * c))
+      && Bigint.to_int (Bigint.sub ba bb) = Some (a - b))
+
+let prop_bigint_divmod =
+  QCheck2.Test.make ~name:"bigint divmod matches int (trunc)" ~count:500
+    (QCheck2.Gen.pair gen_small_signed (QCheck2.Gen.int_range 1 1_000_000))
+    (fun (a, b) ->
+      let b = if a land 1 = 0 then b else -b in
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Bigint.to_int q = Some (a / b) && Bigint.to_int r = Some (a mod b))
+
+(* ---------- Rational tests ---------- *)
+
+let test_rational_normalization () =
+  Alcotest.(check rational) "6/4 = 3/2" (Q.of_q 3 2) (Q.of_q 6 4);
+  Alcotest.(check rational) "-6/-4 = 3/2" (Q.of_q 3 2) (Q.of_q (-6) (-4));
+  Alcotest.(check rational) "6/-4 = -3/2" (Q.of_q (-3) 2) (Q.of_q 6 (-4));
+  Alcotest.(check string) "print integer" "5" (Q.to_string (Q.of_q 10 2));
+  Alcotest.(check string) "print fraction" "-3/2" (Q.to_string (Q.of_q 6 (-4)));
+  Alcotest.(check rational) "parse fraction" (Q.of_q 22 7) (Q.of_string "22/7")
+
+let test_rational_arith () =
+  Alcotest.(check rational) "1/3 + 1/6 = 1/2" (Q.of_q 1 2) (Q.add (Q.of_q 1 3) (Q.of_q 1 6));
+  Alcotest.(check rational) "2/3 * 3/4 = 1/2" (Q.of_q 1 2) (Q.mul (Q.of_q 2 3) (Q.of_q 3 4));
+  Alcotest.(check rational) "div inverse" (Q.of_q 1 2) (Q.div (Q.of_q 1 3) (Q.of_q 2 3));
+  Alcotest.check Alcotest.bool "1/3 < 1/2" true (Q.compare (Q.of_q 1 3) (Q.of_q 1 2) < 0);
+  Alcotest.(check (float 1e-12)) "to_float 1/3" (1. /. 3.) (Q.to_float (Q.of_q 1 3))
+
+let test_rational_floor_ceil () =
+  Alcotest.(check bigint) "floor 7/2" (Bigint.of_int 3) (Q.floor (Q.of_q 7 2));
+  Alcotest.(check bigint) "ceil 7/2" (Bigint.of_int 4) (Q.ceil (Q.of_q 7 2));
+  Alcotest.(check bigint) "floor -7/2" (Bigint.of_int (-4)) (Q.floor (Q.of_q (-7) 2));
+  Alcotest.(check bigint) "ceil -7/2" (Bigint.of_int (-3)) (Q.ceil (Q.of_q (-7) 2));
+  Alcotest.(check bigint) "floor integer" (Bigint.of_int 5) (Q.floor (Q.of_int 5));
+  Alcotest.(check bigint) "ceil integer" (Bigint.of_int 5) (Q.ceil (Q.of_int 5))
+
+let test_of_float () =
+  Alcotest.(check rational) "0.5" (Q.of_q 1 2) (Q.of_float 0.5);
+  Alcotest.(check rational) "-0.75" (Q.of_q (-3) 4) (Q.of_float (-0.75));
+  Alcotest.(check rational) "integers" (Q.of_int 42) (Q.of_float 42.);
+  Alcotest.(check rational) "0" Q.zero (Q.of_float 0.);
+  (* 0.1 is NOT 1/10 in binary: the exact value differs. *)
+  Alcotest.(check bool) "0.1 is not 1/10" false (Q.equal (Q.of_float 0.1) (Q.of_q 1 10));
+  Alcotest.(check (float 0.)) "roundtrip 0.1 exactly" 0.1 (Q.to_float (Q.of_float 0.1));
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Rational.of_float: not finite") (fun () ->
+      ignore (Q.of_float Float.nan))
+
+let prop_of_float_roundtrip =
+  QCheck2.Test.make ~name:"of_float/to_float is the identity on doubles" ~count:300
+    QCheck2.Gen.(map (fun (a, b) -> float_of_int a /. float_of_int (abs b + 1)) (pair int int))
+    (fun f -> Float.is_finite f = false || Q.to_float (Q.of_float f) = f)
+
+let gen_q =
+  QCheck2.Gen.map
+    (fun (n, d) -> Q.of_q n d)
+    (QCheck2.Gen.pair (QCheck2.Gen.int_range (-10000) 10000) (QCheck2.Gen.int_range 1 10000))
+
+let prop_field_laws =
+  QCheck2.Test.make ~name:"rational field laws" ~count:300 (QCheck2.Gen.triple gen_q gen_q gen_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c)
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.add a (Q.neg a)) Q.zero
+      && (Q.sign a = 0 || Q.equal (Q.mul a (Q.inv a)) Q.one))
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"rational compare total order" ~count:300 (QCheck2.Gen.pair gen_q gen_q)
+    (fun (a, b) ->
+      Q.compare a b = -Q.compare b a
+      && (Q.compare a b <> 0 || Q.equal a b)
+      && Q.to_float (Q.sub a b) *. float_of_int (Q.compare a b) >= -1e-9)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"rational floor/ceil bracket" ~count:300 gen_q (fun a ->
+      let f = Q.of_bigint (Q.floor a) and c = Q.of_bigint (Q.ceil a) in
+      Q.compare f a <= 0 && Q.compare a c <= 0 && Q.compare (Q.sub c f) Q.one <= 0)
+
+let () =
+  let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "bigint"
+    [
+      ( "nat",
+        [
+          Alcotest.test_case "basic" `Quick test_nat_basic;
+          Alcotest.test_case "large decimal" `Quick test_nat_large_decimal;
+          Alcotest.test_case "pow" `Quick test_nat_pow;
+          Alcotest.test_case "shift" `Quick test_nat_shift;
+          Alcotest.test_case "division edge" `Quick test_nat_division_edge;
+          Alcotest.test_case "gcd" `Quick test_nat_gcd;
+          Alcotest.test_case "num_bits" `Quick test_nat_num_bits;
+          Alcotest.test_case "karatsuba edges" `Quick test_karatsuba_edge_cases;
+          Alcotest.test_case "to_float" `Quick test_nat_to_float;
+        ] );
+      ( "nat-props",
+        qsuite
+          [
+            prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_divmod_matches_int;
+            prop_mul_commutative;
+            prop_division_identity;
+            prop_karatsuba_matches_schoolbook;
+            prop_string_roundtrip;
+          ] );
+      ( "bigint",
+        [
+          Alcotest.test_case "signs" `Quick test_bigint_signs;
+          Alcotest.test_case "pow parity" `Quick test_bigint_pow_parity;
+        ] );
+      ("bigint-props", qsuite [ prop_bigint_ring; prop_bigint_divmod ]);
+      ( "rational",
+        [
+          Alcotest.test_case "normalization" `Quick test_rational_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rational_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_rational_floor_ceil;
+          Alcotest.test_case "of_float" `Quick test_of_float;
+        ] );
+      ( "rational-props",
+        qsuite [ prop_field_laws; prop_compare_antisym; prop_floor_ceil; prop_of_float_roundtrip ] );
+    ]

@@ -1,0 +1,82 @@
+(* Tests for the field abstraction: Float_field semantics (including
+   the approximate comparisons), the derived Ops functor, and agreement
+   of the two Field instances on exact dyadic inputs. *)
+
+module F = Mwct_field.Field.Float_field
+module QF = Mwct_rational.Rational.Rat_field
+module Q = Mwct_rational.Rational
+module OpsF = Mwct_field.Field.Ops (Mwct_field.Field.Float_field)
+module OpsQ = Mwct_field.Field.Ops (Mwct_rational.Rational.Rat_field)
+
+let f = Alcotest.(check (float 1e-12))
+
+let test_float_field_basics () =
+  f "of_q" 0.75 (F.of_q 3 4);
+  f "add" 3.5 (F.add 1.25 2.25);
+  f "neg" (-2.) (F.neg 2.);
+  f "abs" 2. (F.abs (-2.));
+  Alcotest.(check int) "sign pos" 1 (F.sign 0.1);
+  Alcotest.(check int) "sign neg" (-1) (F.sign (-0.1));
+  Alcotest.(check int) "sign zero" 0 (F.sign 0.);
+  Alcotest.check_raises "of_q zero den" Division_by_zero (fun () -> ignore (F.of_q 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (F.div 1. 0.))
+
+let test_float_approx_semantics () =
+  Alcotest.(check bool) "leq within eps" true (F.leq_approx 1.0000000005 1.);
+  Alcotest.(check bool) "leq beyond eps" false (F.leq_approx 1.1 1.);
+  Alcotest.(check bool) "equal within eps" true (F.equal_approx 1. (1. +. (F.epsilon /. 2.)));
+  Alcotest.(check bool) "equal beyond eps" false (F.equal_approx 1. 1.001)
+
+let test_exact_approx_is_exact () =
+  (* The rational field's approximate comparisons are exact. *)
+  let tiny = Q.of_q 1 1_000_000_000 in
+  Alcotest.(check bool) "no slack in leq" false (QF.leq_approx (Q.add Q.one tiny) Q.one);
+  Alcotest.(check bool) "no slack in equal" false (QF.equal_approx (Q.add Q.one tiny) Q.one);
+  Alcotest.(check bool) "equal on equal" true (QF.equal_approx (Q.of_q 2 4) (Q.of_q 1 2))
+
+let test_ops_functor () =
+  let open OpsF in
+  f "infix chain" 7. ((2. * 3.) + 1.);
+  f "division" 1.5 (3. / 2.);
+  Alcotest.(check bool) "comparisons" true (1. < 2. && 2. <= 2. && 3. > 2. && 3. >= 3. && 2. <> 3.);
+  f "sum list" 6. (sum [ 1.; 2.; 3. ]);
+  f "sum_up_to" 10. (sum_up_to 5 float_of_int);
+  f "sum_array" 6. (sum_array [| 1.; 2.; 3. |]);
+  f "unary minus" (-5.) ~-.5.
+
+let test_ops_exact () =
+  let open OpsQ in
+  Alcotest.(check string) "exact sum of thirds" "1"
+    (Q.to_string (sum [ Q.of_q 1 3; Q.of_q 1 3; Q.of_q 1 3 ]));
+  Alcotest.(check bool) "exact comparison" true (Q.of_q 1 3 < Q.of_q 1 2)
+
+let prop_fields_agree_on_dyadics =
+  QCheck2.Test.make ~name:"float and rational fields agree on dyadic arithmetic" ~count:300
+    QCheck2.Gen.(quad (int_range (-4096) 4096) (int_range (-4096) 4096) (int_range 0 10) (int_range 0 10))
+    (fun (a, b, ka, kb) ->
+      let da = 1 lsl ka and db = 1 lsl kb in
+      let xf = F.of_q a da and yf = F.of_q b db in
+      let xq = QF.of_q a da and yq = QF.of_q b db in
+      F.to_float (F.add xf yf) = QF.to_float (QF.add xq yq)
+      && F.to_float (F.sub xf yf) = QF.to_float (QF.sub xq yq)
+      && F.to_float (F.mul xf yf) = QF.to_float (QF.mul xq yq)
+      && F.compare xf yf = QF.compare xq yq
+      && F.sign xf = QF.sign xq)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "field"
+    [
+      ( "float",
+        [
+          Alcotest.test_case "basics" `Quick test_float_field_basics;
+          Alcotest.test_case "approx comparisons" `Quick test_float_approx_semantics;
+        ] );
+      ("exact", [ Alcotest.test_case "approx is exact" `Quick test_exact_approx_is_exact ]);
+      ( "ops",
+        [
+          Alcotest.test_case "float ops" `Quick test_ops_functor;
+          Alcotest.test_case "exact ops" `Quick test_ops_exact;
+        ] );
+      ("agreement", q [ prop_fields_agree_on_dyadics ]);
+    ]

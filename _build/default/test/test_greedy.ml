@@ -1,0 +1,157 @@
+(* Tests for Algorithm Greedy(σ) (Section V): hand examples, validity on
+   random instances, the Theorem 11 dominance (optimal = greedy on wide
+   instances with homogeneous weights), and agreement between the
+   generic greedy and the Section V-B closed recurrence. *)
+
+open Test_support
+module EF = Support.EF
+module EQ = Support.EQ
+module Q = Support.Q
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-9))
+
+(* P=2; T0: V=2 d=1; T1: V=2 d=2. Insert T0 first: it runs on 1 proc
+   over [0,2]. T1 then gets min(2, avail): 1 proc until t=2... it
+   finishes V=2 at t=2 as well. *)
+let test_greedy_hand () =
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((2, 1), 1); ((2, 1), 2) ]) in
+  let s = EF.Greedy.run inst [| 0; 1 |] in
+  Alcotest.(check bool) "valid" true (EF.Schedule.is_valid s);
+  f "C0" 2. (EF.Schedule.completion_time s 0);
+  f "C1" 2. (EF.Schedule.completion_time s 1);
+  (* Reverse order: T1 first takes both procs, finishes at 1; T0 runs
+     [0,?] on the remaining 0, then 1 proc: it gets nothing before 1?
+     avail = 0 during [0,1], then 2: T0 takes 1 proc on [1,3]. *)
+  let s = EF.Greedy.run inst [| 1; 0 |] in
+  Alcotest.(check bool) "valid (reverse)" true (EF.Schedule.is_valid s);
+  f "C1 first" 1. (EF.Schedule.completion_time s 1);
+  f "C0 second" 3. (EF.Schedule.completion_time s 0)
+
+let test_greedy_delta_cap () =
+  (* A single task can never use more than delta processors. *)
+  let inst = Support.finst (Support.uspec ~procs:4 [ ((4, 1), 2) ]) in
+  let s = EF.Greedy.run inst [| 0 |] in
+  f "C = V/delta" 2. (EF.Schedule.completion_time s 0);
+  f "alloc = delta" 2. s.EF.Types.alloc.(0).(0)
+
+let test_greedy_rejects_bad_order () =
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((1, 1), 1); ((1, 1), 1) ]) in
+  Alcotest.check_raises "duplicate entries" (Invalid_argument "Greedy.run: order is not a permutation")
+    (fun () -> ignore (EF.Greedy.run inst [| 0; 0 |]));
+  Alcotest.check_raises "wrong length" (Invalid_argument "Greedy.run: order length mismatch") (fun () ->
+      ignore (EF.Greedy.run inst [| 0 |]))
+
+let test_greedy_exact () =
+  let inst = Support.qinst (Support.uspec ~procs:2 [ ((2, 1), 1); ((2, 1), 2) ]) in
+  let s = EQ.Greedy.run inst [| 1; 0 |] in
+  Alcotest.(check bool) "exact strictly valid" true (EQ.Schedule.is_valid ~exact:true s);
+  Alcotest.(check string) "objective 1 + 3 = 4" "4" (Q.to_string (EQ.Schedule.weighted_completion_time s))
+
+(* ---------- properties ---------- *)
+
+let gen_ordered =
+  let open QCheck2.Gen in
+  let* spec = Support.gen_spec `Uniform in
+  let* seed = int_bound 1_000_000 in
+  return (spec, seed)
+
+let prop_greedy_valid =
+  QCheck2.Test.make ~name:"greedy schedules are valid" ~count:400
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_ordered
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let sigma = EF.Orderings.random (Rng.create seed) n in
+      EF.Schedule.is_valid (EF.Greedy.run inst sigma))
+
+let prop_greedy_integer_allocations =
+  QCheck2.Test.make ~name:"greedy allocations are integers (P, deltas integral)" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_ordered
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let sigma = EF.Orderings.random (Rng.create seed) n in
+      let s = EF.Greedy.run inst sigma in
+      Array.for_all
+        (Array.for_all (fun a -> Float.abs (a -. Float.round a) < 1e-6))
+        s.EF.Types.alloc)
+
+let prop_first_task_asap =
+  QCheck2.Test.make ~name:"first inserted task completes at its earliest possible time" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_ordered
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let sigma = EF.Orderings.random (Rng.create seed) n in
+      let s = EF.Greedy.run inst sigma in
+      let first = sigma.(0) in
+      let expected = EF.Instance.height inst first in
+      Float.abs (EF.Schedule.completion_time s first -. expected) < 1e-6)
+
+let prop_greedy_exact_matches_float =
+  QCheck2.Test.make ~name:"exact greedy matches float greedy" ~count:100
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_ordered
+    (fun (spec, seed) ->
+      let fi = Support.finst spec and qi = Support.qinst spec in
+      let n = Array.length fi.EF.Types.tasks in
+      let sigma = EF.Orderings.random (Rng.create seed) n in
+      let sf = EF.Greedy.run fi sigma in
+      let sq = EQ.Greedy.run qi sigma in
+      Float.abs
+        (EF.Schedule.weighted_completion_time sf -. Q.to_float (EQ.Schedule.weighted_completion_time sq))
+      < 1e-6)
+
+(* Theorem 11: on instances with homogeneous weights and delta > P/2,
+   the optimum is greedy: best greedy = LP optimum (exactly). *)
+let prop_theorem11_wide_instances =
+  QCheck2.Test.make ~name:"Theorem 11: optimal is greedy on wide instances" ~count:40
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_procs:5 ~max_n:4 `Wide)
+    (fun spec ->
+      let qi = Support.qinst spec in
+      let opt, _ = EQ.Lp_schedule.optimal qi in
+      let best_greedy, _ = EQ.Lp_schedule.best_greedy qi in
+      Q.compare opt best_greedy <= 0 && Q.equal opt best_greedy)
+
+(* The Section V-B recurrence agrees with the generic greedy run on the
+   equivalent instance (P = 1, fractional deltas in [1/2, 1]). *)
+let prop_recurrence_matches_greedy =
+  QCheck2.Test.make ~name:"V-B recurrence = generic greedy (exact)" ~count:60
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 1_000_000) (QCheck2.Gen.int_range 1 6))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let deltas_spec = Mwct_workload.Generator.homogeneous_deltas rng ~n ~den:64 () in
+      let deltas = Array.map (fun (r : Mwct_core.Spec.rat) -> Q.of_q r.num r.den) deltas_spec in
+      let order = EQ.Orderings.random rng n in
+      let by_recurrence = EQ.Homogeneous.total deltas order in
+      let inst = EQ.Homogeneous.to_instance deltas in
+      let by_greedy = EQ.Schedule.sum_completion_time (EQ.Greedy.run inst order) in
+      Q.equal by_recurrence by_greedy)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "greedy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "hand example" `Quick test_greedy_hand;
+          Alcotest.test_case "delta cap" `Quick test_greedy_delta_cap;
+          Alcotest.test_case "order validation" `Quick test_greedy_rejects_bad_order;
+          Alcotest.test_case "exact engine" `Quick test_greedy_exact;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_greedy_valid;
+            prop_greedy_integer_allocations;
+            prop_first_task_asap;
+            prop_greedy_exact_matches_float;
+            prop_theorem11_wide_instances;
+            prop_recurrence_matches_greedy;
+          ] );
+    ]

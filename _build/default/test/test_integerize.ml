@@ -1,0 +1,176 @@
+(* Tests for Theorem 3 (wrap integerization and averaging) and for the
+   Lemma 10 processor assignment with the Theorem 10 preemption bound. *)
+
+open Test_support
+module EF = Support.EF
+module EQ = Support.EQ
+module Q = Support.Q
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-6))
+
+(* Build a WF normal form for a random-ish spec, in floats. *)
+let wf_schedule spec seed =
+  let inst = Support.finst spec in
+  let n = Array.length inst.EF.Types.tasks in
+  let sigma = EF.Orderings.random (Rng.create seed) n in
+  let g = EF.Greedy.run inst sigma in
+  EF.Water_filling.normalize g
+
+let test_wrap_hand () =
+  (* P=2; one task with fractional allocation 1.5 over [0,2]:
+     V=3, delta=2, C=2. Wrap: proc 0 gets [0,2], proc 1 gets [0,1]
+     (area order), demand is 2 on [0,1) and 1 on [1,2). *)
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((3, 1), 2) ]) in
+  match EF.Water_filling.build inst [| 2. |] with
+  | Error _ -> Alcotest.fail "infeasible?"
+  | Ok s ->
+    f "fractional alloc 1.5" 1.5 s.EF.Types.alloc.(0).(0);
+    let is, g = EF.Integerize.of_columns s in
+    (* Demand: floor/ceil of 1.5. *)
+    Alcotest.(check (option int)) "floor/ceil" None (EF.Integerize.check_floor_ceil s is);
+    Alcotest.(check bool) "no overlap" true (EF.Assignment.no_overlap g);
+    (* Total booked time = volume. *)
+    let v = EF.Assignment.booked_volume g in
+    f "booked volume" 3. v.(0)
+
+let test_round_trip_exact () =
+  (* Exact: integerize then average back = original allocations. *)
+  let inst = Support.qinst (Support.uspec ~procs:2 [ ((1, 1), 1); ((3, 1), 2) ]) in
+  match EQ.Water_filling.build inst [| Q.of_int 1; Q.of_int 2 |] with
+  | Error _ -> Alcotest.fail "infeasible?"
+  | Ok s ->
+    let is, _ = EQ.Integerize.of_columns s in
+    let s' = EQ.Integerize.to_columns is in
+    Alcotest.(check bool) "round trip equal finish" true
+      (Array.for_all2 Q.equal s.EQ.Types.finish s'.EQ.Types.finish);
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j a ->
+            Alcotest.(check string)
+              (Printf.sprintf "alloc %d %d" i j)
+              (Q.to_string a)
+              (Q.to_string s'.EQ.Types.alloc.(i).(j)))
+          row)
+      s.EQ.Types.alloc
+
+let test_assignment_hand () =
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((3, 1), 2) ]) in
+  match EF.Water_filling.build inst [| 2. |] with
+  | Error _ -> Alcotest.fail "infeasible?"
+  | Ok s ->
+    let is, _ = EF.Integerize.of_columns s in
+    let g = EF.Assignment.assign is in
+    Alcotest.(check bool) "no overlap" true (EF.Assignment.no_overlap g);
+    let c = EF.Assignment.completion_times g in
+    f "completion preserved" 2. c.(0);
+    (* One task on <= 2 procs: at most one preemption possible, and the
+       3n bound certainly holds. *)
+    Alcotest.(check bool) "preemptions <= 3n" true (EF.Assignment.preemptions g <= 3)
+
+(* ---------- properties ---------- *)
+
+let gen = QCheck2.Gen.pair (Support.gen_spec ~max_procs:6 ~max_n:6 `Uniform) (QCheck2.Gen.int_bound 1_000_000)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"Theorem 3: wrap uses floor/ceil processors" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let s = wf_schedule spec seed in
+      let is, _ = EF.Integerize.of_columns s in
+      EF.Integerize.check_floor_ceil s is = None)
+
+let prop_wrap_gantt_sane =
+  QCheck2.Test.make ~name:"wrap gantt: no overlap, volumes preserved" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let s = wf_schedule spec seed in
+      let _, g = EF.Integerize.of_columns s in
+      EF.Assignment.no_overlap g
+      && Array.for_all2
+           (fun v (t : EF.Types.task) -> Float.abs (v -. t.EF.Types.volume) < 1e-6)
+           (EF.Assignment.booked_volume g) s.EF.Types.instance.EF.Types.tasks)
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"Theorem 3 round trip preserves allocations" ~count:150
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let s = wf_schedule spec seed in
+      let is, _ = EF.Integerize.of_columns s in
+      let s' = EF.Integerize.to_columns is in
+      (* completion times may reorder equal entries; compare per-task
+         completion and the allocation integrals. *)
+      let c = EF.Schedule.completion_times s and c' = EF.Schedule.completion_times s' in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) c c'
+      && Float.abs
+           (EF.Schedule.weighted_completion_time s -. EF.Schedule.weighted_completion_time s')
+         < 1e-6)
+
+let prop_assignment_valid =
+  QCheck2.Test.make ~name:"assignment: demands realized without overlap" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let s = wf_schedule spec seed in
+      let is, _ = EF.Integerize.of_columns s in
+      let g = EF.Assignment.assign is in
+      EF.Assignment.no_overlap g
+      && Array.for_all2
+           (fun v (t : EF.Types.task) -> Float.abs (v -. t.EF.Types.volume) < 1e-6)
+           (EF.Assignment.booked_volume g) s.EF.Types.instance.EF.Types.tasks
+      && Array.for_all2
+           (fun a b -> Float.abs (a -. b) < 1e-6)
+           (EF.Assignment.completion_times g)
+           (EF.Schedule.completion_times s))
+
+let prop_theorem10_preemptions =
+  QCheck2.Test.make ~name:"Theorem 10: <= 3n preemptions on WF schedules" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let s = wf_schedule spec seed in
+      let n = Array.length s.EF.Types.instance.EF.Types.tasks in
+      let is, _ = EF.Integerize.of_columns s in
+      let g = EF.Assignment.assign is in
+      EF.Assignment.preemptions g <= 3 * n)
+
+let prop_exact_wrap =
+  QCheck2.Test.make ~name:"exact wrap: strict round trip equality" ~count:40
+    ~print:(fun (s, _) -> Support.print_spec s)
+    (QCheck2.Gen.pair (Support.gen_spec ~max_procs:4 ~max_n:4 ~den:16 `Uniform) (QCheck2.Gen.int_bound 1_000_000))
+    (fun (spec, seed) ->
+      let inst = Support.qinst spec in
+      let n = Array.length inst.EQ.Types.tasks in
+      let sigma = EQ.Orderings.random (Rng.create seed) n in
+      let s = EQ.Water_filling.normalize (EQ.Greedy.run inst sigma) in
+      let is, _ = EQ.Integerize.of_columns s in
+      let s' = EQ.Integerize.to_columns is in
+      let c = EQ.Schedule.completion_times s and c' = EQ.Schedule.completion_times s' in
+      Array.for_all2 Q.equal c c'
+      && Array.for_all2 (fun r r' -> Array.for_all2 Q.equal r r') s.EQ.Types.alloc s'.EQ.Types.alloc)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "integerize"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "wrap hand example" `Quick test_wrap_hand;
+          Alcotest.test_case "round trip exact" `Quick test_round_trip_exact;
+          Alcotest.test_case "assignment hand" `Quick test_assignment_hand;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_floor_ceil;
+            prop_wrap_gantt_sane;
+            prop_round_trip;
+            prop_assignment_valid;
+            prop_theorem10_preemptions;
+            prop_exact_wrap;
+          ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the moldable-task extension: rigid list scheduling with
+   fixed widths, the width local search, and the dominance of the
+   malleable optimum over every moldable schedule. *)
+
+open Test_support
+module EF = Support.EF
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-9))
+
+let test_single_rectangle () =
+  let inst = Support.finst (Support.uspec ~procs:4 [ ((8, 1), 2) ]) in
+  let p = EF.Moldable.schedule inst ~widths:[| 2 |] ~order:[| 0 |] in
+  f "start" 0. p.(0).EF.Moldable.start;
+  f "finish = V/q" 4. p.(0).EF.Moldable.finish;
+  Alcotest.(check int) "width" 2 p.(0).EF.Moldable.width;
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (EF.Moldable.check inst p)
+
+let test_widths_clamped () =
+  (* Requested width above delta (and above P) is clamped. *)
+  let inst = Support.finst (Support.uspec ~procs:4 [ ((6, 1), 3) ]) in
+  let p = EF.Moldable.schedule inst ~widths:[| 99 |] ~order:[| 0 |] in
+  Alcotest.(check int) "clamped to delta" 3 p.(0).EF.Moldable.width;
+  let p = EF.Moldable.schedule inst ~widths:[| 0 |] ~order:[| 0 |] in
+  Alcotest.(check int) "raised to 1" 1 p.(0).EF.Moldable.width
+
+let test_sequentialization () =
+  (* P=2: two width-2 rectangles cannot overlap. *)
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((4, 1), 2); ((2, 1), 2) ]) in
+  let p = EF.Moldable.schedule inst ~widths:[| 2; 2 |] ~order:[| 0; 1 |] in
+  f "first [0,2)" 2. p.(0).EF.Moldable.finish;
+  f "second starts at 2" 2. p.(1).EF.Moldable.start;
+  f "second ends at 3" 3. p.(1).EF.Moldable.finish;
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (EF.Moldable.check inst p)
+
+let test_backfill () =
+  (* P=3: a width-2 task [0,2), then a width-2 task must wait, but a
+     width-1 task fits alongside immediately. *)
+  let inst = Support.finst (Support.uspec ~procs:3 [ ((4, 1), 2); ((2, 1), 1) ]) in
+  let p = EF.Moldable.schedule inst ~widths:[| 2; 1 |] ~order:[| 0; 1 |] in
+  f "width-1 starts at 0" 0. p.(1).EF.Moldable.start;
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (EF.Moldable.check inst p)
+
+let test_improve_widths_helps () =
+  (* P=2, two tasks delta=2 V=2: full widths serialize (obj = 1+2 = 3),
+     which beats the parallel width-1 schedule (2+2 = 4). Width (1,1)
+     is a genuine local optimum of the ±1 neighborhood, so the
+     multi-seed [best_heuristic] is what must reach 3. *)
+  let inst = Support.finst (Support.uspec ~procs:2 [ ((2, 1), 2); ((2, 1), 2) ]) in
+  let order = [| 0; 1 |] in
+  let _, from_one = EF.Moldable.improve_widths inst ~order (EF.Moldable.widths_one inst) in
+  Alcotest.(check bool) "width (1,1) is a local optimum at 4" true (Float.abs (from_one -. 4.) < 1e-9);
+  let best = EF.Moldable.best_heuristic inst in
+  Alcotest.(check (float 1e-9)) "multi-seed heuristic reaches the serial optimum" 3. best
+
+(* ---------- properties ---------- *)
+
+let gen = QCheck2.Gen.pair (Support.gen_spec ~max_procs:5 ~max_n:5 `Uniform) (QCheck2.Gen.int_bound 1_000_000)
+
+let random_widths rng inst =
+  Array.init
+    (Array.length inst.EF.Types.tasks)
+    (fun i -> 1 + Rng.int rng (int_of_float (EF.Instance.effective_delta inst i)))
+
+let prop_schedules_valid =
+  QCheck2.Test.make ~name:"moldable schedules are valid" ~count:200
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let rng = Rng.create seed in
+      let n = Array.length inst.EF.Types.tasks in
+      let widths = random_widths rng inst in
+      let order = EF.Orderings.random rng n in
+      match EF.Moldable.check inst (EF.Moldable.schedule inst ~widths ~order) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_malleable_dominates =
+  QCheck2.Test.make ~name:"malleable optimum <= any moldable schedule" ~count:60
+    ~print:(fun (s, _) -> Support.print_spec s)
+    QCheck2.Gen.(pair (Support.gen_spec ~max_procs:4 ~max_n:4 `Uniform) (int_bound 1_000_000))
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let rng = Rng.create seed in
+      let n = Array.length inst.EF.Types.tasks in
+      let widths = random_widths rng inst in
+      let order = EF.Orderings.random rng n in
+      let mold = EF.Moldable.objective inst (EF.Moldable.schedule inst ~widths ~order) in
+      let opt, _ = EF.Lp_schedule.optimal inst in
+      opt <= mold +. 1e-6)
+
+let prop_local_search_improves =
+  QCheck2.Test.make ~name:"width local search never worsens the seed" ~count:100
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let rng = Rng.create seed in
+      let n = Array.length inst.EF.Types.tasks in
+      let order = EF.Orderings.random rng n in
+      let seed_w = random_widths rng inst in
+      let before = EF.Moldable.objective inst (EF.Moldable.schedule inst ~widths:seed_w ~order) in
+      let _, after = EF.Moldable.improve_widths inst ~order seed_w in
+      after <= before +. 1e-9)
+
+let prop_makespan_above_malleable =
+  QCheck2.Test.make ~name:"moldable makespan >= malleable T*" ~count:150
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let rng = Rng.create seed in
+      let n = Array.length inst.EF.Types.tasks in
+      let widths = random_widths rng inst in
+      let order = EF.Orderings.random rng n in
+      EF.Moldable.makespan (EF.Moldable.schedule inst ~widths ~order)
+      >= EF.Makespan.optimal inst -. 1e-6)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "moldable"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single rectangle" `Quick test_single_rectangle;
+          Alcotest.test_case "width clamping" `Quick test_widths_clamped;
+          Alcotest.test_case "sequentialization" `Quick test_sequentialization;
+          Alcotest.test_case "backfill" `Quick test_backfill;
+          Alcotest.test_case "local search" `Quick test_improve_widths_helps;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_schedules_valid;
+            prop_malleable_dominates;
+            prop_local_search_improves;
+            prop_makespan_above_malleable;
+          ] );
+    ]

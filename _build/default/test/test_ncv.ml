@@ -1,0 +1,176 @@
+(* Tests for the non-clairvoyant event simulator (lib/ncv): policy
+   share computations, trace validity, agreement with the core WDEQ
+   simulator on zero-release instances, and arrival handling. *)
+
+open Test_support
+module EF = Support.EF
+module Sim = Mwct_ncv.Simulator.Float
+module SimQ = Mwct_ncv.Simulator.Exact
+module Pol = Sim.P
+module Q = Support.Q
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-9))
+
+let test_policy_shares_wdeq () =
+  (* P=4; ids 0 (w=1, cap=1) and 1 (w=1, cap=4): clipped share 1 and
+     surplus 3. *)
+  let views = [ { Pol.id = 0; weight = 1.; cap = 1. }; { Pol.id = 1; weight = 1.; cap = 4. } ] in
+  let shares = Pol.shares Pol.Wdeq ~capacity:4. views in
+  f "task 0 clipped" 1. (List.assoc 0 shares);
+  f "task 1 surplus" 3. (List.assoc 1 shares)
+
+let test_policy_shares_equi_wastes () =
+  (* EQUI gives min(P/n, cap) and wastes the surplus. *)
+  let views = [ { Pol.id = 0; weight = 1.; cap = 1. }; { Pol.id = 1; weight = 1.; cap = 4. } ] in
+  let shares = Pol.shares Pol.Equi ~capacity:4. views in
+  f "task 0" 1. (List.assoc 0 shares);
+  f "task 1 fair only" 2. (List.assoc 1 shares)
+
+let test_policy_priority () =
+  let views =
+    [
+      { Pol.id = 0; weight = 1.; cap = 3. };
+      { Pol.id = 1; weight = 5.; cap = 3. };
+      { Pol.id = 2; weight = 3.; cap = 3. };
+    ]
+  in
+  let shares = Pol.shares Pol.Priority_weight ~capacity:4. views in
+  f "heaviest gets cap" 3. (List.assoc 1 shares);
+  f "second gets rest" 1. (List.assoc 2 shares);
+  f "lightest starves" 0. (List.assoc 0 shares)
+
+let test_simulator_matches_core_wdeq () =
+  let spec = Support.spec ~procs:4 [ ((1, 1), (1, 1), 1); ((6, 1), (1, 1), 4); ((2, 1), (3, 1), 2) ] in
+  let inst = Support.finst spec in
+  let tr = Sim.run inst Pol.Wdeq in
+  Alcotest.(check (result unit string)) "trace valid" (Ok ()) (Sim.check tr);
+  let core, _ = EF.Wdeq.wdeq inst in
+  f "objective matches core simulator"
+    (EF.Schedule.weighted_completion_time core)
+    (Sim.weighted_completion_time tr)
+
+let test_arrivals () =
+  (* P=1; two unit tasks delta=1; second released at t=5: it runs
+     alone after the first finishes at 1... but arrives at 5. *)
+  let spec = Support.uspec ~procs:1 [ ((1, 1), 1); ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  let tr = Sim.run ~releases:[| 0.; 5. |] inst Pol.Wdeq in
+  Alcotest.(check (result unit string)) "trace valid" (Ok ()) (Sim.check tr);
+  f "first completes at 1" 1. tr.Sim.records.(0).Sim.completion;
+  f "second completes at 6" 6. tr.Sim.records.(1).Sim.completion;
+  f "flow time = 1 + 1" 2. (Sim.weighted_flow_time tr);
+  (* Events in order: arrival 0, completion 0, arrival 1, completion 1. *)
+  let kinds = List.map snd tr.Sim.events in
+  Alcotest.(check int) "four events" 4 (List.length kinds);
+  (match kinds with
+  | [ Sim.Arrival 0; Sim.Completion 0; Sim.Arrival 1; Sim.Completion 1 ] -> ()
+  | _ -> Alcotest.fail "unexpected event order")
+
+let test_arrival_preempts_shares () =
+  (* P=2, task 0 (V=4, d=2) alone until task 1 (V=1, d=2, w=1) arrives
+     at t=1: shares drop from 2 to 1 each. *)
+  let spec = Support.uspec ~procs:2 [ ((4, 1), 2); ((1, 1), 2) ] in
+  let inst = Support.finst spec in
+  let tr = Sim.run ~releases:[| 0.; 1. |] inst Pol.Wdeq in
+  (* Task 0: rate 2 on [0,1], then 1 until task 1 finishes at t=2, then
+     2 again: remaining at t=1 is 2; at t=2 is 1, finishes 1+? ...
+     t=2: task1 done (V=1 at rate 1). task0 has 1 left at rate 2: ends 2.5. *)
+  f "task 1 completes at 2" 2. tr.Sim.records.(1).Sim.completion;
+  f "task 0 completes at 2.5" 2.5 tr.Sim.records.(0).Sim.completion;
+  Alcotest.(check (result unit string)) "trace valid" (Ok ()) (Sim.check tr)
+
+let test_exact_simulator () =
+  let spec = Support.spec ~procs:4 [ ((1, 1), (1, 1), 1); ((6, 1), (1, 1), 4) ] in
+  let inst = Support.qinst spec in
+  let tr = SimQ.run inst SimQ.P.Wdeq in
+  Alcotest.(check string) "C1 = 7/4" "7/4" (Q.to_string tr.SimQ.records.(1).SimQ.completion)
+
+(* ---------- properties ---------- *)
+
+let gen_with_releases =
+  let open QCheck2.Gen in
+  let* spec = Support.gen_spec `Uniform in
+  let* seed = int_bound 1_000_000 in
+  return (spec, seed)
+
+let releases_of rng n = Array.init n (fun _ -> float_of_int (Rng.dyadic rng ~den:16) /. 8.)
+
+let prop_traces_valid =
+  QCheck2.Test.make ~name:"all policies produce valid traces (with arrivals)" ~count:150
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_with_releases
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let releases = releases_of (Rng.create seed) n in
+      List.for_all
+        (fun p ->
+          let tr = Sim.run ~releases inst p in
+          match Sim.check tr with Ok () -> true | Error _ -> false)
+        Pol.all)
+
+let prop_zero_release_matches_core =
+  QCheck2.Test.make ~name:"zero-release WDEQ trace = core WDEQ schedule" ~count:150
+    ~print:Support.print_spec (Support.gen_spec `Uniform)
+    (fun spec ->
+      let inst = Support.finst spec in
+      let tr = Sim.run inst Pol.Wdeq in
+      let s = Sim.to_column_schedule tr in
+      let core, _ = EF.Wdeq.wdeq inst in
+      EF.Schedule.is_valid s
+      && Float.abs (Sim.weighted_completion_time tr -. EF.Schedule.weighted_completion_time core) < 1e-6)
+
+let prop_completions_after_release =
+  QCheck2.Test.make ~name:"completions never precede release + height" ~count:150
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_with_releases
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let releases = releases_of (Rng.create seed) n in
+      let tr = Sim.run ~releases inst Pol.Wdeq in
+      Array.for_all
+        (fun i ->
+          tr.Sim.records.(i).Sim.completion +. 1e-9
+          >= releases.(i) +. EF.Instance.height inst i)
+        (Array.init n (fun i -> i)))
+
+let prop_deq_beats_equi =
+  (* With equal weights, DEQ's share dominates EQUI's pointwise (the
+     redistributed surplus is never wasted), so every completion — and
+     the makespan — is no later. With unequal weights this fails: WDEQ
+     can starve a light straggler that EQUI would treat fairly. *)
+  QCheck2.Test.make ~name:"DEQ makespan <= EQUI makespan (unweighted)" ~count:150
+    ~print:Support.print_spec (Support.gen_spec `Unweighted)
+    (fun spec ->
+      let inst = Support.finst spec in
+      let m p = Sim.makespan (Sim.run inst p) in
+      m Pol.Deq <= m Pol.Equi +. 1e-6)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "ncv"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "wdeq shares" `Quick test_policy_shares_wdeq;
+          Alcotest.test_case "equi wastes" `Quick test_policy_shares_equi_wastes;
+          Alcotest.test_case "priority" `Quick test_policy_priority;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "matches core wdeq" `Quick test_simulator_matches_core_wdeq;
+          Alcotest.test_case "arrivals" `Quick test_arrivals;
+          Alcotest.test_case "arrival reshare" `Quick test_arrival_preempts_shares;
+          Alcotest.test_case "exact engine" `Quick test_exact_simulator;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_traces_valid;
+            prop_zero_release_matches_core;
+            prop_completions_after_release;
+            prop_deq_beats_equi;
+          ] );
+    ]

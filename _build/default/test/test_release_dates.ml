@@ -1,0 +1,137 @@
+(* Tests for the release-dates extension (Cmax with r_i, the Table I
+   row generalization): LP correctness against hand-computed cases,
+   reduction to the closed-form T* when all releases are zero, lower
+   bounds, and feasibility monotonicity. *)
+
+open Test_support
+module EF = Support.EF
+module EQ = Support.EQ
+module Q = Support.Q
+module Rng = Mwct_util.Rng
+
+let f = Alcotest.(check (float 1e-6))
+
+let test_zero_releases_reduce () =
+  let spec = Support.uspec ~procs:2 [ ((4, 1), 1); ((2, 1), 2) ] in
+  let inst = Support.finst spec in
+  let zeros = [| 0.; 0. |] in
+  f "equals closed-form T*" (EF.Makespan.optimal inst) (EF.Release_dates.optimal_makespan inst zeros)
+
+let test_late_release_dominates () =
+  (* P=1, one unit task released at 10: makespan 11. *)
+  let spec = Support.uspec ~procs:1 [ ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  f "r + V/delta" 11. (EF.Release_dates.optimal_makespan inst [| 10. |])
+
+let test_hand_two_tasks () =
+  (* P=1; T0: V=2 released 0; T1: V=1 released 1. Total work 3,
+     capacity 1: T* = 3 (no idle needed: T0 runs [0,1] and [2,3] or
+     any split; T1 [1,2]). *)
+  let spec = Support.uspec ~procs:1 [ ((2, 1), 1); ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  f "packed" 3. (EF.Release_dates.optimal_makespan inst [| 0.; 1. |]);
+  (* Same but T1 released at 5: idle [2,5]; T* = 6. *)
+  f "forced idle" 6. (EF.Release_dates.optimal_makespan inst [| 0.; 5. |])
+
+let test_delta_binds_after_release () =
+  (* P=4; T0: V=8 delta=2 released at 1: T* = 1 + 8/2 = 5. *)
+  let spec = Support.uspec ~procs:4 [ ((8, 1), 2) ] in
+  let inst = Support.finst spec in
+  f "release + height" 5. (EF.Release_dates.optimal_makespan inst [| 1. |])
+
+let test_feasibility () =
+  let spec = Support.uspec ~procs:1 [ ((2, 1), 1); ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  let r = [| 0.; 1. |] in
+  Alcotest.(check bool) "feasible at T*" true (EF.Release_dates.feasible inst r ~deadline:3.);
+  Alcotest.(check bool) "infeasible below" false (EF.Release_dates.feasible inst r ~deadline:2.9);
+  Alcotest.(check bool) "deadline before a release" false (EF.Release_dates.feasible inst r ~deadline:0.5)
+
+let test_exact_release_dates () =
+  let spec = Support.uspec ~procs:2 [ ((3, 1), 2); ((1, 1), 1) ] in
+  let inst = Support.qinst spec in
+  let r = [| Q.zero; Q.of_q 1 2 |] in
+  let t = EQ.Release_dates.optimal_makespan inst r in
+  (* Work 4 on P=2 = 2; T1 needs 1/2 + 1 = 3/2; area binds: exactly 2. *)
+  Alcotest.(check string) "exact optimum 2" "2" (Q.to_string t)
+
+(* ---------- properties ---------- *)
+
+let gen = QCheck2.Gen.pair (Support.gen_spec ~max_procs:4 ~max_n:4 `Uniform) (QCheck2.Gen.int_bound 1_000_000)
+
+let releases_of rng n = Array.init n (fun _ -> float_of_int (Rng.dyadic rng ~den:8) /. 8.)
+
+let prop_above_lower_bound =
+  QCheck2.Test.make ~name:"optimum above the lower bound, tight without releases" ~count:80
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let r = releases_of (Rng.create seed) n in
+      let t = EF.Release_dates.optimal_makespan inst r in
+      let lb = EF.Release_dates.makespan_lower_bound inst r in
+      t >= lb -. 1e-6)
+
+let prop_monotone_in_releases =
+  QCheck2.Test.make ~name:"delaying releases never helps" ~count:80
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let r = releases_of (Rng.create seed) n in
+      let t0 = EF.Release_dates.optimal_makespan inst (Array.make n 0.) in
+      let t1 = EF.Release_dates.optimal_makespan inst r in
+      let t2 = EF.Release_dates.optimal_makespan inst (Array.map (fun x -> 2. *. x) r) in
+      t0 <= t1 +. 1e-6 && t1 <= t2 +. 1e-6)
+
+let prop_feasibility_matches_optimum =
+  QCheck2.Test.make ~name:"feasible exactly from the optimum on" ~count:60
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let r = releases_of (Rng.create seed) n in
+      let t = EF.Release_dates.optimal_makespan inst r in
+      EF.Release_dates.feasible inst r ~deadline:(t +. 1e-6)
+      && not (EF.Release_dates.feasible inst r ~deadline:(t *. 0.99 -. 1e-6)))
+
+let prop_simulator_respects_optimum =
+  (* The ncv simulator with arrivals can never beat the clairvoyant
+     optimal makespan. *)
+  QCheck2.Test.make ~name:"ncv makespan >= optimal makespan with releases" ~count:60
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let r = releases_of (Rng.create seed) n in
+      let t_opt = EF.Release_dates.optimal_makespan inst r in
+      let module Sim = Mwct_ncv.Simulator.Float in
+      let tr = Sim.run ~releases:r inst Sim.P.Wdeq in
+      Sim.makespan tr >= t_opt -. 1e-6)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "release_dates"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "zero releases reduce" `Quick test_zero_releases_reduce;
+          Alcotest.test_case "late release" `Quick test_late_release_dominates;
+          Alcotest.test_case "hand two tasks" `Quick test_hand_two_tasks;
+          Alcotest.test_case "delta after release" `Quick test_delta_binds_after_release;
+          Alcotest.test_case "feasibility" `Quick test_feasibility;
+          Alcotest.test_case "exact" `Quick test_exact_release_dates;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_above_lower_bound;
+            prop_monotone_in_releases;
+            prop_feasibility_matches_optimum;
+            prop_simulator_respects_optimum;
+          ] );
+    ]

@@ -1,0 +1,96 @@
+(* Tests for the schedule renderer: structural checks on the ASCII
+   output (right shapes, every task visible) and well-formedness of the
+   SVG (balanced document, one rect per booking/allocation). *)
+
+open Test_support
+module EF = Support.EF
+module Rng = Mwct_util.Rng
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then false else if String.sub s i m = sub then true else go (i + 1) in
+  go 0
+
+let count_occurrences s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc else if String.sub s i m = sub then go (i + 1) (acc + 1) else go (i + 1) acc
+  in
+  go 0 0
+
+let sample () =
+  let spec = Support.uspec ~procs:3 [ ((3, 1), 2); ((5, 1), 2); ((2, 1), 1) ] in
+  let inst = Support.finst spec in
+  let s = EF.Water_filling.normalize (EF.Greedy.run inst [| 0; 1; 2 |]) in
+  let integer_schedule, _ = EF.Integerize.of_columns s in
+  (s, EF.Assignment.assign integer_schedule)
+
+let test_ascii_gantt_shape () =
+  let _, g = sample () in
+  let out = EF.Render.gantt_to_ascii ~width:40 g in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  (* one line per processor + the axis line *)
+  Alcotest.(check int) "3 lanes + axis" 4 (List.length lines);
+  Alcotest.(check bool) "lane P0 present" true (contains out "P0  |");
+  (* every task letter appears somewhere *)
+  List.iter
+    (fun c -> Alcotest.(check bool) (Printf.sprintf "task %c drawn" c) true (contains out (String.make 1 c)))
+    [ 'A'; 'B'; 'C' ]
+
+let test_ascii_columns () =
+  let s, _ = sample () in
+  let out = EF.Render.columns_to_ascii s in
+  Alcotest.(check int) "one line per column" 3 (List.length (String.split_on_char '\n' out) - 1);
+  Alcotest.(check bool) "mentions column 0" true (contains out "column  0")
+
+let test_svg_gantt_well_formed () =
+  let _, g = sample () in
+  let out = EF.Render.gantt_to_svg g in
+  Alcotest.(check bool) "opens svg" true (contains out "<svg");
+  Alcotest.(check bool) "closes svg" true (contains out "</svg>");
+  let bookings = Array.fold_left (fun acc l -> acc + List.length l) 0 g.EF.Types.processors in
+  (* one rect per booking plus the background *)
+  Alcotest.(check int) "rect count" (bookings + 1) (count_occurrences out "<rect");
+  Alcotest.(check bool) "has tooltips" true (contains out "<title>")
+
+let test_svg_columns_well_formed () =
+  let s, _ = sample () in
+  let out = EF.Render.columns_to_svg s in
+  Alcotest.(check bool) "opens svg" true (contains out "<svg");
+  Alcotest.(check bool) "closes svg" true (contains out "</svg>");
+  Alcotest.(check bool) "capacity line" true (contains out "P=3")
+
+let prop_render_total =
+  (* Rendering never raises, whatever the schedule. *)
+  QCheck2.Test.make ~name:"rendering is total" ~count:100
+    ~print:(fun (s, _) -> Support.print_spec s)
+    QCheck2.Gen.(pair (Support.gen_spec `Uniform) (int_bound 1_000_000))
+    (fun (spec, seed) ->
+      let inst = Support.finst spec in
+      let n = Array.length inst.EF.Types.tasks in
+      let sigma = EF.Orderings.random (Rng.create seed) n in
+      let s = EF.Water_filling.normalize (EF.Greedy.run inst sigma) in
+      let is, wrap = EF.Integerize.of_columns s in
+      let g = EF.Assignment.assign is in
+      String.length (EF.Render.columns_to_ascii s) > 0
+      && String.length (EF.Render.gantt_to_ascii g) > 0
+      && String.length (EF.Render.gantt_to_ascii wrap) > 0
+      && String.length (EF.Render.gantt_to_svg g) > 0
+      && String.length (EF.Render.columns_to_svg s) > 0)
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "render"
+    [
+      ( "ascii",
+        [
+          Alcotest.test_case "gantt shape" `Quick test_ascii_gantt_shape;
+          Alcotest.test_case "columns" `Quick test_ascii_columns;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "gantt well-formed" `Quick test_svg_gantt_well_formed;
+          Alcotest.test_case "columns well-formed" `Quick test_svg_columns_well_formed;
+        ] );
+      ("properties", q [ prop_render_total ]);
+    ]

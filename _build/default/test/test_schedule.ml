@@ -1,0 +1,168 @@
+(* Tests for Spec / Instance / Schedule: construction, validation, the
+   objective, and the full validity checker (every violation class must
+   be detected). *)
+
+open Mwct_core
+open Test_support
+module EF = Support.EF
+module EQ = Support.EQ
+
+let f = Alcotest.(check (float 1e-9))
+
+(* A simple valid 2-task schedule on P=2:
+   T0: V=2, d=1; T1: V=2, d=2.
+   Column 0 = [0,2]: T0 on 1 proc for [0,2] -> finishes at 2 with V=2.
+                     T1 on 1 proc in column 0 (volume 2 processed? no).
+   Let's make: column 0 [0,2] -> T0 (alloc 1), T1 alloc 0.5;
+   column 1 [2,3] -> T1 alloc 1. T1 total = 0.5*2 + 1*1 = 2. *)
+let sample_schedule () =
+  let inst =
+    EF.Instance.make ~procs:2.
+      [
+        EF.Instance.task ~volume:2. ~delta:1. ();
+        EF.Instance.task ~volume:2. ~delta:2. ();
+      ]
+  in
+  {
+    EF.Types.instance = inst;
+    order = [| 0; 1 |];
+    finish = [| 2.; 3. |];
+    alloc = [| [| 1.; 0. |]; [| 0.5; 1. |] |];
+  }
+
+let test_spec_validation () =
+  let ok = Support.spec ~procs:2 [ ((1, 2), (1, 1), 1) ] in
+  Alcotest.(check bool) "valid spec" true (Result.is_ok (Spec.validate ok));
+  let bad_procs = Spec.make ~procs:0 [] in
+  Alcotest.(check bool) "procs 0 rejected" true (Result.is_error (Spec.validate bad_procs));
+  let bad_delta = Spec.make ~procs:2 [ Spec.task ~volume:(Spec.rat 1 2) ~delta:0 () ] in
+  Alcotest.(check bool) "delta 0 rejected" true (Result.is_error (Spec.validate bad_delta));
+  let bad_volume = Spec.make ~procs:2 [ Spec.task ~volume:(Spec.rat 0 2) ~delta:1 () ] in
+  Alcotest.(check bool) "volume 0 rejected" true (Result.is_error (Spec.validate bad_volume));
+  Alcotest.check_raises "Spec.rat rejects zero denominator"
+    (Invalid_argument "Spec.rat: denominator must be positive") (fun () -> ignore (Spec.rat 1 0))
+
+let test_of_spec () =
+  let s = Support.spec ~procs:3 [ ((1, 2), (3, 4), 2); ((5, 1), (1, 1), 3) ] in
+  let inst = Support.finst s in
+  f "procs" 3. inst.EF.Types.procs;
+  f "volume 0" 0.5 inst.EF.Types.tasks.(0).EF.Types.volume;
+  f "weight 0" 0.75 inst.EF.Types.tasks.(0).EF.Types.weight;
+  f "delta 1" 3. inst.EF.Types.tasks.(1).EF.Types.delta;
+  (* Exact engine sees the same numbers. *)
+  let q = Support.qinst s in
+  Alcotest.(check string) "exact volume 0" "1/2" (Support.Q.to_string q.EQ.Types.tasks.(0).EQ.Types.volume)
+
+let test_instance_quantities () =
+  let s = Support.spec ~procs:2 [ ((1, 1), (1, 1), 1); ((3, 1), (2, 1), 4) ] in
+  let inst = Support.finst s in
+  f "total volume" 4. (EF.Instance.total_volume inst);
+  f "total weight" 3. (EF.Instance.total_weight inst);
+  (* delta 4 > P=2 is clamped by effective_delta *)
+  f "effective delta clamps" 2. (EF.Instance.effective_delta inst 1);
+  f "height uses effective delta" 1.5 (EF.Instance.height inst 1);
+  f "smith ratio" 1.5 (EF.Instance.smith_ratio inst 1)
+
+let test_schedule_accessors () =
+  let s = sample_schedule () in
+  f "column 0 length" 2. (EF.Schedule.column_length s 0);
+  f "column 1 length" 1. (EF.Schedule.column_length s 1);
+  f "column 1 start" 2. (EF.Schedule.column_start s 1);
+  Alcotest.(check int) "position of T1" 1 (EF.Schedule.position s 1);
+  f "completion T0" 2. (EF.Schedule.completion_time s 0);
+  f "completion T1" 3. (EF.Schedule.completion_time s 1);
+  f "makespan" 3. (EF.Schedule.makespan s);
+  f "objective" 5. (EF.Schedule.weighted_completion_time s);
+  f "sum completion" 5. (EF.Schedule.sum_completion_time s);
+  f "processed volume T1" 2. (EF.Schedule.processed_volume s 1)
+
+let test_utilization_metrics () =
+  let s = sample_schedule () in
+  (* total area = sum of volumes = 4; P*makespan = 6. *)
+  f "total area" 4. (EF.Schedule.total_area s);
+  f "utilization" (4. /. 6.) (EF.Schedule.utilization s);
+  f "idle area" 2. (EF.Schedule.idle_area s)
+
+let test_schedule_valid () =
+  let s = sample_schedule () in
+  Alcotest.(check bool) "valid" true (EF.Schedule.is_valid s)
+
+let expect_error name s =
+  match EF.Schedule.check s with
+  | Ok () -> Alcotest.failf "%s: expected a violation" name
+  | Error _ -> ()
+
+let test_schedule_violations () =
+  let s = sample_schedule () in
+  expect_error "over delta" { s with alloc = [| [| 1.5; 0. |]; [| 0.5; 1. |] |] };
+  expect_error "over capacity" { s with alloc = [| [| 1.; 0. |]; [| 1.5; 1. |] |] };
+  expect_error "negative alloc" { s with alloc = [| [| 1.; -0.1 |]; [| 0.5; 1. |] |] };
+  expect_error "volume mismatch" { s with alloc = [| [| 0.9; 0. |]; [| 0.5; 1. |] |] };
+  expect_error "late alloc" { s with alloc = [| [| 1.; 0.5 |]; [| 0.5; 1. |] |] };
+  expect_error "unsorted columns" { s with finish = [| 3.; 2. |] };
+  expect_error "order not a permutation" { s with order = [| 0; 0 |] };
+  (* Zero-length column via a tie is fine. *)
+  let tie =
+    {
+      s with
+      finish = [| 2.; 2. |];
+      alloc = [| [| 1.; 0. |]; [| 1.; 0. |] |];
+    }
+  in
+  Alcotest.(check bool) "tie columns valid" true (EF.Schedule.is_valid tie)
+
+let test_violation_strings () =
+  let s = { (sample_schedule ()) with alloc = [| [| 1.5; 0. |]; [| 0.5; 1. |] |] } in
+  match EF.Schedule.check s with
+  | Error v ->
+    let msg = EF.Schedule.violation_to_string v in
+    Alcotest.(check bool) "message mentions delta" true
+      (String.length msg > 0 && String.split_on_char ' ' msg <> [])
+  | Ok () -> Alcotest.fail "expected violation"
+
+let test_sorted_order () =
+  let order = EF.Schedule.sorted_order [| 3.; 1.; 2.; 1. |] in
+  Alcotest.(check (array int)) "stable sort with tie by index" [| 1; 3; 2; 0 |] order
+
+let test_exact_schedule_check () =
+  (* The same sample schedule in exact arithmetic must pass the strict
+     checker. *)
+  let module Q = Support.Q in
+  let inst =
+    EQ.Instance.make ~procs:(Q.of_int 2)
+      [
+        EQ.Instance.task ~volume:(Q.of_int 2) ~delta:(Q.of_int 1) ();
+        EQ.Instance.task ~volume:(Q.of_int 2) ~delta:(Q.of_int 2) ();
+      ]
+  in
+  let s =
+    {
+      EQ.Types.instance = inst;
+      order = [| 0; 1 |];
+      finish = [| Q.of_int 2; Q.of_int 3 |];
+      alloc = [| [| Q.of_int 1; Q.zero |]; [| Q.of_q 1 2; Q.of_int 1 |] |];
+    }
+  in
+  Alcotest.(check bool) "exact valid (strict)" true (EQ.Schedule.is_valid ~exact:true s);
+  Alcotest.(check string) "exact objective 5" "5" (Q.to_string (EQ.Schedule.weighted_completion_time s))
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "of_spec" `Quick test_of_spec;
+        ] );
+      ("instance", [ Alcotest.test_case "quantities" `Quick test_instance_quantities ]);
+      ( "schedule",
+        [
+          Alcotest.test_case "accessors" `Quick test_schedule_accessors;
+          Alcotest.test_case "valid sample" `Quick test_schedule_valid;
+          Alcotest.test_case "utilization metrics" `Quick test_utilization_metrics;
+          Alcotest.test_case "violations detected" `Quick test_schedule_violations;
+          Alcotest.test_case "violation strings" `Quick test_violation_strings;
+          Alcotest.test_case "sorted order" `Quick test_sorted_order;
+          Alcotest.test_case "exact checker" `Quick test_exact_schedule_check;
+        ] );
+    ]

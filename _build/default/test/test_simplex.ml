@@ -1,0 +1,271 @@
+(* Tests for the two-phase simplex, on both the float and the exact
+   rational instantiations. Cross-checking the two engines on random
+   LPs is the strongest test here: the rational solver is exact, so any
+   disagreement beyond float tolerance is a bug. *)
+
+module FF = Mwct_field.Field.Float_field
+module QF = Mwct_rational.Rational.Rat_field
+module Q = Mwct_rational.Rational
+module SF = Mwct_simplex.Simplex.Make (FF)
+module SQ = Mwct_simplex.Simplex.Make (QF)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2,6). *)
+let test_textbook_max () =
+  let p = SF.create ~maximize:true () in
+  let x = SF.add_var ~name:"x" p and y = SF.add_var ~name:"y" p in
+  SF.add_constraint p [ (x, 1.) ] SF.Leq 4.;
+  SF.add_constraint p [ (y, 2.) ] SF.Leq 12.;
+  SF.add_constraint p [ (x, 3.); (y, 2.) ] SF.Leq 18.;
+  SF.set_objective p [ (x, 3.); (y, 5.) ];
+  match SF.solve p with
+  | SF.Optimal { objective; values; _ } ->
+    check_float "objective" 36. objective;
+    check_float "x" 2. values.(0);
+    check_float "y" 6. values.(1);
+    Alcotest.(check bool) "feasible" true (SF.check_feasible p values ~slack:true)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* min x + y st x + 2y >= 4, 3x + y >= 6 -> optimum 2.8 at (1.6,1.2). *)
+let test_textbook_min () =
+  let p = SF.create () in
+  let x = SF.add_var p and y = SF.add_var p in
+  SF.add_constraint p [ (x, 1.); (y, 2.) ] SF.Geq 4.;
+  SF.add_constraint p [ (x, 3.); (y, 1.) ] SF.Geq 6.;
+  SF.set_objective p [ (x, 1.); (y, 1.) ];
+  match SF.solve p with
+  | SF.Optimal { objective; values; _ } ->
+    check_float "objective" 2.8 objective;
+    check_float "x" 1.6 values.(0);
+    check_float "y" 1.2 values.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_equality_constraints () =
+  (* min 2x + 3y st x + y = 10, x - y = 2 -> x=6, y=4, obj=24. *)
+  let p = SF.create () in
+  let x = SF.add_var p and y = SF.add_var p in
+  SF.add_constraint p [ (x, 1.); (y, 1.) ] SF.Eq 10.;
+  SF.add_constraint p [ (x, 1.); (y, -1.) ] SF.Eq 2.;
+  SF.set_objective p [ (x, 2.); (y, 3.) ];
+  match SF.solve p with
+  | SF.Optimal { objective; values; _ } ->
+    check_float "objective" 24. objective;
+    check_float "x" 6. values.(0);
+    check_float "y" 4. values.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  let p = SF.create () in
+  let x = SF.add_var p in
+  SF.add_constraint p [ (x, 1.) ] SF.Leq 1.;
+  SF.add_constraint p [ (x, 1.) ] SF.Geq 2.;
+  SF.set_objective p [ (x, 1.) ];
+  match SF.solve p with
+  | SF.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = SF.create ~maximize:true () in
+  let x = SF.add_var p and y = SF.add_var p in
+  SF.add_constraint p [ (x, 1.); (y, -1.) ] SF.Leq 1.;
+  SF.set_objective p [ (x, 1.) ];
+  match SF.solve p with
+  | SF.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate () =
+  (* Degenerate vertex: redundant constraints meeting at the optimum.
+     Bland's rule must not cycle. *)
+  let p = SF.create ~maximize:true () in
+  let x = SF.add_var p and y = SF.add_var p in
+  SF.add_constraint p [ (x, 1.); (y, 1.) ] SF.Leq 1.;
+  SF.add_constraint p [ (x, 2.); (y, 2.) ] SF.Leq 2.;
+  SF.add_constraint p [ (x, 1.) ] SF.Leq 1.;
+  SF.set_objective p [ (x, 1.); (y, 1.) ];
+  match SF.solve p with
+  | SF.Optimal { objective; _ } -> check_float "objective" 1. objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_zero_objective () =
+  (* Pure feasibility problem. *)
+  let p = SF.create () in
+  let x = SF.add_var p in
+  SF.add_constraint p [ (x, 1.) ] SF.Geq 3.;
+  SF.set_objective p [];
+  match SF.solve p with
+  | SF.Optimal { objective; values; _ } ->
+    check_float "objective" 0. objective;
+    Alcotest.(check bool) "x >= 3" true (values.(0) >= 3. -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_exact_rational () =
+  (* Same textbook problem, exact: optimum is exactly 36. *)
+  let p = SQ.create ~maximize:true () in
+  let x = SQ.add_var p and y = SQ.add_var p in
+  SQ.add_constraint p [ (x, Q.of_int 1) ] SQ.Leq (Q.of_int 4);
+  SQ.add_constraint p [ (y, Q.of_int 2) ] SQ.Leq (Q.of_int 12);
+  SQ.add_constraint p [ (x, Q.of_int 3); (y, Q.of_int 2) ] SQ.Leq (Q.of_int 18);
+  SQ.set_objective p [ (x, Q.of_int 3); (y, Q.of_int 5) ];
+  match SQ.solve p with
+  | SQ.Optimal { objective; values; _ } ->
+    Alcotest.(check string) "objective exactly 36" "36" (Q.to_string objective);
+    Alcotest.(check string) "x exactly 2" "2" (Q.to_string values.(0));
+    Alcotest.(check string) "y exactly 6" "6" (Q.to_string values.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_exact_fractional_solution () =
+  (* min x+y st 3x + y >= 1, x + 3y >= 1: optimum 1/2 at (1/4, 1/4). *)
+  let p = SQ.create () in
+  let x = SQ.add_var p and y = SQ.add_var p in
+  SQ.add_constraint p [ (x, Q.of_int 3); (y, Q.of_int 1) ] SQ.Geq Q.one;
+  SQ.add_constraint p [ (x, Q.of_int 1); (y, Q.of_int 3) ] SQ.Geq Q.one;
+  SQ.set_objective p [ (x, Q.one); (y, Q.one) ];
+  match SQ.solve p with
+  | SQ.Optimal { objective; values; _ } ->
+    Alcotest.(check string) "objective exactly 1/2" "1/2" (Q.to_string objective);
+    Alcotest.(check string) "x = 1/4" "1/4" (Q.to_string values.(0));
+    Alcotest.(check string) "y = 1/4" "1/4" (Q.to_string values.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Random LP generator: small integer data, bounded feasible region
+   (ensured by adding x_i <= bound rows), minimize. *)
+let gen_lp =
+  let open QCheck2.Gen in
+  let coeff = int_range (-5) 5 in
+  let* nv = int_range 1 4 in
+  let* nc = int_range 1 5 in
+  let* rows = list_repeat nc (pair (list_repeat nv coeff) (int_range 0 20)) in
+  let* obj = list_repeat nv (int_range 0 6) in
+  return (nv, rows, obj)
+
+let build_float (nv, rows, obj) =
+  let p = SF.create () in
+  let vars = Array.init nv (fun _ -> SF.add_var p) in
+  List.iter
+    (fun (coeffs, rhs) ->
+      let cs = List.mapi (fun i c -> (vars.(i), float_of_int c)) coeffs in
+      SF.add_constraint p cs SF.Geq (float_of_int rhs))
+    rows;
+  Array.iter (fun v -> SF.add_constraint p [ (v, 1.) ] SF.Leq 100.) vars;
+  SF.set_objective p (List.mapi (fun i c -> (vars.(i), float_of_int c)) obj);
+  p
+
+let build_exact (nv, rows, obj) =
+  let p = SQ.create () in
+  let vars = Array.init nv (fun _ -> SQ.add_var p) in
+  List.iter
+    (fun (coeffs, rhs) ->
+      let cs = List.mapi (fun i c -> (vars.(i), Q.of_int c)) coeffs in
+      SQ.add_constraint p cs SQ.Geq (Q.of_int rhs))
+    rows;
+  Array.iter (fun v -> SQ.add_constraint p [ (v, Q.one) ] SQ.Leq (Q.of_int 100)) vars;
+  SQ.set_objective p (List.mapi (fun i c -> (vars.(i), Q.of_int c)) obj);
+  p
+
+let prop_float_matches_exact =
+  QCheck2.Test.make ~name:"float simplex matches exact simplex" ~count:200 gen_lp (fun spec ->
+      let pf = build_float spec and pq = build_exact spec in
+      match (SF.solve pf, SQ.solve pq) with
+      | SF.Optimal { objective = fo; values; _ }, SQ.Optimal { objective = qo; _ } ->
+        Float.abs (fo -. Q.to_float qo) < 1e-6 && SF.check_feasible pf values ~slack:true
+      | SF.Infeasible, SQ.Infeasible -> true
+      | SF.Unbounded, SQ.Unbounded -> true
+      | _ -> false)
+
+(* Strong duality: objective = sum duals*rhs, for both engines and both
+   senses. An entirely independent certificate of optimality. *)
+let test_duals_textbook () =
+  let p = SF.create ~maximize:true () in
+  let x = SF.add_var p and y = SF.add_var p in
+  SF.add_constraint p [ (x, 1.) ] SF.Leq 4.;
+  SF.add_constraint p [ (y, 2.) ] SF.Leq 12.;
+  SF.add_constraint p [ (x, 3.); (y, 2.) ] SF.Leq 18.;
+  SF.set_objective p [ (x, 3.); (y, 5.) ];
+  match SF.solve p with
+  | SF.Optimal { objective; duals; _ } ->
+    (* Known duals of this classic: (0, 3/2, 1): 0*4 + 1.5*12 + 1*18 = 36. *)
+    check_float "strong duality" objective ((duals.(0) *. 4.) +. (duals.(1) *. 12.) +. (duals.(2) *. 18.));
+    check_float "y1" 1.5 duals.(1);
+    check_float "y2" 1. duals.(2)
+  | _ -> Alcotest.fail "expected optimal"
+
+let prop_strong_duality_float =
+  QCheck2.Test.make ~name:"strong duality (float)" ~count:200 gen_lp (fun spec ->
+      let nv, rows, _ = spec in
+      let p = build_float spec in
+      match SF.solve p with
+      | SF.Optimal { objective; duals; _ } ->
+        (* rhs in insertion order: the Geq rows then the x <= 100 rows. *)
+        let rhs = List.map (fun (_, b) -> float_of_int b) rows @ List.init nv (fun _ -> 100.) in
+        let dual_value = List.fold_left2 (fun acc y b -> acc +. (y *. b)) 0. (Array.to_list duals) rhs in
+        Float.abs (objective -. dual_value) < 1e-6
+      | SF.Infeasible | SF.Unbounded -> true)
+
+let prop_strong_duality_exact =
+  QCheck2.Test.make ~name:"strong duality (exact, zero gap)" ~count:100 gen_lp (fun spec ->
+      let nv, rows, _ = spec in
+      let p = build_exact spec in
+      match SQ.solve p with
+      | SQ.Optimal { objective; duals; _ } ->
+        let rhs = List.map (fun (_, b) -> Q.of_int b) rows @ List.init nv (fun _ -> Q.of_int 100) in
+        let dual_value = List.fold_left2 (fun acc y b -> Q.add acc (Q.mul y b)) Q.zero (Array.to_list duals) rhs in
+        Q.equal objective dual_value
+      | SQ.Infeasible | SQ.Unbounded -> true)
+
+let prop_pivot_rules_agree =
+  QCheck2.Test.make ~name:"Dantzig and Bland reach the same optimum" ~count:150 gen_lp (fun spec ->
+      let p1 = build_float spec and p2 = build_float spec in
+      match (SF.solve ~rule:SF.Bland p1, SF.solve ~rule:SF.Dantzig p2) with
+      | SF.Optimal { objective = a; _ }, SF.Optimal { objective = b; _ } -> Float.abs (a -. b) < 1e-6
+      | SF.Infeasible, SF.Infeasible -> true
+      | SF.Unbounded, SF.Unbounded -> true
+      | _ -> false)
+
+let prop_pivot_rules_agree_exact =
+  QCheck2.Test.make ~name:"Dantzig and Bland agree exactly (rationals)" ~count:60 gen_lp (fun spec ->
+      let p1 = build_exact spec and p2 = build_exact spec in
+      match (SQ.solve ~rule:SQ.Bland p1, SQ.solve ~rule:SQ.Dantzig p2) with
+      | SQ.Optimal { objective = a; _ }, SQ.Optimal { objective = b; _ } -> Q.equal a b
+      | SQ.Infeasible, SQ.Infeasible -> true
+      | SQ.Unbounded, SQ.Unbounded -> true
+      | _ -> false)
+
+let prop_solution_feasible_exact =
+  QCheck2.Test.make ~name:"exact simplex returns feasible points" ~count:100 gen_lp (fun spec ->
+      let pq = build_exact spec in
+      match SQ.solve pq with
+      | SQ.Optimal { values; _ } -> SQ.check_feasible pq values ~slack:false
+      | SQ.Infeasible | SQ.Unbounded -> true)
+
+let () =
+  let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "simplex"
+    [
+      ( "float",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "textbook min" `Quick test_textbook_min;
+          Alcotest.test_case "equalities" `Quick test_equality_constraints;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "textbook duals" `Quick test_duals_textbook;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "integral optimum" `Quick test_exact_rational;
+          Alcotest.test_case "fractional optimum" `Quick test_exact_fractional_solution;
+        ] );
+      ( "cross-check",
+        qsuite
+          [
+            prop_float_matches_exact;
+            prop_solution_feasible_exact;
+            prop_strong_duality_float;
+            prop_strong_duality_exact;
+            prop_pivot_rules_agree;
+            prop_pivot_rules_agree_exact;
+          ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for the util substrate: RNG determinism and bounds, statistics,
+   table rendering. *)
+
+module Rng = Mwct_util.Rng
+module Stats = Mwct_util.Stats
+module Tablefmt = Mwct_util.Tablefmt
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done;
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed differs" true (Rng.bits (Rng.create 42) <> Rng.bits c)
+
+let test_rng_copy_split () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy same next" (Rng.bits a) (Rng.bits b);
+  let a = Rng.create 7 in
+  let s = Rng.split a in
+  Alcotest.(check bool) "split independent" true (Rng.bits s <> Rng.bits (Rng.create 7))
+
+let test_rng_bounds () =
+  let t = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 17 in
+    Alcotest.(check bool) "int in [0,17)" true (v >= 0 && v < 17);
+    let v = Rng.int_in t (-3) 5 in
+    Alcotest.(check bool) "int_in bounds" true (v >= -3 && v <= 5);
+    let f = Rng.float t 2.5 in
+    Alcotest.(check bool) "float in [0,2.5)" true (f >= 0. && f < 2.5);
+    let d = Rng.dyadic t ~den:1024 in
+    Alcotest.(check bool) "dyadic in [1,1024]" true (d >= 1 && d <= 1024)
+  done
+
+let test_rng_uniformity () =
+  (* Crude chi-square-free check: each of 8 buckets gets 8-20% of draws. *)
+  let t = Rng.create 99 in
+  let buckets = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let v = Rng.int t 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket roughly uniform" true (c > n / 13 && c < n / 5))
+    buckets
+
+let test_shuffle_permutation () =
+  let t = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.quantile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.quantile 0. xs);
+  Alcotest.(check (float 1e-9)) "q1" 5.0 (Stats.quantile 1. xs);
+  Alcotest.(check (float 1e-9)) "q0.25 interpolated" 2.0 (Stats.quantile 0.25 xs);
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.) s.Stats.stddev;
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then false else if String.sub s i m = sub then true else go (i + 1) in
+  go 0
+
+let test_table_render () =
+  let t = Tablefmt.create ~title:"demo" [ "name"; "value" ] in
+  Tablefmt.set_align t [ Tablefmt.Left; Tablefmt.Right ];
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "12345" ];
+  let out = Tablefmt.render t in
+  Alcotest.(check bool) "contains title" true (contains out "== demo ==");
+  Alcotest.(check bool) "contains header" true (contains out "| name  |");
+  Alcotest.(check bool) "right-aligns value" true (contains out "|     1 |");
+  Alcotest.check_raises "row width mismatch" (Invalid_argument "Tablefmt.add_row: width mismatch")
+    (fun () -> Tablefmt.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "copy/split" `Quick test_rng_copy_split;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        ] );
+      ("stats", [ Alcotest.test_case "summaries" `Quick test_stats ]);
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the instance generators: structural validity, the
+   advertised parameter ranges, determinism, and exactness of the
+   dyadic encoding in both engines. *)
+
+open Test_support
+module G = Mwct_workload.Generator
+module Rng = Mwct_util.Rng
+module Spec = Mwct_core.Spec
+module EF = Support.EF
+module EQ = Support.EQ
+module Q = Support.Q
+
+let test_determinism () =
+  let a = G.uniform (Rng.create 5) ~procs:4 ~n:6 () in
+  let b = G.uniform (Rng.create 5) ~procs:4 ~n:6 () in
+  Alcotest.(check string) "same seed, same instance" (Spec.to_string a) (Spec.to_string b);
+  let c = G.uniform (Rng.create 6) ~procs:4 ~n:6 () in
+  Alcotest.(check bool) "different seed differs" true (Spec.to_string a <> Spec.to_string c)
+
+let test_uniform_ranges () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 50 do
+    let s = G.uniform rng ~procs:5 ~n:4 () in
+    Alcotest.(check bool) "spec valid" true (Result.is_ok (Spec.validate s));
+    Array.iter
+      (fun (t : Spec.task) ->
+        Alcotest.(check bool) "delta < P" true (t.Spec.delta >= 1 && t.Spec.delta <= 4);
+        Alcotest.(check bool) "volume in (0,1]" true (t.Spec.volume.Spec.num >= 1 && t.Spec.volume.Spec.num <= t.Spec.volume.Spec.den);
+        Alcotest.(check bool) "weight in (0,1]" true (t.Spec.weight.Spec.num >= 1 && t.Spec.weight.Spec.num <= t.Spec.weight.Spec.den))
+      s.Spec.tasks
+  done
+
+let test_unweighted () =
+  let s = G.uniform_unweighted (Rng.create 3) ~procs:3 ~n:5 () in
+  Array.iter
+    (fun (t : Spec.task) ->
+      Alcotest.(check int) "weight num 1" 1 t.Spec.weight.Spec.num;
+      Alcotest.(check int) "weight den 1" 1 t.Spec.weight.Spec.den)
+    s.Spec.tasks
+
+let test_wide_deltas () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let s = G.wide rng ~procs:6 ~n:4 () in
+    Array.iter
+      (fun (t : Spec.task) -> Alcotest.(check bool) "delta > P/2" true (t.Spec.delta > 3 && t.Spec.delta <= 6))
+      s.Spec.tasks
+  done
+
+let test_unit_tasks () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 50 do
+    let s = G.unit_tasks rng ~procs:5 ~n:4 () in
+    Array.iter
+      (fun (t : Spec.task) ->
+        Alcotest.(check int) "V = 1" 1 t.Spec.volume.Spec.num;
+        Alcotest.(check bool) "delta >= ceil(P/2)" true (t.Spec.delta >= 3 && t.Spec.delta <= 5))
+      s.Spec.tasks
+  done
+
+let test_homogeneous_deltas_range () =
+  let rng = Rng.create 29 in
+  let ds = G.homogeneous_deltas rng ~n:100 ~den:256 () in
+  Array.iter
+    (fun (r : Spec.rat) ->
+      Alcotest.(check bool) "1/2 <= d <= 1" true (2 * r.Spec.num >= r.Spec.den && r.Spec.num <= r.Spec.den))
+    ds
+
+let test_pow2_guard () =
+  Alcotest.check_raises "den must be a power of two"
+    (Invalid_argument "Generator: den must be a power of two") (fun () ->
+      ignore (G.uniform (Rng.create 1) ~procs:3 ~n:2 ~den:1000 ()))
+
+let test_due_dates () =
+  let d = G.due_dates (Rng.create 31) ~n:20 ~spread:4 () in
+  Alcotest.(check int) "length" 20 (Array.length d);
+  Array.iter (fun (r : Spec.rat) -> Alcotest.(check bool) "positive" true (r.Spec.num > 0)) d
+
+(* The dyadic encoding makes the float and exact engines see identical
+   numbers. *)
+let prop_dyadic_exact_in_floats =
+  QCheck2.Test.make ~name:"dyadic instances identical in both engines" ~count:200
+    ~print:Support.print_spec (Support.gen_spec `Uniform)
+    (fun spec ->
+      let fi = Support.finst spec and qi = Support.qinst spec in
+      Array.for_all2
+        (fun (ft : EF.Types.task) (qt : EQ.Types.task) ->
+          ft.EF.Types.volume = Q.to_float qt.EQ.Types.volume
+          && ft.EF.Types.weight = Q.to_float qt.EQ.Types.weight
+          && ft.EF.Types.delta = Q.to_float qt.EQ.Types.delta)
+        fi.EF.Types.tasks qi.EQ.Types.tasks)
+
+let test_heavy_tailed () =
+  let rng = Rng.create 41 in
+  let seen_small = ref false and seen_big = ref false in
+  for _ = 1 to 30 do
+    let s = G.heavy_tailed rng ~procs:4 ~n:10 () in
+    Alcotest.(check bool) "valid" true (Result.is_ok (Spec.validate s));
+    Array.iter
+      (fun (t : Spec.task) ->
+        (* volumes are 1/2^k *)
+        Alcotest.(check int) "volume numerator 1" 1 t.Spec.volume.Spec.num;
+        if t.Spec.volume.Spec.den >= 16 then seen_small := true;
+        if t.Spec.volume.Spec.den = 1 then seen_big := true)
+      s.Spec.tasks
+  done;
+  Alcotest.(check bool) "tail reached" true !seen_small;
+  Alcotest.(check bool) "head reached" true !seen_big
+
+let test_bimodal () =
+  let s = G.bimodal (Rng.create 43) ~procs:6 ~n:8 () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Spec.validate s));
+  Array.iteri
+    (fun k (t : Spec.task) ->
+      if k land 1 = 0 then begin
+        Alcotest.(check int) "mouse narrow" 1 t.Spec.delta;
+        Alcotest.(check bool) "mouse tiny" true (t.Spec.volume.Spec.num * 8 <= t.Spec.volume.Spec.den)
+      end
+      else begin
+        Alcotest.(check int) "elephant wide" 5 t.Spec.delta;
+        Alcotest.(check bool) "elephant heavy" true (t.Spec.volume.Spec.num > t.Spec.volume.Spec.den)
+      end)
+    s.Spec.tasks
+
+let prop_mixed_valid =
+  QCheck2.Test.make ~name:"mixed instances validate" ~count:200 ~print:Support.print_spec
+    (Support.gen_spec `Mixed)
+    (fun spec -> Result.is_ok (Spec.validate spec))
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "uniform ranges" `Quick test_uniform_ranges;
+          Alcotest.test_case "unweighted" `Quick test_unweighted;
+          Alcotest.test_case "wide deltas" `Quick test_wide_deltas;
+          Alcotest.test_case "unit tasks" `Quick test_unit_tasks;
+          Alcotest.test_case "homogeneous deltas" `Quick test_homogeneous_deltas_range;
+          Alcotest.test_case "pow2 guard" `Quick test_pow2_guard;
+          Alcotest.test_case "due dates" `Quick test_due_dates;
+          Alcotest.test_case "heavy tailed" `Quick test_heavy_tailed;
+          Alcotest.test_case "bimodal" `Quick test_bimodal;
+        ] );
+      ("properties", q [ prop_dyadic_exact_in_floats; prop_mixed_valid ]);
+    ]
