@@ -149,12 +149,147 @@ let bench_dantzig =
   Test.make ~name:"B13b simplex dantzig 20v/50c" (Staged.stage (fun () ->
       ignore (SxF.solve ~rule:SxF.Dantzig (build_pivot_lp ()))))
 
+(* B14: the event-driven WDEQ simulation at scale. The O(n log n)
+   share kernel plus sparse columns keep a full n=1000 run in the
+   milliseconds and make n=5000 feasible at all (the seed's dense
+   O(n^3) path allocated n^2 floats per schedule and re-ran the
+   List.partition fixpoint per event). *)
+let bench_wdeq_1000 =
+  let inst = instance_of_size 1000 in
+  Test.make ~name:"B14a wdeq.simulate n=1000" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+
+let bench_wdeq_5000 =
+  let inst = instance_of_size 5000 in
+  Test.make ~name:"B14b wdeq.simulate n=5000" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+
+(* Seed baseline for B14: the pre-sparse simulate, verbatim from the
+   growth seed — List.partition share fixpoint re-run per event and a
+   dense n x n allocation matrix. Kept here (not in lib/) purely to
+   measure the speedup of the event-driven kernels. *)
+module Seed_wdeq = struct
+  module F = Mwct_field.Field.Float_field
+
+  let shares ~p alive : (int * F.t) list =
+    let rec go unsat saturated r w =
+      let violating, rest =
+        List.partition (fun (_, wi, di) -> F.compare (F.mul di w) (F.mul wi r) < 0) unsat
+      in
+      match violating with
+      | [] ->
+        let give =
+          List.map (fun (i, wi, _) -> (i, if F.sign w > 0 then F.div (F.mul wi r) w else F.zero)) rest
+        in
+        saturated @ give
+      | _ ->
+        let r' = List.fold_left (fun acc (_, _, di) -> F.sub acc di) r violating in
+        let w' = List.fold_left (fun acc (_, wi, _) -> F.sub acc wi) w violating in
+        go rest (List.map (fun (i, _, di) -> (i, di)) violating @ saturated) r' w'
+    in
+    let w0 = List.fold_left (fun acc (_, wi, _) -> F.add acc wi) F.zero alive in
+    go alive [] p w0
+
+  let simulate (inst : EF.Types.instance) =
+    let n = Array.length inst.EF.Types.tasks in
+    let remaining = Array.map (fun (t : EF.Types.task) -> t.EF.Types.volume) inst.EF.Types.tasks in
+    let alive = Array.make n true in
+    let finish = Array.make n F.zero in
+    let alloc = Array.make_matrix n n F.zero in
+    let t_now = ref F.zero in
+    let col = ref 0 in
+    while !col < n do
+      let alive_list =
+        List.filter_map
+          (fun i ->
+            if alive.(i) then
+              Some (i, inst.EF.Types.tasks.(i).EF.Types.weight, EF.Instance.effective_delta inst i)
+            else None)
+          (List.init n (fun i -> i))
+      in
+      let share_list = shares ~p:inst.EF.Types.procs alive_list in
+      let dt =
+        List.fold_left
+          (fun acc (i, s) ->
+            if F.sign s > 0 then begin
+              let ti = F.div remaining.(i) s in
+              match acc with None -> Some ti | Some a -> Some (F.min a ti)
+            end
+            else acc)
+          None share_list
+      in
+      let dt = match dt with Some d -> d | None -> assert false in
+      let t_end = F.add !t_now dt in
+      let deltas = Array.make n F.zero in
+      List.iter (fun (i, s) -> deltas.(i) <- s) share_list;
+      let finished = ref [] in
+      List.iter
+        (fun (i, s) ->
+          remaining.(i) <- F.sub remaining.(i) (F.mul s dt);
+          if F.leq_approx remaining.(i) F.zero then finished := i :: !finished)
+        share_list;
+      let finished = List.sort Stdlib.compare !finished in
+      List.iteri
+        (fun k i ->
+          let j = !col + k in
+          finish.(j) <- t_end;
+          alive.(i) <- false;
+          if k = 0 then Array.iteri (fun i' s -> alloc.(i').(j) <- s) deltas)
+        finished;
+      col := !col + List.length finished;
+      t_now := t_end
+    done;
+    (finish, alloc)
+end
+
+let bench_wdeq_seed_100 =
+  let inst = instance_of_size 100 in
+  Test.make ~name:"B14c wdeq.simulate seed-baseline n=100" (Staged.stage (fun () ->
+      ignore (Seed_wdeq.simulate inst)))
+
+let bench_wdeq_seed_1000 =
+  let inst = instance_of_size 1000 in
+  Test.make ~name:"B14d wdeq.simulate seed-baseline n=1000" (Staged.stage (fun () ->
+      ignore (Seed_wdeq.simulate inst)))
+
+(* B15: one share computation, fast kernel vs the seed's List.partition
+   fixpoint, at n=100 and n=1000 — the per-event cost behind B14. On
+   benign uniform instances the reference converges in a couple of
+   rounds, so a standalone fast call (which pays a fresh sort) can
+   lose; simulate wins because the ratio sort is hoisted out of the
+   event loop and the worst case drops from O(n^2) to O(log n). *)
+let alive_of_size n =
+  let inst = instance_of_size n in
+  ( inst.EF.Types.procs,
+    List.init n (fun i ->
+        (i, inst.EF.Types.tasks.(i).EF.Types.weight, EF.Instance.effective_delta inst i)) )
+
+let bench_shares_fast_100 =
+  let p, alive = alive_of_size 100 in
+  Test.make ~name:"B15a wdeq.shares fast n=100" (Staged.stage (fun () ->
+      ignore (EF.Wdeq.shares ~p alive)))
+
+let bench_shares_ref_100 =
+  let p, alive = alive_of_size 100 in
+  Test.make ~name:"B15b wdeq.shares reference n=100" (Staged.stage (fun () ->
+      ignore (EF.Wdeq.shares_reference ~p alive)))
+
+let bench_shares_fast_1000 =
+  let p, alive = alive_of_size 1000 in
+  Test.make ~name:"B15c wdeq.shares fast n=1000" (Staged.stage (fun () ->
+      ignore (EF.Wdeq.shares ~p alive)))
+
+let bench_shares_ref_1000 =
+  let p, alive = alive_of_size 1000 in
+  Test.make ~name:"B15d wdeq.shares reference n=1000" (Staged.stage (fun () ->
+      ignore (EF.Wdeq.shares_reference ~p alive)))
+
 let benchmark () =
   let tests =
     [
       bench_wf; bench_greedy; bench_wdeq; bench_lp; bench_integerize; bench_homogeneous;
       bench_exact_wdeq; bench_bigint; bench_karatsuba; bench_schoolbook; bench_release_dates;
-      bench_moldable; bench_ncv; bench_bland; bench_dantzig;
+      bench_moldable; bench_ncv; bench_bland; bench_dantzig; bench_wdeq_1000; bench_wdeq_5000;
+      bench_wdeq_seed_100; bench_wdeq_seed_1000; bench_shares_fast_100; bench_shares_ref_100;
+      bench_shares_fast_1000; bench_shares_ref_1000;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -170,13 +305,39 @@ let benchmark () =
   print_endline " Micro-benchmarks (ns per run, OLS on monotonic clock)";
   print_endline "================================================================";
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   List.iter
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
       | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+    rows;
+  rows
+
+(* Machine-readable results: kernel name -> ns/run, for regression
+   tracking across PRs. *)
+let emit_json path rows =
+  let oc = open_out path in
+  let escape s =
+    String.concat "" (List.map (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+        (List.init (String.length s) (String.get s)))
+  in
+  output_string oc "{\n";
+  let entries =
+    List.filter_map
+      (fun (name, v) ->
+        match Analyze.OLS.estimates v with
+        | Some [ est ] -> Some (Printf.sprintf "  \"%s\": %.1f" (escape name) est)
+        | _ -> None)
+      rows
+  in
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "\nWrote %d benchmark rows to %s\n" (List.length entries) path
 
 let () =
-  run_experiments ();
-  benchmark ()
+  let argv = Array.to_list Sys.argv in
+  if not (List.mem "--no-experiments" argv) then run_experiments ();
+  let rows = benchmark () in
+  emit_json "BENCH_1.json" rows

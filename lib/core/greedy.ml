@@ -114,29 +114,13 @@ module Make (F : Mwct_field.Field.S) = struct
         completion.(i) <- fin;
         profile := consume !profile segs)
       sigma;
-    (* Assemble the column schedule over sorted completion times. *)
+    (* Assemble the column schedule over sorted completion times. Each
+       task's rate segments feed the sparse columns directly: the rate
+       is constant within a column, so averaging is exact. *)
     let order = S.sorted_order completion in
     let finish = Array.map (fun i -> completion.(i)) order in
-    let alloc = Array.make_matrix n n F.zero in
-    for j = 0 to n - 1 do
-      let cstart = if j = 0 then F.zero else finish.(j - 1) in
-      let cend = finish.(j) in
-      let len = F.sub cend cstart in
-      if F.sign len > 0 then
-        for i = 0 to n - 1 do
-          (* Average the task's rate over the column (the rate is in
-             fact constant there; averaging is exact either way). *)
-          let area =
-            List.fold_left
-              (fun acc (a, b, r) ->
-                let lo = F.max a cstart and hi = F.min b cend in
-                if F.compare lo hi < 0 then F.add acc (F.mul r (F.sub hi lo)) else acc)
-              F.zero task_segs.(i)
-          in
-          alloc.(i).(j) <- F.div area len
-        done
-    done;
-    { instance = inst; order; finish; alloc }
+    let columns = S.columns_of_segments ~finish task_segs in
+    { instance = inst; order; finish; columns }
 
   (** Objective of the greedy schedule for an order. *)
   let objective (inst : instance) (sigma : int array) =

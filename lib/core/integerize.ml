@@ -41,8 +41,7 @@ module Make (F : Mwct_field.Field.S) = struct
            [used] (a time offset within the column, in [0, len]). *)
         let p = ref 0 in
         let used = ref F.zero in
-        for i = 0 to n - 1 do
-          let a = s.alloc.(i).(j) in
+        List.iter (fun (i, a) ->
           if F.sign a > 0 then begin
             let remaining_area = ref (F.mul a len) in
             (* This task's bookings inside the column. *)
@@ -82,8 +81,8 @@ module Make (F : Mwct_field.Field.S) = struct
               | _ -> ()
             in
             emit points
-          end
-        done
+          end)
+          (S.column_allocs s j)
       end
     done;
     (* Sort and merge demands per task. *)
@@ -106,7 +105,6 @@ module Make (F : Mwct_field.Field.S) = struct
   (** Averaging direction of Theorem 3: rebuild a column schedule from
       integer demands. Completion times are the last demand ends. *)
   let to_columns (is : integer_schedule) : column_schedule =
-    let n = Array.length is.demands in
     let completion =
       Array.map
         (fun segs -> List.fold_left (fun acc seg -> F.max acc seg.end_time) F.zero segs)
@@ -114,24 +112,13 @@ module Make (F : Mwct_field.Field.S) = struct
     in
     let order = S.sorted_order completion in
     let finish = Array.map (fun i -> completion.(i)) order in
-    let alloc = Array.make_matrix n n F.zero in
-    for j = 0 to n - 1 do
-      let cstart = if j = 0 then F.zero else finish.(j - 1) in
-      let cend = finish.(j) in
-      let len = F.sub cend cstart in
-      if F.sign len > 0 then
-        for i = 0 to n - 1 do
-          let area =
-            List.fold_left
-              (fun acc seg ->
-                let lo = F.max seg.start_time cstart and hi = F.min seg.end_time cend in
-                if F.compare lo hi < 0 then F.add acc (F.mul (F.of_int seg.procs) (F.sub hi lo)) else acc)
-              F.zero is.demands.(i)
-          in
-          alloc.(i).(j) <- F.div area len
-        done
-    done;
-    { instance = is.instance; order; finish; alloc }
+    let segments =
+      Array.map
+        (List.map (fun seg -> (seg.start_time, seg.end_time, F.of_int seg.procs)))
+        is.demands
+    in
+    let columns = S.columns_of_segments ~finish segments in
+    { instance = is.instance; order; finish; columns }
 
   (** Check the Theorem 3 invariant on a wrap output: at any instant a
       task holds either [⌊d⌋] or [⌈d⌉] processors of its fractional
@@ -144,7 +131,7 @@ module Make (F : Mwct_field.Field.S) = struct
         for j = 0 to n - 1 do
           if F.to_float (S.column_length s j) > 1e-9 then begin
             let cstart = F.to_float (S.column_start s j) and cend = F.to_float s.finish.(j) in
-            let d = F.to_float s.alloc.(i).(j) in
+            let d = F.to_float (S.alloc s i j) in
             let lo = Float.floor (d -. 1e-6) and hi = Float.ceil (d +. 1e-6) in
             List.iter
               (fun seg ->

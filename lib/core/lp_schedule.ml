@@ -77,17 +77,23 @@ module Make (F : Mwct_field.Field.S) = struct
     | Sx.Infeasible | Sx.Unbounded -> None
     | Sx.Optimal { objective; values; _ } ->
       let finish = Array.map (fun (v : Sx.var) -> values.((v :> int))) c in
-      let alloc = Array.make_matrix n n F.zero in
-      for j = 0 to n - 1 do
-        let len = F.sub finish.(j) (if j = 0 then F.zero else finish.(j - 1)) in
-        if F.sign len > 0 && not (F.equal_approx len F.zero) then
-          for i = 0 to n - 1 do
-            match x.(i).(j) with
-            | Some v -> alloc.(i).(j) <- F.div values.((v :> int)) len
-            | None -> ()
-          done
-      done;
-      Some (objective, { instance = inst; order = Array.copy pi; finish; alloc })
+      let columns =
+        Array.init n (fun j ->
+            let len = F.sub finish.(j) (if j = 0 then F.zero else finish.(j - 1)) in
+            if F.sign len > 0 && not (F.equal_approx len F.zero) then begin
+              let col = ref [] in
+              for i = n - 1 downto 0 do
+                match x.(i).(j) with
+                | Some v ->
+                  let a = F.div values.((v :> int)) len in
+                  if F.sign a <> 0 then col := (i, a) :: !col
+                | None -> ()
+              done;
+              !col
+            end
+            else [])
+      in
+      Some (objective, { instance = inst; order = Array.copy pi; finish; columns })
 
   (** Exact global optimum by enumerating all completion orders.
       Exponential: guarded to [n <= max_tasks] (default 8). *)

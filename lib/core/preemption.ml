@@ -20,21 +20,24 @@ module Make (F : Mwct_field.Field.S) = struct
       first activity to its completion column, where the allocation
       value differs. The initial rise from zero and the final drop to
       zero are free. *)
-  let task_changes (s : column_schedule) i =
-    let n = Array.length s.finish in
-    let pos =
-      let p = ref (n - 1) in
-      Array.iteri (fun j t -> if t = i then p := j) s.order;
-      !p
-    in
+  (* Change count of one task given its (column, rate) row, the column
+     it completes in, and a zero-length-column mask. *)
+  let row_changes ~zero_len ~pos row =
     (* Walk positive-length columns up to [pos]; remember the previous
        allocation once the task has started. *)
     let changes = ref 0 in
     let prev = ref None in
+    let row = ref row in
     for j = 0 to pos do
       (* Skip zero-length columns, including float near-ties. *)
-      if not (F.equal_approx (S.column_length s j) F.zero) then begin
-        let a = s.alloc.(i).(j) in
+      if not zero_len.(j) then begin
+        let a =
+          match !row with
+          | (j', a) :: rest when j' = j ->
+            row := rest;
+            a
+          | _ -> F.zero
+        in
         (match !prev with
         | Some p when F.sign a > 0 && not (F.equal_approx a p) -> incr changes
         | _ -> ());
@@ -45,14 +48,39 @@ module Make (F : Mwct_field.Field.S) = struct
           changes := !changes + 2
         end
       end
+      else begin
+        (* Consume (irrelevant) entries of zero-length columns. *)
+        match !row with (j', _) :: rest when j' = j -> row := rest | _ -> ()
+      end
     done;
     !changes
 
-  (** Total allocation changes of a schedule (the paper's [N_n]). *)
-  let total_changes (s : column_schedule) =
+  let zero_len_mask (s : column_schedule) =
+    Array.init (Array.length s.finish) (fun j -> F.equal_approx (S.column_length s j) F.zero)
+
+  let positions (s : column_schedule) =
     let n = Array.length s.finish in
-    let rec go acc i = if i >= n then acc else go (acc + task_changes s i) (i + 1) in
-    go 0 0
+    let pos = Array.make n (n - 1) in
+    Array.iteri (fun j t -> pos.(t) <- j) s.order;
+    pos
+
+  (** Allocation-change count of a single task: transitions between
+      consecutive positive-length columns, within the window from its
+      first activity to its completion column, where the allocation
+      value differs. The initial rise from zero and the final drop to
+      zero are free. *)
+  let task_changes (s : column_schedule) i =
+    row_changes ~zero_len:(zero_len_mask s) ~pos:(positions s).(i) (S.task_rows s).(i)
+
+  (** Total allocation changes of a schedule (the paper's [N_n]),
+      in one [O(n + size)] pass. *)
+  let total_changes (s : column_schedule) =
+    let zero_len = zero_len_mask s in
+    let pos = positions s in
+    let rows = S.task_rows s in
+    let acc = ref 0 in
+    Array.iteri (fun i row -> acc := !acc + row_changes ~zero_len ~pos:pos.(i) row) rows;
+    !acc
 
   (** Number of changes in the {e available} resource profile (the
       paper's [M_n]): transitions between consecutive positive-length
@@ -60,12 +88,7 @@ module Make (F : Mwct_field.Field.S) = struct
   let availability_changes (s : column_schedule) =
     let n = Array.length s.finish in
     let heights =
-      Array.init n (fun j ->
-          let t = ref F.zero in
-          for i = 0 to n - 1 do
-            t := F.add !t s.alloc.(i).(j)
-          done;
-          !t)
+      Array.map (List.fold_left (fun acc (_, a) -> F.add acc a) F.zero) s.columns
     in
     let changes = ref 0 in
     let prev = ref None in

@@ -54,10 +54,11 @@ module Make (F : Mwct_field.Field.S) = struct
            (F.to_float (S.column_start s j))
            (F.to_float s.finish.(j))
            (task_letter s.order.(j)));
-      for i = 0 to n - 1 do
-        if F.sign s.alloc.(i).(j) > 0 then
-          Buffer.add_string buf (Printf.sprintf " %c=%.3f" (task_letter i) (F.to_float s.alloc.(i).(j)))
-      done;
+      List.iter
+        (fun (i, a) ->
+          if F.sign a > 0 then
+            Buffer.add_string buf (Printf.sprintf " %c=%.3f" (task_letter i) (F.to_float a)))
+        s.columns.(j);
       Buffer.add_char buf '\n'
     done;
     Buffer.contents buf
@@ -148,17 +149,18 @@ module Make (F : Mwct_field.Field.S) = struct
       let x0 = x_of (F.to_float (S.column_start s j)) and x1 = x_of (F.to_float s.finish.(j)) in
       if x1 > x0 then begin
         let stack = ref 0. in
-        for i = 0 to n - 1 do
-          let a = F.to_float s.alloc.(i).(j) in
-          if a > 0. then begin
-            let y1 = y_of !stack and y0 = y_of (!stack +. a) in
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"><title>task %d: %.3f procs</title></rect>\n"
-                 x0 y0 (x1 - x0) (Stdlib.max 1 (y1 - y0)) (color i) i a);
-            stack := !stack +. a
-          end
-        done
+        List.iter
+          (fun (i, af) ->
+            let a = F.to_float af in
+            if a > 0. then begin
+              let y1 = y_of !stack and y0 = y_of (!stack +. a) in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"><title>task %d: %.3f procs</title></rect>\n"
+                   x0 y0 (x1 - x0) (Stdlib.max 1 (y1 - y0)) (color i) i a);
+              stack := !stack +. a
+            end)
+          s.columns.(j)
       end
     done;
     (* frame: capacity line and axis labels *)

@@ -2,6 +2,11 @@
     accessors, the weighted-completion-time objective, and a full
     validity checker used pervasively in tests.
 
+    Allocations are sparse per column (see {!Types}); the accessors
+    below are the only sanctioned way to read them, so producers are
+    free to emit exactly the non-zero incidences and consumers stay
+    representation-agnostic.
+
     The validity conditions are exactly those of Definition 2:
     non-decreasing column ends, per-column capacity [Σ_i d_{i,j} <= P],
     per-task caps [d_{i,j} <= δ_i], volume conservation
@@ -23,6 +28,112 @@ module Make (F : Mwct_field.Field.S) = struct
   (** [column_length s j] is [l_j = C_j - C_{j-1}]; may be zero when two
       tasks complete simultaneously. *)
   let column_length (s : column_schedule) j = F.sub s.finish.(j) (column_start s j)
+
+  (** Sparse [(task, rate)] pairs of column [j], sorted by task. *)
+  let column_allocs (s : column_schedule) j = s.columns.(j)
+
+  (** [alloc s i j] is [d_{i,j}] — the (fractional) processor count of
+      task [i] during column [j]; [0] when the task is not in the
+      column. *)
+  let alloc (s : column_schedule) i j =
+    let rec find = function
+      | [] -> F.zero
+      | (i', a) :: rest -> if i' = i then a else if i' > i then F.zero else find rest
+    in
+    find s.columns.(j)
+
+  (** Per-task rows: [task_rows s] maps each task to its
+      [(column, rate)] incidences in increasing column order. One
+      [O(size)] pass over the whole schedule — use this instead of [n]
+      point lookups when traversing by task. *)
+  let task_rows (s : column_schedule) : (int * num) list array =
+    let n = num_columns s in
+    let rows = Array.make n [] in
+    for j = n - 1 downto 0 do
+      List.iter (fun (i, a) -> rows.(i) <- (j, a) :: rows.(i)) s.columns.(j)
+    done;
+    rows
+
+  (** Build a sparse schedule from a dense [alloc] matrix indexed
+      [alloc.(task).(column)]. Zero entries are dropped; non-zero
+      entries (including invalid negative ones, so the checker can
+      still flag them) are kept. *)
+  let of_dense ~instance ~order ~finish (alloc : num array array) : column_schedule =
+    let n = Array.length finish in
+    let columns =
+      Array.init n (fun j ->
+          let col = ref [] in
+          for i = Array.length alloc - 1 downto 0 do
+            let a = alloc.(i).(j) in
+            if F.sign a <> 0 then col := (i, a) :: !col
+          done;
+          !col)
+    in
+    { instance; order; finish; columns }
+
+  (** Densify (tests, debugging): the full [n × n] matrix indexed
+      [task, column]. *)
+  let dense_alloc (s : column_schedule) : num array array =
+    let n = num_columns s in
+    let m = Array.make_matrix n n F.zero in
+    Array.iteri (fun j col -> List.iter (fun (i, a) -> m.(i).(j) <- a) col) s.columns;
+    m
+
+  (** Build sparse columns from per-task piecewise-constant rate
+      profiles: [segments.(i)] lists [(t0, t1, rate)] stretches,
+      chronological and non-overlapping, with positive rate. The rate
+      recorded in a column is the task's {e average} rate there
+      (area / length), which is exact whenever segment boundaries align
+      with column boundaries. Zero-length columns get no entries.
+      Runs in [O(n log n + size)]. *)
+  let columns_of_segments ~(finish : num array) (segments : (num * num * num) list array) :
+      (int * num) list array =
+    let n = Array.length finish in
+    let cols = Array.make n [] in
+    (* First column whose end lies strictly after [t]. *)
+    let first_column_after t =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if F.compare finish.(mid) t <= 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    (* Accumulate area, merging with the head when the same task hits a
+       column through several segments. *)
+    let add cols_j i area =
+      match cols_j with
+      | (i', a') :: rest when i' = i -> (i', F.add a' area) :: rest
+      | l -> (i, area) :: l
+    in
+    Array.iteri
+      (fun i segs ->
+        let j = ref (match segs with [] -> n | (a, _, _) :: _ -> first_column_after a) in
+        List.iter
+          (fun (a, b, r) ->
+            while !j < n && F.compare finish.(!j) a <= 0 do
+              incr j
+            done;
+            let k = ref !j in
+            let continue = ref true in
+            while !continue && !k < n do
+              let cstart = if !k = 0 then F.zero else finish.(!k - 1) in
+              if F.compare cstart b >= 0 then continue := false
+              else begin
+                let cend = finish.(!k) in
+                let lo = F.max a cstart and hi = F.min b cend in
+                if F.compare lo hi < 0 then cols.(!k) <- add cols.(!k) i (F.mul r (F.sub hi lo));
+                incr k
+              end
+            done)
+          segs)
+      segments;
+    (* Convert areas to rates; reversal restores increasing task order. *)
+    Array.mapi
+      (fun j col ->
+        let len = F.sub finish.(j) (if j = 0 then F.zero else finish.(j - 1)) in
+        List.rev_map (fun (i, area) -> (i, F.div area len)) col)
+      cols
 
   (** [position s i] is the column at whose end task [i] completes. *)
   let position (s : column_schedule) i =
@@ -57,16 +168,27 @@ module Make (F : Mwct_field.Field.S) = struct
     let n = num_columns s in
     if n = 0 then F.zero else s.finish.(n - 1)
 
-  (** Volume processed for task [i] (should equal [V_i]). *)
+  (** Volume processed for task [i] (should equal [V_i]). Scans every
+      column; to total all tasks at once use {!processed_volumes}. *)
   let processed_volume (s : column_schedule) i =
-    O.sum_up_to (num_columns s) (fun j -> F.mul s.alloc.(i).(j) (column_length s j))
+    O.sum_up_to (num_columns s) (fun j -> F.mul (alloc s i j) (column_length s j))
+
+  (** All processed volumes in one pass over the sparse columns. *)
+  let processed_volumes (s : column_schedule) : num array =
+    let n = num_columns s in
+    let v = Array.make n F.zero in
+    for j = 0 to n - 1 do
+      let len = column_length s j in
+      List.iter (fun (i, a) -> v.(i) <- F.add v.(i) (F.mul a len)) s.columns.(j)
+    done;
+    v
 
   (** Total allocated area [Σ_i Σ_j d_{i,j}·l_j] (equals [Σ V_i] in a
       valid schedule). *)
   let total_area (s : column_schedule) =
     O.sum_up_to (num_columns s) (fun j ->
         let len = column_length s j in
-        O.sum_up_to (num_columns s) (fun i -> F.mul s.alloc.(i).(j) len))
+        List.fold_left (fun acc (_, a) -> F.add acc (F.mul a len)) F.zero s.columns.(j))
 
   (** Fraction of the [P × makespan] rectangle that is busy. *)
   let utilization (s : column_schedule) =
@@ -97,7 +219,7 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (** Full validity check. With [~exact:true] every comparison is
       strict; otherwise the field's approximate comparisons are used
-      (needed for the float engine). *)
+      (needed for the float engine). Runs in [O(n + size)]. *)
   let check ?(exact = false) (s : column_schedule) : (unit, violation) result =
     let le a b = if exact then F.compare a b <= 0 else F.leq_approx a b in
     let eq a b = if exact then F.equal a b else F.equal_approx a b in
@@ -106,8 +228,7 @@ module Make (F : Mwct_field.Field.S) = struct
     try
       if Array.length s.order <> n then raise (Bad (Bad_shape "order length"));
       if Array.length s.finish <> n then raise (Bad (Bad_shape "finish length"));
-      if Array.length s.alloc <> n then raise (Bad (Bad_shape "alloc rows"));
-      Array.iter (fun row -> if Array.length row <> n then raise (Bad (Bad_shape "alloc cols"))) s.alloc;
+      if Array.length s.columns <> n then raise (Bad (Bad_shape "columns length"));
       (* order must be a permutation *)
       let seen = Array.make n false in
       Array.iter
@@ -122,22 +243,30 @@ module Make (F : Mwct_field.Field.S) = struct
       (* per-column constraints *)
       let positions = Array.make n 0 in
       Array.iteri (fun j i -> positions.(i) <- j) s.order;
+      let volumes = Array.make n F.zero in
       for j = 0 to n - 1 do
+        let len = column_length s j in
         let col_total = ref F.zero in
-        for i = 0 to n - 1 do
-          let a = s.alloc.(i).(j) in
-          if not (le F.zero a) then raise (Bad (Negative_alloc (i, j)));
-          if not (le a (I.effective_delta s.instance i)) then raise (Bad (Over_delta (i, j)));
-          if j > positions.(i) && F.sign a > 0 && not (eq a F.zero) then raise (Bad (Late_alloc (i, j)));
-          col_total := F.add !col_total a
-        done;
+        let last = ref (-1) in
+        List.iter
+          (fun (i, a) ->
+            if i <= !last || i < 0 || i >= n then
+              raise (Bad (Bad_shape (Printf.sprintf "column %d entries not strictly increasing" j)));
+            last := i;
+            if not (le F.zero a) then raise (Bad (Negative_alloc (i, j)));
+            if not (le a (I.effective_delta s.instance i)) then raise (Bad (Over_delta (i, j)));
+            if j > positions.(i) && F.sign a > 0 && not (eq a F.zero) then
+              raise (Bad (Late_alloc (i, j)));
+            col_total := F.add !col_total a;
+            volumes.(i) <- F.add volumes.(i) (F.mul a len))
+          s.columns.(j);
         (* A zero-length column carries no work; its allocations are
            irrelevant but we still bound them for hygiene. *)
         if not (le !col_total s.instance.procs) then raise (Bad (Over_capacity j))
       done;
       (* volume conservation *)
       for i = 0 to n - 1 do
-        if not (eq (processed_volume s i) s.instance.tasks.(i).volume) then raise (Bad (Volume_mismatch i))
+        if not (eq volumes.(i) s.instance.tasks.(i).volume) then raise (Bad (Volume_mismatch i))
       done;
       Ok ()
     with Bad v -> Error v
@@ -166,12 +295,12 @@ module Make (F : Mwct_field.Field.S) = struct
         (Printf.sprintf " [%s..%s]->T%d" (F.to_string (column_start s j)) (F.to_string s.finish.(j)) s.order.(j))
     done;
     Buffer.add_char buf '\n';
-    for i = 0 to n - 1 do
-      Buffer.add_string buf (Printf.sprintf "T%d:" i);
-      for j = 0 to n - 1 do
-        Buffer.add_string buf (" " ^ F.to_string s.alloc.(i).(j))
-      done;
-      Buffer.add_char buf '\n'
-    done;
+    let rows = task_rows s in
+    Array.iteri
+      (fun i row ->
+        Buffer.add_string buf (Printf.sprintf "T%d:" i);
+        List.iter (fun (j, a) -> Buffer.add_string buf (Printf.sprintf " %d:%s" j (F.to_string a))) row;
+        Buffer.add_char buf '\n')
+      rows;
     Buffer.contents buf
 end

@@ -1,5 +1,7 @@
 (** Column-based fractional schedules (MWCT-CB-F, Definition 2):
-    accessors, objectives, and the full validity checker. *)
+    accessors, objectives, and the full validity checker. Allocations
+    are stored sparsely per column; these accessors are the sanctioned
+    way to read them. *)
 
 module Make (F : Mwct_field.Field.S) : sig
   (** Number of columns (one per task). *)
@@ -11,6 +13,40 @@ module Make (F : Mwct_field.Field.S) : sig
   (** Duration [l_j = C_j − C_{j−1}]; zero for simultaneous
       completions. *)
   val column_length : Types.Make(F).column_schedule -> int -> F.t
+
+  (** Sparse [(task, rate)] pairs of column [j], sorted by task
+      index. *)
+  val column_allocs : Types.Make(F).column_schedule -> int -> (int * F.t) list
+
+  (** [alloc s i j] is [d_{i,j}], the (fractional) processor count of
+      task [i] during column [j]; [0] when absent. *)
+  val alloc : Types.Make(F).column_schedule -> int -> int -> F.t
+
+  (** Per-task rows: each task's [(column, rate)] incidences in
+      increasing column order, computed in one pass over the whole
+      schedule. *)
+  val task_rows : Types.Make(F).column_schedule -> (int * F.t) list array
+
+  (** Build a sparse schedule from a dense matrix indexed
+      [alloc.(task).(column)]; zero entries are dropped (non-zero
+      entries, even invalid negative ones, are kept so {!check} can
+      flag them). *)
+  val of_dense :
+    instance:Types.Make(F).instance ->
+    order:int array ->
+    finish:F.t array ->
+    F.t array array ->
+    Types.Make(F).column_schedule
+
+  (** Densify to the full [task × column] matrix (tests, debugging). *)
+  val dense_alloc : Types.Make(F).column_schedule -> F.t array array
+
+  (** Build sparse columns from per-task piecewise-constant rate
+      profiles ([segments.(i)] lists chronological, non-overlapping
+      [(t0, t1, rate)] stretches with positive rate), averaging each
+      task's rate over each column. [O(n log n + size)]. *)
+  val columns_of_segments :
+    finish:F.t array -> (F.t * F.t * F.t) list array -> (int * F.t) list array
 
   (** Column at whose end task [i] completes. Raises
       [Invalid_argument] if [i] is not in the order. *)
@@ -35,6 +71,9 @@ module Make (F : Mwct_field.Field.S) : sig
       schedule). *)
   val processed_volume : Types.Make(F).column_schedule -> int -> F.t
 
+  (** All processed volumes, in one pass over the sparse columns. *)
+  val processed_volumes : Types.Make(F).column_schedule -> F.t array
+
   (** Total allocated area (equals [Σ V_i] in a valid schedule). *)
   val total_area : Types.Make(F).column_schedule -> F.t
 
@@ -57,7 +96,9 @@ module Make (F : Mwct_field.Field.S) : sig
   val violation_to_string : violation -> string
 
   (** Full validity check. [~exact:true] uses strict comparisons
-      (rational engine); the default tolerates the field's epsilon. *)
+      (rational engine); the default tolerates the field's epsilon.
+      Also enforces the sparse invariant (strictly increasing task
+      indices per column). [O(n + size)]. *)
   val check : ?exact:bool -> Types.Make(F).column_schedule -> (unit, violation) result
 
   val is_valid : ?exact:bool -> Types.Make(F).column_schedule -> bool
@@ -66,6 +107,6 @@ module Make (F : Mwct_field.Field.S) : sig
       index), the canonical completion order used by WF and friends. *)
   val sorted_order : F.t array -> int array
 
-  (** Compact multi-line rendering (columns + allocation matrix). *)
+  (** Compact multi-line rendering (columns + sparse rows). *)
   val to_string : Types.Make(F).column_schedule -> string
 end

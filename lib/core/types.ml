@@ -25,15 +25,23 @@ module Make (F : Mwct_field.Field.S) = struct
       Column [j] (0-based) is the time interval
       []finish.(j-1), finish.(j)]] (with [finish.(-1) = 0]);
       [order.(j)] is the index of the task completing at the end of
-      column [j], so [finish] is non-decreasing. [alloc.(i).(j)] is the
-      constant (fractional) number of processors given to task [i]
-      during column [j]; it must be [0] for columns after the task's
-      own completion column. *)
+      column [j], so [finish] is non-decreasing.
+
+      Allocations are stored {e sparsely, by column}: [columns.(j)] is
+      the list of [(task, rate)] pairs of the tasks receiving a
+      non-zero constant (fractional) number of processors during column
+      [j]. Well-formed schedules keep each list sorted by strictly
+      increasing task index and omit zero rates, so the total size is
+      the number of (task, column) incidences — [O(n)] for the paper's
+      normal-form schedules (Theorem 9) instead of the [O(n²)] of a
+      dense matrix. No task may appear in a column after its own
+      completion column. Use {!Schedule.Make.alloc} for point lookups
+      and {!Schedule.Make.of_dense} to build from a dense matrix. *)
   type column_schedule = {
     instance : instance;
     order : int array;
     finish : num array;
-    alloc : num array array;
+    columns : (int * num) list array;
   }
 
   (** A maximal interval [[start_time, end_time)] during which a task

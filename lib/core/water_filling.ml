@@ -81,7 +81,9 @@ module Make (F : Mwct_field.Field.S) = struct
     let lengths =
       Array.init n (fun j -> if j = 0 then finish.(0) else F.sub finish.(j) (finish.(j - 1)))
     in
-    let alloc = Array.make_matrix n n F.zero in
+    (* Sparse columns, accumulated as cons lists (tasks arrive in
+       completion order) and sorted by task index on assembly. *)
+    let columns = Array.make n [] in
     let heights = Array.make n F.zero in
     let exception Fail of int in
     try
@@ -100,7 +102,7 @@ module Make (F : Mwct_field.Field.S) = struct
                  column): they would register as spurious allocation
                  changes. Exact fields are unaffected. *)
               if F.sign a > 0 && not (F.equal_approx a F.zero) then begin
-                alloc.(task_idx).(k) <- a;
+                columns.(k) <- (task_idx, a) :: columns.(k);
                 (* Unsaturated columns are leveled to exactly [level]:
                    assigning it directly (rather than adding [a]) keeps
                    merged columns bit-identical under floats, which
@@ -111,7 +113,10 @@ module Make (F : Mwct_field.Field.S) = struct
             end
           done
       done;
-      Ok { instance = inst; order; finish; alloc }
+      let columns =
+        Array.map (List.sort (fun (i, _) (i', _) -> Stdlib.compare i i')) columns
+      in
+      Ok { instance = inst; order; finish; columns }
     with Fail k -> Error k
 
   (** Theorem 8 feasibility test: do the given completion times admit a
@@ -131,11 +136,5 @@ module Make (F : Mwct_field.Field.S) = struct
   (** Column heights of a schedule (occupied processors per column),
       used to check Lemma 3 (non-increasing occupation). *)
   let column_heights (s : column_schedule) : num array =
-    let n = Array.length s.finish in
-    Array.init n (fun j ->
-        let total = ref F.zero in
-        for i = 0 to n - 1 do
-          total := F.add !total s.alloc.(i).(j)
-        done;
-        !total)
+    Array.map (List.fold_left (fun acc (_, a) -> F.add acc a) F.zero) s.columns
 end

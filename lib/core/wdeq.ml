@@ -6,11 +6,24 @@
     the surplus redistributed among the others, repeatedly, until a
     fixpoint. Shares are recomputed whenever a task completes.
 
+    {b Share computation.} The fixpoint of Algorithm 1 is a monotone
+    threshold in the saturation ratio [ρ_i = δ_i / w_i]: a task is
+    clipped at its cap iff [ρ_i < r/w] where [r]/[w] are the residual
+    processors/weight of the unclipped pool. Sorting the alive tasks by
+    [ρ] once, the clipped set is a prefix of that order and the
+    frontier is found by binary search over prefix sums of caps and
+    weights — [O(log n)] per event after an [O(n log n)] sort — instead
+    of the seed's repeated [List.partition] fixpoint ([O(n²)] per
+    event). See DESIGN.md §6 for the monotonicity argument.
+
     The module {e simulates} the policy on a clairvoyant instance
     (volumes are used only to find the next completion event, exactly
     as a real execution would reveal it) and records the diagnostics
     needed to check Lemma 2's bound
-    [TC_WD(I) <= 2·(A(I[VF̄]) + H(I[VF]))]. *)
+    [TC_WD(I) <= 2·(A(I[VF̄]) + H(I[VF]))]. Since [ρ] never changes
+    during a run, {!simulate} sorts once and replays the frontier
+    search per completion event: a full run is [O(n²)], dominated by
+    emitting the (sparse) per-column shares. *)
 
 module Make (F : Mwct_field.Field.S) = struct
   module T = Types.Make (F)
@@ -24,11 +37,12 @@ module Make (F : Mwct_field.Field.S) = struct
       paper's [VF̄_i]). The two sum to [V_i]. *)
   type diagnostics = { full_volume : F.t array; limited_volume : F.t array }
 
-  (** One round of Algorithm 1: shares for the alive tasks.
-      [alive] gives (index, weight, delta); the result maps each alive
-      index to its share. Total shares never exceed [p]. *)
-  let shares ~p alive : (int * F.t) list =
-    (* Iteratively saturate tasks whose fair share exceeds delta. *)
+  (** Reference implementation of one round of Algorithm 1, kept
+      verbatim from the iterative [List.partition] fixpoint: saturate
+      every currently-violating task, redistribute, repeat. [O(n²)]
+      worst case. Used as ground truth by the cross-engine equivalence
+      tests; production code goes through {!shares}. *)
+  let shares_reference ~p alive : (int * F.t) list =
     let rec go unsat saturated r w =
       (* r = remaining processors, w = remaining weight. *)
       let violating, rest =
@@ -48,59 +62,152 @@ module Make (F : Mwct_field.Field.S) = struct
     let w0 = List.fold_left (fun acc (_, wi, _) -> F.add acc wi) F.zero alive in
     go alive [] p w0
 
+  (* Saturation-frontier kernel over parallel arrays already sorted by
+     [δ/w] ascending: [ws]/[ds] hold the weights/caps of the [m] alive
+     tasks, [pd]/[pw] are scratch of length >= m+1. Writes each task's
+     share into [out] (indexed like [ws]/[ds]). *)
+  let frontier_shares ~p ~m ws ds pd pw (out : F.t array) =
+    pd.(0) <- F.zero;
+    pw.(0) <- F.zero;
+    for k = 0 to m - 1 do
+      pd.(k + 1) <- F.add pd.(k) ds.(k);
+      pw.(k + 1) <- F.add pw.(k) ws.(k)
+    done;
+    let total_w = pw.(m) in
+    (* P(k): with the first k tasks clipped at their caps, the next
+       task (if any) is unclipped — equivalently the fixpoint's clipped
+       set has size <= k. P is monotone in k, so binary search finds
+       the fixpoint (the smallest k with P(k)). *)
+    let sat_ok k =
+      k = m
+      ||
+      let r = F.sub p pd.(k) and w = F.sub total_w pw.(k) in
+      F.sign w <= 0 || F.compare (F.mul ds.(k) w) (F.mul ws.(k) r) >= 0
+    in
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sat_ok mid then hi := mid else lo := mid + 1
+    done;
+    let ksat = !lo in
+    let r = F.sub p pd.(ksat) and w = F.sub total_w pw.(ksat) in
+    let positive_w = F.sign w > 0 in
+    for k = 0 to m - 1 do
+      out.(k) <-
+        (if k < ksat then ds.(k)
+         else if positive_w then F.div (F.mul ws.(k) r) w
+         else F.zero)
+    done
+
+  (** One round of Algorithm 1: shares for the alive tasks.
+      [alive] gives (index, weight, delta); the result maps each alive
+      index to its share. Total shares never exceed [p].
+      [O(n log n)] — sort by saturation ratio, then one binary-searched
+      threshold. Agrees with {!shares_reference} (exactly over exact
+      fields). *)
+  let shares ~p alive : (int * F.t) list =
+    let arr = Array.of_list alive in
+    Array.sort
+      (fun (a, wa, da) (b, wb, db) ->
+        let c = F.compare (F.mul da wb) (F.mul db wa) in
+        if c <> 0 then c else Stdlib.compare a b)
+      arr;
+    let m = Array.length arr in
+    let ws = Array.make m F.zero and ds = Array.make m F.zero in
+    Array.iteri
+      (fun k (_, w, d) ->
+        ws.(k) <- w;
+        ds.(k) <- d)
+      arr;
+    let pd = Array.make (m + 1) F.zero and pw = Array.make (m + 1) F.zero in
+    let out = Array.make m F.zero in
+    frontier_shares ~p ~m ws ds pd pw out;
+    List.init m (fun k ->
+        let i, _, _ = arr.(k) in
+        (i, out.(k)))
+
   (** Simulate a dynamic-equipartition run. [use_weights = false] gives
       plain DEQ (Deng et al.), the unweighted special case. *)
   let simulate ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
     let n = I.num_tasks inst in
+    let weight = if use_weights then fun i -> inst.tasks.(i).weight else fun _ -> F.one in
+    let delta = Array.init n (fun i -> I.effective_delta inst i) in
     let remaining = Array.map (fun t -> t.volume) inst.tasks in
     let alive = Array.make n true in
     let full_volume = Array.make n F.zero in
     let limited_volume = Array.make n F.zero in
     let order = Array.make n 0 in
     let finish = Array.make n F.zero in
-    let alloc = Array.make_matrix n n F.zero in
+    let columns = Array.make n [] in
+    (* The saturation ratio δ_i/w_i is static, so one sort serves every
+       completion event. [by_ratio] and [by_index] hold the alive tasks
+       (ρ-ascending and index-ascending respectively); completed tasks
+       are compacted out after each event, so every per-event loop is
+       O(alive), not O(n). *)
+    let by_ratio = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = F.compare (F.mul delta.(a) (weight b)) (F.mul delta.(b) (weight a)) in
+        if c <> 0 then c else Stdlib.compare a b)
+      by_ratio;
+    let by_index = Array.init n (fun i -> i) in
+    (* Reused scratch for the per-event frontier computation. *)
+    let ws = Array.make n F.zero and ds = Array.make n F.zero in
+    let pd = Array.make (n + 1) F.zero and pw = Array.make (n + 1) F.zero in
+    let out = Array.make n F.zero in
+    let share = Array.make n F.zero in
     let t_now = ref F.zero in
     let col = ref 0 in
+    let m = ref n in
     while !col < n do
-      let alive_list =
-        List.filter_map
-          (fun i ->
-            if alive.(i) then
-              Some (i, (if use_weights then inst.tasks.(i).weight else F.one), I.effective_delta inst i)
-            else None)
-          (List.init n (fun i -> i))
-      in
-      let share_list = shares ~p:inst.procs alive_list in
-      (* Time to the next completion. *)
-      let dt =
-        List.fold_left
-          (fun acc (i, s) ->
-            if F.sign s > 0 then begin
-              let ti = F.div remaining.(i) s in
-              match acc with None -> Some ti | Some a -> Some (F.min a ti)
-            end
-            else acc)
-          None share_list
-      in
-      let dt = match dt with Some d -> d | None -> invalid_arg "Wdeq.simulate: no task can progress" in
+      let m0 = !m in
+      for k = 0 to m0 - 1 do
+        let i = by_ratio.(k) in
+        ws.(k) <- weight i;
+        ds.(k) <- delta.(i)
+      done;
+      frontier_shares ~p:inst.procs ~m:m0 ws ds pd pw out;
+      (* Time to the next completion; [t_best < 0] encodes "none yet". *)
+      let t_best = ref F.zero in
+      let seen = ref false in
+      for k = 0 to m0 - 1 do
+        let i = by_ratio.(k) in
+        share.(i) <- out.(k);
+        if F.sign out.(k) > 0 then begin
+          let ti = F.div remaining.(i) out.(k) in
+          if (not !seen) || F.compare ti !t_best < 0 then begin
+            t_best := ti;
+            seen := true
+          end
+        end
+      done;
+      if not !seen then invalid_arg "Wdeq.simulate: no task can progress";
+      let dt = !t_best in
       let t_end = F.add !t_now dt in
-      (* Record the column's allocations and advance volumes. *)
-      let deltas = Array.map (fun _ -> F.zero) remaining in
-      List.iter (fun (i, s) -> deltas.(i) <- s) share_list;
+      (* Advance volumes; split them into full-allocation vs limited
+         volume for the Lemma 2 diagnostics; collect completions. *)
       let finished = ref [] in
-      List.iter
-        (fun (i, s) ->
-          let processed = F.mul s dt in
-          remaining.(i) <- F.sub remaining.(i) processed;
-          let saturated = F.equal_approx s (I.effective_delta inst i) in
-          if saturated then full_volume.(i) <- F.add full_volume.(i) processed
-          else limited_volume.(i) <- F.add limited_volume.(i) processed;
-          if F.leq_approx remaining.(i) F.zero then finished := i :: !finished)
-        share_list;
+      for k = 0 to m0 - 1 do
+        let i = by_ratio.(k) in
+        let s = out.(k) in
+        let processed = F.mul s dt in
+        remaining.(i) <- F.sub remaining.(i) processed;
+        let saturated = F.equal_approx s delta.(i) in
+        if saturated then full_volume.(i) <- F.add full_volume.(i) processed
+        else limited_volume.(i) <- F.add limited_volume.(i) processed;
+        if F.leq_approx remaining.(i) F.zero then finished := i :: !finished
+      done;
       let finished = List.sort Stdlib.compare !finished in
       (match finished with
       | [] -> invalid_arg "Wdeq.simulate: no completion at event (numeric drift)"
       | _ -> ());
+      (* The sparse column: alive tasks with positive shares, by
+         ascending task index. *)
+      let column = ref [] in
+      for k = m0 - 1 downto 0 do
+        let i = by_index.(k) in
+        if F.sign share.(i) > 0 then column := (i, share.(i)) :: !column
+      done;
       (* One column per completed task: the first carries the duration,
          simultaneous completions give zero-length columns. *)
       List.iteri
@@ -109,12 +216,30 @@ module Make (F : Mwct_field.Field.S) = struct
           order.(j) <- i;
           finish.(j) <- t_end;
           alive.(i) <- false;
-          if k = 0 then Array.iteri (fun i' s -> alloc.(i').(j) <- s) deltas)
+          if k = 0 then columns.(j) <- !column)
         finished;
       col := !col + List.length finished;
-      t_now := t_end
+      t_now := t_end;
+      (* Compact the completed tasks out of both alive orders. *)
+      let keep = ref 0 in
+      for k = 0 to m0 - 1 do
+        let i = by_ratio.(k) in
+        if alive.(i) then begin
+          by_ratio.(!keep) <- i;
+          incr keep
+        end
+      done;
+      let keep2 = ref 0 in
+      for k = 0 to m0 - 1 do
+        let i = by_index.(k) in
+        if alive.(i) then begin
+          by_index.(!keep2) <- i;
+          incr keep2
+        end
+      done;
+      m := !keep
     done;
-    ({ instance = inst; order; finish; alloc }, { full_volume; limited_volume })
+    ({ instance = inst; order; finish; columns }, { full_volume; limited_volume })
 
   (** WDEQ schedule of an instance. *)
   let wdeq inst = simulate ~use_weights:true inst

@@ -11,9 +11,16 @@ module Make (F : Mwct_field.Field.S) : sig
   type diagnostics = { full_volume : F.t array; limited_volume : F.t array }
 
   (** One round of Algorithm 1: shares for the alive tasks, given
-      [(index, weight, delta)] triples. Total shares never exceed
-      [p]. *)
+      [(index, weight, delta)] triples. Total shares never exceed [p].
+      [O(n log n)]: sort by the saturation ratio [δ/w], then binary
+      search the clipping frontier over prefix sums. *)
   val shares : p:F.t -> (int * F.t * F.t) list -> (int * F.t) list
+
+  (** The seed's iterative [List.partition] fixpoint ([O(n²)] worst
+      case), kept as ground truth for equivalence tests. Computes the
+      same shares as {!shares} (identical over exact fields; the list
+      order may differ). *)
+  val shares_reference : p:F.t -> (int * F.t * F.t) list -> (int * F.t) list
 
   (** Simulate a dynamic-equipartition run to completion.
       [~use_weights:false] gives DEQ (the unweighted policy of Deng et

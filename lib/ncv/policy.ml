@@ -27,25 +27,76 @@ module Make (F : Mwct_field.Field.S) = struct
 
   let all = [ Wdeq; Deq; Equi; Priority_weight ]
 
-  (* Weighted water-filling fixpoint (Algorithm 1): saturate tasks whose
-     proportional share exceeds their cap, redistribute, repeat. *)
-  let rec wdeq_shares remaining_p remaining_w saturated = function
-    | [] -> saturated
-    | unsat ->
-      let violating, rest =
-        List.partition (fun v -> F.compare (F.mul v.cap remaining_w) (F.mul v.weight remaining_p) < 0) unsat
-      in
-      (match violating with
-      | [] ->
-        saturated
-        @ List.map
-            (fun v ->
-              (v.id, if F.sign remaining_w > 0 then F.div (F.mul v.weight remaining_p) remaining_w else F.zero))
-            rest
-      | _ ->
-        let p' = List.fold_left (fun acc v -> F.sub acc v.cap) remaining_p violating in
-        let w' = List.fold_left (fun acc v -> F.sub acc v.weight) remaining_w violating in
-        wdeq_shares p' w' (List.map (fun v -> (v.id, v.cap)) violating @ saturated) rest)
+  (* Weighted water-filling fixpoint (Algorithm 1) over a residual
+     pool: sort the views by saturation ratio [cap/weight] and
+     binary-search the clipping frontier over prefix sums of caps and
+     weights (the monotone-threshold argument of {!Mwct_core.Wdeq},
+     DESIGN.md §6.1). [r]/[w] are the pool's residual capacity and
+     weight. *)
+  let frontier_shares r w (pool : view list) : (int * F.t) list =
+    let arr = Array.of_list pool in
+    Array.sort
+      (fun a b ->
+        let c = F.compare (F.mul a.cap b.weight) (F.mul b.cap a.weight) in
+        if c <> 0 then c else Stdlib.compare a.id b.id)
+      arr;
+    let m = Array.length arr in
+    let pd = Array.make (m + 1) F.zero and pw = Array.make (m + 1) F.zero in
+    for k = 0 to m - 1 do
+      pd.(k + 1) <- F.add pd.(k) arr.(k).cap;
+      pw.(k + 1) <- F.add pw.(k) arr.(k).weight
+    done;
+    let sat_ok k =
+      k = m
+      ||
+      let r' = F.sub r pd.(k) and w' = F.sub w pw.(k) in
+      F.sign w' <= 0 || F.compare (F.mul arr.(k).cap w') (F.mul arr.(k).weight r') >= 0
+    in
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sat_ok mid then hi := mid else lo := mid + 1
+    done;
+    let ksat = !lo in
+    let r' = F.sub r pd.(ksat) and w' = F.sub w pw.(ksat) in
+    let positive_w = F.sign w' > 0 in
+    List.init m (fun k ->
+        let v = arr.(k) in
+        ( v.id,
+          if k < ksat then v.cap
+          else if positive_w then F.div (F.mul v.weight r') w'
+          else F.zero ))
+
+  (* Adaptive WDEQ shares: on real view sets the clipping fixpoint
+     almost always settles within a round or two, and a plain
+     List.partition round is cheaper than a fresh sort — so run the
+     iterative fixpoint with a small round budget and fall back to the
+     sorted frontier (worst-case O(n log n) instead of the fixpoint's
+     O(n²)) only if clipping cascades. Both paths compute the same
+     fixpoint. *)
+  let wdeq_shares capacity (views : view list) : (int * F.t) list =
+    let rec go budget unsat saturated r w =
+      if budget = 0 then List.rev_append saturated (frontier_shares r w unsat)
+      else begin
+        let violating, rest =
+          List.partition (fun v -> F.compare (F.mul v.cap w) (F.mul v.weight r) < 0) unsat
+        in
+        match violating with
+        | [] ->
+          List.rev_append saturated
+            (List.map
+               (fun v -> (v.id, if F.sign w > 0 then F.div (F.mul v.weight r) w else F.zero))
+               rest)
+        | _ ->
+          let r' = List.fold_left (fun acc v -> F.sub acc v.cap) r violating in
+          let w' = List.fold_left (fun acc v -> F.sub acc v.weight) w violating in
+          go (budget - 1) rest
+            (List.rev_append (List.map (fun v -> (v.id, v.cap)) violating) saturated)
+            r' w'
+      end
+    in
+    let w0 = List.fold_left (fun acc v -> F.add acc v.weight) F.zero views in
+    go 2 views [] capacity w0
 
   (** [shares policy ~capacity views] — the allocation for this
       instant. Always returns every alive id exactly once, with
@@ -55,13 +106,10 @@ module Make (F : Mwct_field.Field.S) = struct
     | [] -> []
     | _ -> (
       match policy with
-      | Wdeq ->
-        let w0 = List.fold_left (fun acc v -> F.add acc v.weight) F.zero views in
-        wdeq_shares capacity w0 [] views
+      | Wdeq -> wdeq_shares capacity views
       | Deq ->
         let unw = List.map (fun v -> { v with weight = F.one }) views in
-        let w0 = F.of_int (List.length views) in
-        wdeq_shares capacity w0 [] unw
+        wdeq_shares capacity unw
       | Equi ->
         (* Plain 1/n share clipped to the cap; surplus is wasted (the
            point of comparing against DEQ). *)

@@ -217,28 +217,11 @@ module Make (F : Mwct_field.Field.S) = struct
       checkers/objective agree with the simulator's. *)
   let to_column_schedule (tr : trace) : T.column_schedule =
     let module S = Mwct_core.Schedule.Make (F) in
-    let n = Array.length tr.records in
     let completion = Array.map (fun r -> r.completion) tr.records in
     let order = S.sorted_order completion in
     let finish = Array.map (fun i -> completion.(i)) order in
-    let alloc = Array.make_matrix n n F.zero in
-    for j = 0 to n - 1 do
-      let cstart = if j = 0 then F.zero else finish.(j - 1) in
-      let cend = finish.(j) in
-      let len = F.sub cend cstart in
-      if F.sign len > 0 then
-        for i = 0 to n - 1 do
-          let area =
-            List.fold_left
-              (fun acc (a, b, s) ->
-                let lo = F.max a cstart and hi = F.min b cend in
-                if F.compare lo hi < 0 then F.add acc (F.mul s (F.sub hi lo)) else acc)
-              F.zero tr.records.(i).segments
-          in
-          alloc.(i).(j) <- F.div area len
-        done
-    done;
-    { T.instance = tr.instance; order; finish; alloc }
+    let columns = S.columns_of_segments ~finish (Array.map (fun r -> r.segments) tr.records) in
+    { T.instance = tr.instance; order; finish; columns }
 end
 
 (** Pre-applied engines. *)

@@ -1,69 +1,180 @@
 open Mwct_bigint
 
-type t = { num : Bigint.t; den : Bigint.t (* > 0, coprime with num *) }
+(* Two-representation rationals. The overwhelming majority of values
+   flowing through the exact engine are tiny (task volumes like 7/64,
+   schedule times in the hundreds): for those we keep numerator and
+   denominator in native ints and never touch the Bigint allocator.
 
-let make num den =
+   Representation contract (the "small-rational overflow contract",
+   DESIGN.md §6):
+
+   - [S { n; d }] requires [d > 0], [gcd n d = 1], [abs n < small_bound]
+     and [d < small_bound] with [small_bound = 2^30].
+   - [B { num; den }] is the canonical Bigint form (den > 0, coprime)
+     and is used {e only} when the value does not satisfy the [S]
+     bounds.
+
+   Because the representation of a value is unique, [equal], [compare]
+   and [hash] can be implemented structurally per constructor, and the
+   bound [2^30] guarantees that every intermediate product of two
+   in-range components stays below [2^60] and every sum of two such
+   products below [2^61] — comfortably inside OCaml's 63-bit native
+   ints, so the small path needs no overflow detection at all. *)
+
+type t =
+  | S of { n : int; d : int }
+  | B of { num : Bigint.t; den : Bigint.t }
+
+let small_bound = 1 lsl 30
+
+(* Plain Euclid on non-negative ints. *)
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* Demote a canonical Bigint pair to [S] when it fits the bounds. *)
+let of_big_canonical num den =
+  match (Bigint.to_int num, Bigint.to_int den) with
+  | Some n, Some d when Stdlib.abs n < small_bound && d < small_bound -> S { n; d }
+  | _ -> B { num; den }
+
+(* Canonicalize an arbitrary Bigint pair (den <> 0). *)
+let make_big num den =
   if Bigint.is_zero den then raise Division_by_zero;
-  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  if Bigint.is_zero num then S { n = 0; d = 1 }
   else begin
     let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
     let g = Bigint.gcd num den in
-    if Bigint.equal g Bigint.one then { num; den } else { num = Bigint.div num g; den = Bigint.div den g }
+    let num, den =
+      if Bigint.equal g Bigint.one then (num, den) else (Bigint.div num g, Bigint.div den g)
+    in
+    of_big_canonical num den
   end
 
-let zero = { num = Bigint.zero; den = Bigint.one }
-let one = { num = Bigint.one; den = Bigint.one }
-let of_bigint n = { num = n; den = Bigint.one }
-let of_int n = of_bigint (Bigint.of_int n)
-let of_q n d = make (Bigint.of_int n) (Bigint.of_int d)
-let num t = t.num
-let den t = t.den
+(* Canonicalize a native-int pair (den <> 0). Safe for any ints except
+   [min_int] components, which are routed through the Bigint path
+   (negating them would overflow). *)
+let make_small n d =
+  if d = 0 then raise Division_by_zero
+  else if n = 0 then S { n = 0; d = 1 }
+  else if n = Stdlib.min_int || d = Stdlib.min_int then
+    make_big (Bigint.of_int n) (Bigint.of_int d)
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = igcd (Stdlib.abs n) d in
+    let n = n / g and d = d / g in
+    if Stdlib.abs n < small_bound && d < small_bound then S { n; d }
+    else B { num = Bigint.of_int n; den = Bigint.of_int d }
+  end
+
+let make num den = make_big num den
+
+let zero = S { n = 0; d = 1 }
+let one = S { n = 1; d = 1 }
+let of_bigint n = make_big n Bigint.one
+
+let of_int n =
+  if Stdlib.abs n < small_bound then S { n; d = 1 } else B { num = Bigint.of_int n; den = Bigint.one }
+
+let of_q n d = make_small n d
+let num = function S { n; _ } -> Bigint.of_int n | B { num; _ } -> num
+let den = function S { d; _ } -> Bigint.of_int d | B { den; _ } -> den
 
 let add a b =
-  make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+  match (a, b) with
+  | S a, S b -> make_small ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
+  | _ ->
+    let an = num a and ad = den a and bn = num b and bd = den b in
+    make_big (Bigint.add (Bigint.mul an bd) (Bigint.mul bn ad)) (Bigint.mul ad bd)
 
 let sub a b =
-  make (Bigint.sub (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+  match (a, b) with
+  | S a, S b -> make_small ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
+  | _ ->
+    let an = num a and ad = den a and bn = num b and bd = den b in
+    make_big (Bigint.sub (Bigint.mul an bd) (Bigint.mul bn ad)) (Bigint.mul ad bd)
 
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let mul a b =
+  match (a, b) with
+  | S a, S b ->
+    (* Cross-reduce first so the products are already coprime. *)
+    let g1 = igcd (Stdlib.abs a.n) b.d and g2 = igcd (Stdlib.abs b.n) a.d in
+    let n = a.n / g1 * (b.n / g2) and d = a.d / g2 * (b.d / g1) in
+    if Stdlib.abs n < small_bound && d < small_bound then S { n; d }
+    else B { num = Bigint.of_int n; den = Bigint.of_int d }
+  | _ -> make_big (Bigint.mul (num a) (num b)) (Bigint.mul (den a) (den b))
 
 let div a b =
-  if Bigint.is_zero b.num then raise Division_by_zero;
-  make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+  match (a, b) with
+  | S _, S b0 when b0.n = 0 -> raise Division_by_zero
+  | S a, S b -> mul (S a) (make_small b.d b.n)
+  | _ ->
+    let bn = num b in
+    if Bigint.is_zero bn then raise Division_by_zero;
+    make_big (Bigint.mul (num a) (den b)) (Bigint.mul (den a) bn)
 
-let neg a = { a with num = Bigint.neg a.num }
-let abs a = { a with num = Bigint.abs a.num }
+let neg = function
+  | S { n; d } -> S { n = -n; d }
+  | B { num; den } -> B { num = Bigint.neg num; den }
 
-let inv a =
-  if Bigint.is_zero a.num then raise Division_by_zero;
-  make a.den a.num
+let abs = function
+  | S { n; d } -> S { n = Stdlib.abs n; d }
+  | B { num; den } -> B { num = Bigint.abs num; den }
 
-let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
-let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
-let sign a = Bigint.sign a.num
+let inv = function
+  | S { n = 0; _ } -> raise Division_by_zero
+  | S { n; d } -> if n > 0 then S { n = d; d = n } else S { n = -d; d = -n }
+  | B { num; den } ->
+    if Bigint.is_zero num then raise Division_by_zero;
+    if Bigint.sign num < 0 then of_big_canonical (Bigint.neg den) (Bigint.neg num)
+    else of_big_canonical den num
+
+let compare a b =
+  match (a, b) with
+  | S a, S b -> Stdlib.compare (a.n * b.d) (b.n * a.d)
+  | _ -> Bigint.compare (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a))
+
+let equal a b =
+  match (a, b) with
+  | S a, S b -> a.n = b.n && a.d = b.d
+  | B a, B b -> Bigint.equal a.num b.num && Bigint.equal a.den b.den
+  | _ -> false (* representations are canonical: mixed means distinct values *)
+
+let sign = function S { n; _ } -> Stdlib.compare n 0 | B { num; _ } -> Bigint.sign num
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
-let is_integer a = Bigint.equal a.den Bigint.one
+let is_integer = function S { d; _ } -> d = 1 | B { den; _ } -> Bigint.equal den Bigint.one
+let is_small = function S _ -> true | B _ -> false
 
-let floor a =
-  let q, r = Bigint.divmod a.num a.den in
-  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+let floor = function
+  | S { n; d } ->
+    Bigint.of_int (if n >= 0 then n / d else -((-n + d - 1) / d))
+  | B { num; den } ->
+    let q, r = Bigint.divmod num den in
+    if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
 
-let ceil a =
-  let q, r = Bigint.divmod a.num a.den in
-  if Bigint.sign r > 0 then Bigint.add q Bigint.one else q
+let ceil = function
+  | S { n; d } ->
+    Bigint.of_int (if n >= 0 then (n + d - 1) / d else -(-n / d))
+  | B { num; den } ->
+    let q, r = Bigint.divmod num den in
+    if Bigint.sign r > 0 then Bigint.add q Bigint.one else q
 
-let to_float a =
-  (* Scale so both parts fit comfortably in doubles before dividing. *)
-  let nb = Nat.num_bits (Bigint.mag a.num) and db = Nat.num_bits (Bigint.mag a.den) in
-  let extra = Stdlib.max 0 (Stdlib.max nb db - 900) in
-  if extra = 0 then Bigint.to_float a.num /. Bigint.to_float a.den
-  else begin
-    let scale_down b = Bigint.make ~sign:(Bigint.sign b) (Nat.shift_right (Bigint.mag b) extra) in
-    Bigint.to_float (scale_down a.num) /. Bigint.to_float (scale_down a.den)
-  end
+let to_float = function
+  | S { n; d } -> float_of_int n /. float_of_int d
+  | B { num; den } ->
+    (* Scale so both parts fit comfortably in doubles before dividing. *)
+    let nb = Nat.num_bits (Bigint.mag num) and db = Nat.num_bits (Bigint.mag den) in
+    let extra = Stdlib.max 0 (Stdlib.max nb db - 900) in
+    if extra = 0 then Bigint.to_float num /. Bigint.to_float den
+    else begin
+      let scale_down b = Bigint.make ~sign:(Bigint.sign b) (Nat.shift_right (Bigint.mag b) extra) in
+      Bigint.to_float (scale_down num) /. Bigint.to_float (scale_down den)
+    end
 
-let to_string a = if is_integer a then Bigint.to_string a.num else Bigint.to_string a.num ^ "/" ^ Bigint.to_string a.den
+let to_string a =
+  match a with
+  | S { n; d } -> if d = 1 then string_of_int n else string_of_int n ^ "/" ^ string_of_int d
+  | B { num; den } ->
+    if is_integer a then Bigint.to_string num else Bigint.to_string num ^ "/" ^ Bigint.to_string den
 
 let of_float f =
   if Float.is_integer f && Float.abs f < 1e15 then of_bigint (Bigint.of_int (int_of_float f))
@@ -87,7 +198,8 @@ let of_string s =
     make n d
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
-let hash a = (Bigint.hash a.num * 31) + Bigint.hash a.den
+
+let hash a = (Bigint.hash (num a) * 31) + Bigint.hash (den a)
 
 module Rat_field = struct
   type nonrec t = t

@@ -46,6 +46,13 @@ val min : t -> t -> t
 val max : t -> t -> t
 val is_integer : t -> bool
 
+(** [is_small t] reports whether the value is held in the inlined
+    native-int representation (numerator magnitude and denominator both
+    below [2^30]) rather than as a pair of [Bigint]s. Diagnostic only:
+    the representation is canonical, so it carries no semantic
+    information beyond the size of the value. *)
+val is_small : t -> bool
+
 (** Largest integer [<= t] (floor), as a [Bigint]. *)
 val floor : t -> Bigint.t
 

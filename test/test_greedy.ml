@@ -33,7 +33,7 @@ let test_greedy_delta_cap () =
   let inst = Support.finst (Support.uspec ~procs:4 [ ((4, 1), 2) ]) in
   let s = EF.Greedy.run inst [| 0 |] in
   f "C = V/delta" 2. (EF.Schedule.completion_time s 0);
-  f "alloc = delta" 2. s.EF.Types.alloc.(0).(0)
+  f "alloc = delta" 2. (EF.Schedule.alloc s 0 0)
 
 let test_greedy_rejects_bad_order () =
   let inst = Support.finst (Support.uspec ~procs:2 [ ((1, 1), 1); ((1, 1), 1) ]) in
@@ -76,8 +76,8 @@ let prop_greedy_integer_allocations =
       let sigma = EF.Orderings.random (Rng.create seed) n in
       let s = EF.Greedy.run inst sigma in
       Array.for_all
-        (Array.for_all (fun a -> Float.abs (a -. Float.round a) < 1e-6))
-        s.EF.Types.alloc)
+        (List.for_all (fun (_, a) -> Float.abs (a -. Float.round a) < 1e-6))
+        s.EF.Types.columns)
 
 let prop_first_task_asap =
   QCheck2.Test.make ~name:"first inserted task completes at its earliest possible time" ~count:200

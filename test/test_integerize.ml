@@ -25,7 +25,7 @@ let test_wrap_hand () =
   match EF.Water_filling.build inst [| 2. |] with
   | Error _ -> Alcotest.fail "infeasible?"
   | Ok s ->
-    f "fractional alloc 1.5" 1.5 s.EF.Types.alloc.(0).(0);
+    f "fractional alloc 1.5" 1.5 (EF.Schedule.alloc s 0 0);
     let is, g = EF.Integerize.of_columns s in
     (* Demand: floor/ceil of 1.5. *)
     Alcotest.(check (option int)) "floor/ceil" None (EF.Integerize.check_floor_ceil s is);
@@ -51,9 +51,9 @@ let test_round_trip_exact () =
             Alcotest.(check string)
               (Printf.sprintf "alloc %d %d" i j)
               (Q.to_string a)
-              (Q.to_string s'.EQ.Types.alloc.(i).(j)))
+              (Q.to_string (EQ.Schedule.alloc s' i j)))
           row)
-      s.EQ.Types.alloc
+      (EQ.Schedule.dense_alloc s)
 
 let test_assignment_hand () =
   let inst = Support.finst (Support.uspec ~procs:2 [ ((3, 1), 2) ]) in
@@ -151,7 +151,9 @@ let prop_exact_wrap =
       let s' = EQ.Integerize.to_columns is in
       let c = EQ.Schedule.completion_times s and c' = EQ.Schedule.completion_times s' in
       Array.for_all2 Q.equal c c'
-      && Array.for_all2 (fun r r' -> Array.for_all2 Q.equal r r') s.EQ.Types.alloc s'.EQ.Types.alloc)
+      && Array.for_all2
+           (fun r r' -> Array.for_all2 Q.equal r r')
+           (EQ.Schedule.dense_alloc s) (EQ.Schedule.dense_alloc s'))
 
 let () =
   let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in

@@ -104,7 +104,7 @@ let hand_schedule alloc finish order =
            done;
            EF.Instance.task ~volume:(Float.max !v 0.0001) ~delta:10. ()))
   in
-  { EF.Types.instance = inst; order; finish; alloc }
+  EF.Schedule.of_dense ~instance:inst ~order ~finish alloc
 
 let test_changes_constant_allocation () =
   (* Constant allocation across three columns: zero changes. *)

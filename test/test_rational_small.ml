@@ -1,0 +1,205 @@
+(* Randomized equivalence tests for the two-representation rationals:
+   the native-int fast path must agree with an independent pure-Bigint
+   reference on every operation, including at the 2^30 representation
+   boundary and for components near max_int. *)
+
+module R = Mwct_rational.Rational
+module B = Mwct_bigint.Bigint
+
+let bound = 1 lsl 30
+
+(* ---------- independent reference: canonical Bigint pairs ---------- *)
+
+type ref_q = { rnum : B.t; rden : B.t }
+
+let ref_make num den =
+  if B.is_zero den then raise Division_by_zero;
+  let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+  if B.is_zero num then { rnum = B.zero; rden = B.one }
+  else begin
+    let g = B.gcd num den in
+    { rnum = B.div num g; rden = B.div den g }
+  end
+
+let ref_of_q n d = ref_make (B.of_int n) (B.of_int d)
+let ref_add a b = ref_make (B.add (B.mul a.rnum b.rden) (B.mul b.rnum a.rden)) (B.mul a.rden b.rden)
+let ref_sub a b = ref_make (B.sub (B.mul a.rnum b.rden) (B.mul b.rnum a.rden)) (B.mul a.rden b.rden)
+let ref_mul a b = ref_make (B.mul a.rnum b.rnum) (B.mul a.rden b.rden)
+
+let ref_div a b =
+  if B.is_zero b.rnum then raise Division_by_zero;
+  ref_make (B.mul a.rnum b.rden) (B.mul a.rden b.rnum)
+
+let ref_compare a b = B.compare (B.mul a.rnum b.rden) (B.mul b.rnum a.rden)
+let agrees r q = B.equal (R.num r) q.rnum && B.equal (R.den r) q.rden
+
+(* The S/B split is canonical: small iff both components fit the bound. *)
+let representation_canonical r =
+  let fits big = match B.to_int big with Some v -> Stdlib.abs v < bound | None -> false in
+  R.is_small r = (fits (R.num r) && fits (R.den r))
+
+(* ---------- generators ---------- *)
+
+(* Components spanning the interesting magnitudes: tiny (the fast
+   path), the 2^30 representation boundary, and near max_int (where a
+   naive fast path would overflow). *)
+let gen_component =
+  let open QCheck2.Gen in
+  oneof
+    [
+      int_range (-1000) 1000;
+      (let* off = int_range (-3) 3 in
+       let* sign = oneofl [ 1; -1 ] in
+       return (sign * (bound + off)));
+      (let* off = int_range 0 5 in
+       let* sign = oneofl [ 1; -1 ] in
+       return (sign * (max_int - off)));
+      int_range (-(1 lsl 45)) (1 lsl 45);
+    ]
+
+let gen_rat =
+  let open QCheck2.Gen in
+  let* n = gen_component in
+  let* d = gen_component in
+  let d = if d = 0 then 1 else d in
+  return (n, d)
+
+let print_pair ((an, ad), (bn, bd)) = Printf.sprintf "%d/%d, %d/%d" an ad bn bd
+
+let binop_test name fast reference =
+  QCheck2.Test.make ~name ~count:2000 ~print:print_pair
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun ((an, ad), (bn, bd)) ->
+      let a = R.of_q an ad and b = R.of_q bn bd in
+      let ra = ref_of_q an ad and rb = ref_of_q bn bd in
+      let r = fast a b in
+      agrees r (reference ra rb) && representation_canonical r)
+
+let prop_add = binop_test "add = Bigint reference" R.add ref_add
+let prop_sub = binop_test "sub = Bigint reference" R.sub ref_sub
+let prop_mul = binop_test "mul = Bigint reference" R.mul ref_mul
+
+let prop_div =
+  QCheck2.Test.make ~name:"div = Bigint reference" ~count:2000 ~print:print_pair
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun ((an, ad), (bn, bd)) ->
+      let bn = if bn = 0 then 1 else bn in
+      let a = R.of_q an ad and b = R.of_q bn bd in
+      let r = R.div a b in
+      agrees r (ref_div (ref_of_q an ad) (ref_of_q bn bd)) && representation_canonical r)
+
+let prop_compare =
+  QCheck2.Test.make ~name:"compare/equal/sign = Bigint reference" ~count:2000 ~print:print_pair
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun ((an, ad), (bn, bd)) ->
+      let a = R.of_q an ad and b = R.of_q bn bd in
+      let ra = ref_of_q an ad and rb = ref_of_q bn bd in
+      let c = ref_compare ra rb in
+      R.compare a b = c && R.equal a b = (c = 0) && R.sign a = B.sign ra.rnum)
+
+let prop_canonical =
+  QCheck2.Test.make ~name:"of_q is canonical (den > 0, coprime, right rep)" ~count:2000
+    ~print:(fun (n, d) -> Printf.sprintf "%d/%d" n d)
+    gen_rat
+    (fun (n, d) ->
+      let r = R.of_q n d in
+      B.sign (R.den r) > 0
+      && B.equal (B.gcd (R.num r) (R.den r)) (if R.sign r = 0 then R.den r else B.one)
+      && representation_canonical r)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"floor/ceil bracket the value" ~count:2000
+    ~print:(fun (n, d) -> Printf.sprintf "%d/%d" n d)
+    gen_rat
+    (fun (n, d) ->
+      let r = R.of_q n d in
+      let fl = R.of_bigint (R.floor r) and cl = R.of_bigint (R.ceil r) in
+      R.compare fl r <= 0
+      && R.compare r cl <= 0
+      && R.compare (R.sub cl fl) R.one <= 0
+      && (not (R.is_integer r) || R.equal fl cl))
+
+(* ---------- unit tests at the boundaries ---------- *)
+
+let test_representation_boundary () =
+  Alcotest.(check bool) "2^30 - 1 is small" true (R.is_small (R.of_q (bound - 1) 1));
+  Alcotest.(check bool) "2^30 is big" false (R.is_small (R.of_q bound 1));
+  Alcotest.(check bool) "1/(2^30 - 1) is small" true (R.is_small (R.of_q 1 (bound - 1)));
+  Alcotest.(check bool) "1/2^30 is big" false (R.is_small (R.of_q 1 bound));
+  Alcotest.(check bool) "-(2^30 - 1) is small" true (R.is_small (R.of_q (-(bound - 1)) 1));
+  (* Reduction can bring an over-bound input back to the fast path. *)
+  Alcotest.(check bool) "2^31/4 reduces to small" true (R.is_small (R.of_q (bound * 2) 4));
+  Alcotest.(check bool) "2^31/2 stays big (reduces to 2^30)" false (R.is_small (R.of_q (bound * 2) 2))
+
+let test_promotion_and_demotion () =
+  let top = R.of_q (bound - 1) 1 in
+  let sum = R.add top top in
+  Alcotest.(check bool) "sum crosses into B" false (R.is_small sum);
+  Alcotest.(check string) "sum is exact" "2147483646" (R.to_string sum);
+  (* Arithmetic on B values demotes when the result fits again. *)
+  Alcotest.(check bool) "B - B demotes" true (R.is_small (R.sub sum top));
+  Alcotest.(check bool) "B - B = S value" true (R.equal (R.sub sum top) top);
+  let big = R.of_q max_int 2 in
+  Alcotest.(check bool) "big - big = 0 (small)" true (R.is_small (R.sub big big));
+  Alcotest.(check bool) "big - big = 0" true (R.equal (R.sub big big) R.zero)
+
+let test_mixed_rep_arithmetic () =
+  (* S + B, compare across representations, equality never confuses
+     distinct values. *)
+  let s = R.of_q 1 3 and b = R.of_q max_int 1 in
+  let x = R.add s b in
+  Alcotest.(check bool) "S + B is big" false (R.is_small x);
+  Alcotest.(check bool) "(S + B) - B = S" true (R.equal (R.sub x b) s);
+  Alcotest.(check bool) "B > S" true (R.compare b s > 0);
+  Alcotest.(check bool) "S <> B" false (R.equal s b);
+  Alcotest.(check bool) "boundary compare" true (R.compare (R.of_q bound 1) (R.of_q (bound - 1) 1) > 0)
+
+let test_min_int_components () =
+  (* min_int cannot be negated in native ints: these must route through
+     the Bigint path and still be exact. *)
+  let a = R.of_q min_int 1 in
+  Alcotest.(check string) "min_int value" (string_of_int min_int) (R.to_string a);
+  let b = R.of_q 1 min_int in
+  Alcotest.(check bool) "1/min_int is negative" true (R.sign b < 0);
+  Alcotest.(check bool) "min_int * 1/min_int = 1" true (R.equal (R.mul a b) R.one)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero (small)" Division_by_zero (fun () ->
+      ignore (R.div R.one R.zero));
+  Alcotest.check_raises "of_q zero den" Division_by_zero (fun () -> ignore (R.of_q 1 0));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (R.inv R.zero))
+
+let test_floor_ceil_signs () =
+  let check name v expected = Alcotest.(check string) name expected (B.to_string v) in
+  check "floor 7/2" (R.floor (R.of_q 7 2)) "3";
+  check "ceil 7/2" (R.ceil (R.of_q 7 2)) "4";
+  check "floor -7/2" (R.floor (R.of_q (-7) 2)) "-4";
+  check "ceil -7/2" (R.ceil (R.of_q (-7) 2)) "-3";
+  check "floor big" (R.floor (R.of_q max_int 2)) (string_of_int (max_int / 2));
+  check "ceil big" (R.ceil (R.of_q max_int 2)) (string_of_int ((max_int / 2) + 1))
+
+let () =
+  let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
+  Alcotest.run "rational_small"
+    [
+      ( "boundaries",
+        [
+          Alcotest.test_case "representation boundary" `Quick test_representation_boundary;
+          Alcotest.test_case "promotion and demotion" `Quick test_promotion_and_demotion;
+          Alcotest.test_case "mixed representations" `Quick test_mixed_rep_arithmetic;
+          Alcotest.test_case "min_int components" `Quick test_min_int_components;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "floor/ceil signs" `Quick test_floor_ceil_signs;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_add;
+            prop_sub;
+            prop_mul;
+            prop_div;
+            prop_compare;
+            prop_canonical;
+            prop_floor_ceil;
+          ] );
+    ]

@@ -23,12 +23,12 @@ let sample_schedule () =
         EF.Instance.task ~volume:2. ~delta:2. ();
       ]
   in
-  {
-    EF.Types.instance = inst;
-    order = [| 0; 1 |];
-    finish = [| 2.; 3. |];
-    alloc = [| [| 1.; 0. |]; [| 0.5; 1. |] |];
-  }
+  EF.Schedule.of_dense ~instance:inst ~order:[| 0; 1 |] ~finish:[| 2.; 3. |]
+    [| [| 1.; 0. |]; [| 0.5; 1. |] |]
+
+(* Swap in a different dense allocation matrix, keeping the shape. *)
+let with_alloc (s : EF.Types.column_schedule) alloc =
+  EF.Schedule.of_dense ~instance:s.instance ~order:s.order ~finish:s.finish alloc
 
 let test_spec_validation () =
   let ok = Support.spec ~procs:2 [ ((1, 2), (1, 1), 1) ] in
@@ -94,25 +94,24 @@ let expect_error name s =
 
 let test_schedule_violations () =
   let s = sample_schedule () in
-  expect_error "over delta" { s with alloc = [| [| 1.5; 0. |]; [| 0.5; 1. |] |] };
-  expect_error "over capacity" { s with alloc = [| [| 1.; 0. |]; [| 1.5; 1. |] |] };
-  expect_error "negative alloc" { s with alloc = [| [| 1.; -0.1 |]; [| 0.5; 1. |] |] };
-  expect_error "volume mismatch" { s with alloc = [| [| 0.9; 0. |]; [| 0.5; 1. |] |] };
-  expect_error "late alloc" { s with alloc = [| [| 1.; 0.5 |]; [| 0.5; 1. |] |] };
+  expect_error "over delta" (with_alloc s [| [| 1.5; 0. |]; [| 0.5; 1. |] |]);
+  expect_error "over capacity" (with_alloc s [| [| 1.; 0. |]; [| 1.5; 1. |] |]);
+  expect_error "negative alloc" (with_alloc s [| [| 1.; -0.1 |]; [| 0.5; 1. |] |]);
+  expect_error "volume mismatch" (with_alloc s [| [| 0.9; 0. |]; [| 0.5; 1. |] |]);
+  expect_error "late alloc" (with_alloc s [| [| 1.; 0.5 |]; [| 0.5; 1. |] |]);
   expect_error "unsorted columns" { s with finish = [| 3.; 2. |] };
   expect_error "order not a permutation" { s with order = [| 0; 0 |] };
+  (* The sparse well-formedness invariant is enforced too. *)
+  expect_error "duplicate task in column"
+    { s with EF.Types.columns = [| [ (0, 0.5); (0, 0.5); (1, 0.5) ]; [ (1, 1.) ] |] };
   (* Zero-length column via a tie is fine. *)
   let tie =
-    {
-      s with
-      finish = [| 2.; 2. |];
-      alloc = [| [| 1.; 0. |]; [| 1.; 0. |] |];
-    }
+    with_alloc { s with EF.Types.finish = [| 2.; 2. |] } [| [| 1.; 0. |]; [| 1.; 0. |] |]
   in
   Alcotest.(check bool) "tie columns valid" true (EF.Schedule.is_valid tie)
 
 let test_violation_strings () =
-  let s = { (sample_schedule ()) with alloc = [| [| 1.5; 0. |]; [| 0.5; 1. |] |] } in
+  let s = with_alloc (sample_schedule ()) [| [| 1.5; 0. |]; [| 0.5; 1. |] |] in
   match EF.Schedule.check s with
   | Error v ->
     let msg = EF.Schedule.violation_to_string v in
@@ -136,12 +135,9 @@ let test_exact_schedule_check () =
       ]
   in
   let s =
-    {
-      EQ.Types.instance = inst;
-      order = [| 0; 1 |];
-      finish = [| Q.of_int 2; Q.of_int 3 |];
-      alloc = [| [| Q.of_int 1; Q.zero |]; [| Q.of_q 1 2; Q.of_int 1 |] |];
-    }
+    EQ.Schedule.of_dense ~instance:inst ~order:[| 0; 1 |]
+      ~finish:[| Q.of_int 2; Q.of_int 3 |]
+      [| [| Q.of_int 1; Q.zero |]; [| Q.of_q 1 2; Q.of_int 1 |] |]
   in
   Alcotest.(check bool) "exact valid (strict)" true (EQ.Schedule.is_valid ~exact:true s);
   Alcotest.(check string) "exact objective 5" "5" (Q.to_string (EQ.Schedule.weighted_completion_time s))

@@ -23,9 +23,9 @@ let test_wf_hand_example () =
   | Error k -> Alcotest.failf "unexpected infeasibility on task %d" k
   | Ok s ->
     Alcotest.(check bool) "valid" true (EF.Schedule.is_valid s);
-    f "T0 in col 0" 1. s.EF.Types.alloc.(0).(0);
-    f "T1 in col 0" 1. s.EF.Types.alloc.(1).(0);
-    f "T1 in col 1" 2. s.EF.Types.alloc.(1).(1);
+    f "T0 in col 0" 1. (EF.Schedule.alloc s 0 0);
+    f "T1 in col 0" 1. (EF.Schedule.alloc s 1 0);
+    f "T1 in col 1" 2. (EF.Schedule.alloc s 1 1);
     f "objective" 3. (EF.Schedule.weighted_completion_time s)
 
 (* Saturation case: T1 has delta 1, so the water level exceeds the cap
@@ -37,8 +37,8 @@ let test_wf_saturation () =
   match EF.Water_filling.build inst [| 1.; 2. |] with
   | Error k -> Alcotest.failf "unexpected infeasibility on task %d" k
   | Ok s ->
-    f "T1 saturated col 0" 1. s.EF.Types.alloc.(1).(0);
-    f "T1 saturated col 1" 1. s.EF.Types.alloc.(1).(1)
+    f "T1 saturated col 0" 1. (EF.Schedule.alloc s 1 0);
+    f "T1 saturated col 1" 1. (EF.Schedule.alloc s 1 1)
 
 let test_wf_infeasible () =
   let inst = Support.finst (Support.uspec ~procs:2 [ ((1, 1), 1); ((5, 1), 2) ]) in
@@ -63,9 +63,9 @@ let test_wf_equal_times () =
   | Error k -> Alcotest.failf "unexpected infeasibility on task %d" k
   | Ok s ->
     Alcotest.(check bool) "valid" true (EF.Schedule.is_valid s);
-    f "all in col 0: T0" 1. s.EF.Types.alloc.(0).(0);
-    f "all in col 0: T1" 1. s.EF.Types.alloc.(1).(0);
-    f "all in col 0: T2" 1. s.EF.Types.alloc.(2).(0)
+    f "all in col 0: T0" 1. (EF.Schedule.alloc s 0 0);
+    f "all in col 0: T1" 1. (EF.Schedule.alloc s 1 0);
+    f "all in col 0: T2" 1. (EF.Schedule.alloc s 2 0)
 
 let test_wf_exact_engine () =
   let inst = Support.qinst (Support.uspec ~procs:2 [ ((1, 1), 1); ((3, 1), 2) ]) in
@@ -73,7 +73,7 @@ let test_wf_exact_engine () =
   | Error k -> Alcotest.failf "unexpected infeasibility on task %d" k
   | Ok s ->
     Alcotest.(check bool) "strictly valid" true (EQ.Schedule.is_valid ~exact:true s);
-    Alcotest.(check string) "T1 col1 alloc exactly 2" "2" (Q.to_string s.EQ.Types.alloc.(1).(1))
+    Alcotest.(check string) "T1 col1 alloc exactly 2" "2" (Q.to_string (EQ.Schedule.alloc s 1 1))
 
 (* ---------- properties ---------- *)
 
@@ -143,7 +143,7 @@ let prop_normalize_idempotent =
       let close a b = Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-6) a b in
       close (EF.Schedule.completion_times g) (EF.Schedule.completion_times s1)
       && close s1.EF.Types.finish s2.EF.Types.finish
-      && Array.for_all2 (fun r1 r2 -> close r1 r2) s1.EF.Types.alloc s2.EF.Types.alloc)
+      && Array.for_all2 (fun r1 r2 -> close r1 r2) (EF.Schedule.dense_alloc s1) (EF.Schedule.dense_alloc s2))
 
 let prop_theorem9_changes =
   QCheck2.Test.make ~name:"WF has at most n allocation changes (Thm 9)" ~count:300

@@ -18,8 +18,8 @@ let test_share_clipping () =
   in
   let s, _ = EF.Wdeq.wdeq inst in
   Alcotest.(check bool) "valid" true (EF.Schedule.is_valid s);
-  f "T0 share" 1. s.EF.Types.alloc.(0).(0);
-  f "T1 share" 3. s.EF.Types.alloc.(1).(0);
+  f "T0 share" 1. (EF.Schedule.alloc s 0 0);
+  f "T1 share" 3. (EF.Schedule.alloc s 1 0);
   (* T0 finishes at 1; T1 then runs at its cap 4: remaining 3 units take
      3/4. *)
   f "C0" 1. (EF.Schedule.completion_time s 0);
@@ -30,8 +30,8 @@ let test_weighted_share () =
   let inst =
     Support.finst (Support.spec ~procs:3 [ ((1, 1), (1, 1), 3); ((2, 1), (2, 1), 3) ]) in
   let s, _ = EF.Wdeq.wdeq inst in
-  f "T0 share w-proportional" 1. s.EF.Types.alloc.(0).(0);
-  f "T1 share w-proportional" 2. s.EF.Types.alloc.(1).(0);
+  f "T0 share w-proportional" 1. (EF.Schedule.alloc s 0 0);
+  f "T1 share w-proportional" 2. (EF.Schedule.alloc s 1 0);
   (* Both finish exactly at t=1 (simultaneous): two columns, tie. *)
   f "C0" 1. (EF.Schedule.completion_time s 0);
   f "C1" 1. (EF.Schedule.completion_time s 1)
@@ -41,8 +41,8 @@ let test_deq_ignores_weights () =
   let inst = Support.finst spec in
   let s, _ = EF.Wdeq.deq inst in
   (* Equal shares despite unequal weights. *)
-  f "T0 share 1" 1. s.EF.Types.alloc.(0).(0);
-  f "T1 share 1" 1. s.EF.Types.alloc.(1).(0)
+  f "T0 share 1" 1. (EF.Schedule.alloc s 0 0);
+  f "T1 share 1" 1. (EF.Schedule.alloc s 1 0)
 
 let test_diagnostics_partition () =
   let inst =
