@@ -13,6 +13,7 @@ open Bechamel
 open Toolkit
 module EF = Mwct_core.Engine.Float
 module EQ = Mwct_core.Engine.Exact
+module SF = Mwct_solver.Solver.Float
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
 module Q = Mwct_rational.Rational
@@ -49,10 +50,13 @@ let bench_greedy =
   let sigma = EF.Orderings.smith inst in
   Test.make ~name:"B2 greedy.run n=100" (Staged.stage (fun () -> ignore (EF.Greedy.run inst sigma)))
 
-(* B3: WDEQ simulation, n = 100. *)
+(* B3: WDEQ simulation, n = 100 — resolved once through the registry,
+   timing the same kernel as before. *)
+let wdeq_solve = (SF.find_exn "wdeq").SF.solve
+
 let bench_wdeq =
   let inst = instance_of_size 100 in
-  Test.make ~name:"B3 wdeq.simulate n=100" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+  Test.make ~name:"B3 wdeq.simulate n=100" (Staged.stage (fun () -> ignore (wdeq_solve inst)))
 
 (* B4: one Corollary-1 LP, n = 6 (float). *)
 let bench_lp =
@@ -84,7 +88,8 @@ let bench_homogeneous =
 (* B7: exact WDEQ (rational arithmetic end-to-end), n = 20. *)
 let bench_exact_wdeq =
   let inst = exact_instance_of_size 20 in
-  Test.make ~name:"B7 wdeq.simulate n=20 exact" (Staged.stage (fun () -> ignore (EQ.Wdeq.wdeq inst)))
+  let solve = (Mwct_solver.Solver.Exact.find_exn "wdeq").Mwct_solver.Solver.Exact.solve in
+  Test.make ~name:"B7 wdeq.simulate n=20 exact" (Staged.stage (fun () -> ignore (solve inst)))
 
 (* B8: bignum substrate: 300-digit multiply + divide. *)
 let bench_bigint =
@@ -156,11 +161,11 @@ let bench_dantzig =
    List.partition fixpoint per event). *)
 let bench_wdeq_1000 =
   let inst = instance_of_size 1000 in
-  Test.make ~name:"B14a wdeq.simulate n=1000" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+  Test.make ~name:"B14a wdeq.simulate n=1000" (Staged.stage (fun () -> ignore (wdeq_solve inst)))
 
 let bench_wdeq_5000 =
   let inst = instance_of_size 5000 in
-  Test.make ~name:"B14b wdeq.simulate n=5000" (Staged.stage (fun () -> ignore (EF.Wdeq.wdeq inst)))
+  Test.make ~name:"B14b wdeq.simulate n=5000" (Staged.stage (fun () -> ignore (wdeq_solve inst)))
 
 (* Seed baseline for B14: the pre-sparse simulate, verbatim from the
    growth seed — List.partition share fixpoint re-run per event and a
@@ -282,6 +287,23 @@ let bench_shares_ref_1000 =
   Test.make ~name:"B15d wdeq.shares reference n=1000" (Staged.stage (fun () ->
       ignore (EF.Wdeq.shares_reference ~p alive)))
 
+(* Registry-driven solver benchmarks: every solver in the registry is
+   timed automatically — registering a new algorithm adds its row here
+   (and to BENCH_2.json) with no bench edit. Enumerative solvers get a
+   small instance (the LP guard is n = 8); the rest run at n = 50. *)
+let registry_tests =
+  let inst_small = instance_of_size 6 in
+  let inst_big = instance_of_size 50 in
+  List.map
+    (fun (s : SF.t) ->
+      let enumerative = SF.has_cap Mwct_solver.Solver.Enumerative s in
+      let inst = if enumerative then inst_small else inst_big in
+      let n = if enumerative then 6 else 50 in
+      Test.make
+        ~name:(Printf.sprintf "REG %s n=%d" s.SF.info.Mwct_solver.Solver.name n)
+        (Staged.stage (fun () -> ignore (s.SF.solve inst))))
+    SF.all
+
 let benchmark () =
   let tests =
     [
@@ -291,6 +313,7 @@ let benchmark () =
       bench_wdeq_seed_100; bench_wdeq_seed_1000; bench_shares_fast_100; bench_shares_ref_100;
       bench_shares_fast_1000; bench_shares_ref_1000;
     ]
+    @ registry_tests
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
@@ -336,8 +359,16 @@ let emit_json path rows =
   close_out oc;
   Printf.printf "\nWrote %d benchmark rows to %s\n" (List.length entries) path
 
+(* "mwct REG <solver> n=..." rows come from the registry loop; they go
+   to BENCH_2.json so the hand-written kernel rows of BENCH_1.json stay
+   comparable across PRs. *)
+let is_registry_row (name, _) =
+  String.length name >= 9 && String.sub name 0 9 = "mwct REG "
+
 let () =
   let argv = Array.to_list Sys.argv in
   if not (List.mem "--no-experiments" argv) then run_experiments ();
   let rows = benchmark () in
-  emit_json "BENCH_1.json" rows
+  let registry_rows, kernel_rows = List.partition is_registry_row rows in
+  emit_json "BENCH_1.json" kernel_rows;
+  emit_json "BENCH_2.json" registry_rows

@@ -1,86 +1,150 @@
 (* mwct — command-line front end.
 
    Subcommands:
-     solve       schedule an instance file with a chosen algorithm
+     solve       schedule an instance file with a registered algorithm
      experiment  regenerate one of the paper's experiments (or all)
      gen         generate a random instance in the Spec_io format
      bounds      print the lower bounds and the optimal makespan
-*)
+     render      ASCII/SVG Gantt chart of a schedule
+     simulate    non-clairvoyant policies under task arrivals
+
+   Algorithm dispatch goes through the solver registry
+   (Mwct_solver.Solver): `solve`, `render` and `--list-algos` all read
+   the same list, so a newly registered solver is immediately
+   available here with no per-algorithm match arms.
+
+   Exit codes (uniform across subcommands):
+     0  success
+     1  the computed schedule/trace failed validation
+     2  bad input (unreadable/malformed instance file, bad arguments)
+   (cmdliner itself exits 124 on command-line parse errors.) *)
 
 open Cmdliner
-module EF = Mwct_core.Engine.Float
-module EQ = Mwct_core.Engine.Exact
 module Spec = Mwct_core.Spec
 module Spec_io = Mwct_core.Spec_io
-module Q = Mwct_rational.Rational
+module Solver = Mwct_solver.Solver
+module Driver = Mwct_solver.Driver
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
+
+let exit_invalid = 1
+let exit_bad_input = 2
 
 let load_spec path =
   match Spec_io.load path with
   | Ok spec -> spec
   | Error msg ->
     Printf.eprintf "error: %s: %s\n" path msg;
-    exit 2
+    exit exit_bad_input
 
 (* ---------- solve ---------- *)
 
-type algo = Wdeq | Deq | Greedy_smith | Greedy_identity | Optimal
+(* The algorithm argument is the registry's name list — registering a
+   solver extends the CLI automatically. *)
+let algo_conv = Arg.enum (List.map (fun n -> (n, n)) Solver.names)
 
-let algo_conv =
-  Arg.enum
-    [
-      ("wdeq", Wdeq);
-      ("deq", Deq);
-      ("greedy-smith", Greedy_smith);
-      ("greedy", Greedy_identity);
-      ("optimal", Optimal);
-    ]
+let algo_arg ~default =
+  Arg.(
+    value
+    & opt algo_conv default
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:
+          (Printf.sprintf "Algorithm: %s (see --list-algos)."
+             (String.concat ", " (List.map (fun n -> "$(b," ^ n ^ ")") Solver.names))))
 
-let run_float spec algo =
-  let inst = EF.Instance.of_spec spec in
-  let schedule =
-    match algo with
-    | Wdeq -> fst (EF.Wdeq.wdeq inst)
-    | Deq -> fst (EF.Wdeq.deq inst)
-    | Greedy_smith -> EF.Greedy.run inst (EF.Orderings.smith inst)
-    | Greedy_identity -> EF.Greedy.run inst (EF.Orderings.identity (Array.length inst.EF.Types.tasks))
-    | Optimal -> snd (EF.Lp_schedule.optimal inst)
-  in
-  print_string (EF.Schedule.to_string schedule);
-  Printf.printf "objective (sum w.C) = %.6f\nmakespan = %.6f\nvalid = %b\n"
-    (EF.Schedule.weighted_completion_time schedule)
-    (EF.Schedule.makespan schedule)
-    (EF.Schedule.is_valid schedule)
+let list_algos_string () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (i : Solver.info) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-14s %-40s %s\n" i.Solver.name
+           (match Solver.caps_to_string i with "" -> "-" | s -> s)
+           i.Solver.doc))
+    Solver.infos;
+  Buffer.contents b
 
-let run_exact spec algo =
-  let inst = EQ.Instance.of_spec spec in
-  let schedule =
-    match algo with
-    | Wdeq -> fst (EQ.Wdeq.wdeq inst)
-    | Deq -> fst (EQ.Wdeq.deq inst)
-    | Greedy_smith -> EQ.Greedy.run inst (EQ.Orderings.smith inst)
-    | Greedy_identity -> EQ.Greedy.run inst (EQ.Orderings.identity (Array.length inst.EQ.Types.tasks))
-    | Optimal -> snd (EQ.Lp_schedule.optimal inst)
-  in
-  print_string (EQ.Schedule.to_string schedule);
-  Printf.printf "objective (sum w.C) = %s\nmakespan = %s\nvalid = %b\n"
-    (Q.to_string (EQ.Schedule.weighted_completion_time schedule))
-    (Q.to_string (EQ.Schedule.makespan schedule))
-    (EQ.Schedule.is_valid ~exact:true schedule)
+(* The one polymorphic runner that replaced the per-engine
+   run_float/run_exact copies: everything algorithm- or
+   field-dependent comes from the registry and the field packed in
+   [D]; only the number formatting is a parameter (the float engine
+   prints fixed-point, the exact engine prints exact rationals). *)
+module Solve_runner (D : sig
+  module F : Mwct_field.Field.S
+
+  val fmt : F.t -> string
+  val engine : string
+  val exact_check : bool
+end) =
+struct
+  module Dr = Driver.Make (D.F)
+  module E = Dr.E
+
+  let run spec algo ~json =
+    let inst = E.Instance.of_spec spec in
+    let solver =
+      match Dr.S.find algo with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "error: unknown algorithm %S\n" algo;
+        exit exit_bad_input
+    in
+    let r = Dr.run ~exact:D.exact_check solver inst in
+    if json then print_string (Dr.to_json ~engine:D.engine r)
+    else begin
+      print_string (E.Schedule.to_string r.Dr.schedule);
+      Printf.printf "objective (sum w.C) = %s\nmakespan = %s\nvalid = %b\n" (D.fmt r.Dr.objective)
+        (D.fmt r.Dr.makespan) (Dr.valid r)
+    end;
+    match r.Dr.check with
+    | Ok () -> 0
+    | Error v ->
+      Printf.eprintf "error: invalid schedule: %s\n" (E.Schedule.violation_to_string v);
+      exit_invalid
+end
+
+module Run_float = Solve_runner (struct
+  module F = Mwct_field.Field.Float_field
+
+  let fmt = Printf.sprintf "%.6f"
+  let engine = "float"
+  let exact_check = false
+end)
+
+module Run_exact = Solve_runner (struct
+  module F = Mwct_rational.Rational.Rat_field
+
+  let fmt = Mwct_rational.Rational.to_string
+  let engine = "exact"
+  let exact_check = true
+end)
 
 let solve_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file (Spec_io format).") in
-  let algo =
-    Arg.(value & opt algo_conv Wdeq & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Algorithm: wdeq, deq, greedy-smith, greedy, optimal.")
-  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file (Spec_io format).") in
+  let algo = algo_arg ~default:"wdeq" in
   let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Use exact rational arithmetic.") in
-  let run file algo exact =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the full report as JSON instead of text.") in
+  let list_algos = Arg.(value & flag & info [ "list-algos" ] ~doc:"List the registered algorithms and exit.") in
+  let run file algo exact json list_algos =
+    if list_algos then begin
+      print_string (list_algos_string ());
+      exit 0
+    end;
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "error: FILE required (or --list-algos)\n";
+        exit exit_bad_input
+    in
     let spec = load_spec file in
-    if exact then run_exact spec algo else run_float spec algo
+    exit (if exact then Run_exact.run spec algo ~json else Run_float.run spec algo ~json)
   in
-  Cmd.v (Cmd.info "solve" ~doc:"Schedule an instance and print the column schedule.")
-    Term.(const run $ file $ algo $ exact)
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Schedule an instance and print the column schedule (exit 0) or report an invalid schedule \
+          (exit 1); exit 2 on bad input.")
+    Term.(const run $ file $ algo $ exact $ json $ list_algos)
 
 (* ---------- experiment ---------- *)
 
@@ -113,7 +177,7 @@ let experiment_cmd =
       | None ->
         Printf.eprintf "unknown experiment %S; known: %s\n" exp_name
           (String.concat ", " Mwct_experiments.Experiments.names);
-        exit 2
+        exit exit_bad_input
     end
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's experiments.")
@@ -146,16 +210,17 @@ let gen_cmd =
 (* ---------- bounds ---------- *)
 
 let bounds_cmd =
+  let module E = Run_float.E in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
   let run file =
     let spec = load_spec file in
-    let inst = EF.Instance.of_spec spec in
-    Printf.printf "squashed area A(I) = %.6f\n" (EF.Lower_bounds.squashed_area inst);
-    Printf.printf "height bound H(I)  = %.6f\n" (EF.Lower_bounds.height_bound inst);
-    Printf.printf "optimal makespan   = %.6f\n" (EF.Makespan.optimal inst);
+    let inst = E.Instance.of_spec spec in
+    Printf.printf "squashed area A(I) = %.6f\n" (E.Lower_bounds.squashed_area inst);
+    Printf.printf "height bound H(I)  = %.6f\n" (E.Lower_bounds.height_bound inst);
+    Printf.printf "optimal makespan   = %.6f\n" (E.Makespan.optimal inst);
     let n = Spec.num_tasks spec in
     if n <= 7 then begin
-      let opt, _ = EF.Lp_schedule.optimal inst in
+      let opt = Solver.Float.objective "optimal" inst in
       Printf.printf "optimal sum w.C    = %.6f\n" opt
     end
     else Printf.printf "optimal sum w.C    = (skipped: %d tasks > enumeration guard)\n" n
@@ -165,36 +230,28 @@ let bounds_cmd =
 (* ---------- render ---------- *)
 
 let render_cmd =
+  let module E = Run_float.E in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
-  let algo =
-    Arg.(value & opt algo_conv Optimal & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Algorithm to schedule with.")
-  in
+  let algo = algo_arg ~default:"optimal" in
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH" ~doc:"Also write an SVG Gantt chart (integerized schedule) to PATH.") in
   let run file algo svg =
     let spec = load_spec file in
-    let inst = EF.Instance.of_spec spec in
-    let schedule =
-      match algo with
-      | Wdeq -> fst (EF.Wdeq.wdeq inst)
-      | Deq -> fst (EF.Wdeq.deq inst)
-      | Greedy_smith -> EF.Greedy.run inst (EF.Orderings.smith inst)
-      | Greedy_identity -> EF.Greedy.run inst (EF.Orderings.identity (Array.length inst.EF.Types.tasks))
-      | Optimal -> snd (EF.Lp_schedule.optimal inst)
-    in
-    let normal = EF.Water_filling.normalize schedule in
-    print_string (EF.Render.columns_to_ascii normal);
-    let integer_schedule, _ = EF.Integerize.of_columns normal in
-    let gantt = EF.Assignment.assign integer_schedule in
+    let inst = E.Instance.of_spec spec in
+    let schedule = fst (Solver.Float.solve_exn algo inst) in
+    let normal = E.Water_filling.normalize schedule in
+    print_string (E.Render.columns_to_ascii normal);
+    let integer_schedule, _ = E.Integerize.of_columns normal in
+    let gantt = E.Assignment.assign integer_schedule in
     print_newline ();
-    print_string (EF.Render.gantt_to_ascii gantt);
+    print_string (E.Render.gantt_to_ascii gantt);
     Printf.printf "objective = %.6f, preemptions = %d (3n = %d)\n"
-      (EF.Schedule.weighted_completion_time normal)
-      (EF.Assignment.preemptions gantt)
-      (3 * Array.length inst.EF.Types.tasks);
+      (E.Schedule.weighted_completion_time normal)
+      (E.Assignment.preemptions gantt)
+      (3 * Array.length inst.E.Types.tasks);
     match svg with
     | None -> ()
     | Some path ->
-      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (EF.Render.gantt_to_svg gantt));
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (E.Render.gantt_to_svg gantt));
       Printf.printf "SVG written to %s\n" path
   in
   Cmd.v (Cmd.info "render" ~doc:"Schedule an instance and render its Gantt chart (ASCII and optional SVG).")
@@ -203,6 +260,7 @@ let render_cmd =
 (* ---------- simulate ---------- *)
 
 let simulate_cmd =
+  let module E = Run_float.E in
   let module Sim = Mwct_ncv.Simulator.Float in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.") in
   let policy =
@@ -216,19 +274,19 @@ let simulate_cmd =
   in
   let run file policy releases =
     let spec = load_spec file in
-    let inst = EF.Instance.of_spec spec in
-    let n = Array.length inst.EF.Types.tasks in
+    let inst = E.Instance.of_spec spec in
+    let n = Array.length inst.E.Types.tasks in
     let releases =
       match releases with
       | None -> Array.make n 0.
       | Some s -> (
         let parts = String.split_on_char ',' s in
         match List.map float_of_string_opt parts with
-        | exception _ -> Printf.eprintf "error: bad releases\n"; exit 2
+        | exception _ -> Printf.eprintf "error: bad releases\n"; exit exit_bad_input
         | floats ->
           if List.exists Option.is_none floats || List.length floats <> n then begin
             Printf.eprintf "error: --releases needs %d comma-separated numbers\n" n;
-            exit 2
+            exit exit_bad_input
           end
           else Array.of_list (List.map Option.get floats))
     in
@@ -246,7 +304,7 @@ let simulate_cmd =
     | Ok () -> print_endline "trace valid  = true"
     | Error e ->
       Printf.printf "trace valid  = FALSE (%s)\n" e;
-      exit 1
+      exit exit_invalid
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a non-clairvoyant policy with optional task arrivals and print the event trace.")

@@ -12,6 +12,7 @@
     [algorithm(I) / OPT(I)] with OPT from the Corollary-1 LP. *)
 
 module EF = Mwct_core.Engine.Float
+module SF = Mwct_solver.Solver.Float
 module Spec = Mwct_core.Spec
 module Rng = Mwct_util.Rng
 module Tablefmt = Mwct_util.Tablefmt
@@ -31,12 +32,10 @@ type target = {
   n : int;
 }
 
-let objective = EF.Schedule.weighted_completion_time
-
 let wdeq_target =
   {
     label = "WDEQ vs OPT";
-    algo = (fun inst -> objective (fst (EF.Wdeq.wdeq inst)));
+    algo = SF.objective "wdeq";
     project = (fun s -> s);
     claim = "<= 2 (Thm 4)";
     bound = 2.;
@@ -47,7 +46,7 @@ let wdeq_target =
 let deq_unweighted_target =
   {
     label = "DEQ vs OPT (w = 1)";
-    algo = (fun inst -> objective (fst (EF.Wdeq.deq inst)));
+    algo = SF.objective "deq";
     project =
       (fun s ->
         Spec.make ~procs:s.Spec.procs
@@ -61,7 +60,7 @@ let deq_unweighted_target =
 let lrf_target =
   {
     label = "LRF vs OPT (delta = 1)";
-    algo = (fun inst -> objective (EF.Greedy.run inst (EF.Orderings.smith inst)));
+    algo = SF.objective "greedy-smith";
     project =
       (fun s ->
         Spec.make ~procs:s.Spec.procs
@@ -75,7 +74,7 @@ let lrf_target =
 let best_greedy_target =
   {
     label = "best greedy vs OPT";
-    algo = (fun inst -> fst (EF.Lp_schedule.best_greedy inst));
+    algo = SF.objective "best-greedy";
     project = (fun s -> s);
     claim = "= 1 (Conjecture 12)";
     bound = 1.;
@@ -113,7 +112,7 @@ let mutate rng (s : Spec.t) : Spec.t =
 let score (target : target) (s : Spec.t) : float =
   let s = target.project s in
   let inst = EF.Instance.of_spec s in
-  let opt, _ = EF.Lp_schedule.optimal inst in
+  let opt = SF.objective "optimal" inst in
   if opt <= 0. then 1. else target.algo inst /. opt
 
 (** Hill-climb [target] from [restarts] random starts. Returns the

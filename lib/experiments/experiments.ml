@@ -2,6 +2,7 @@ type scale = Experiments_scale.t = Quick | Full
 
 module EF = Mwct_core.Engine.Float
 module EQ = Mwct_core.Engine.Exact
+module SF = Mwct_solver.Solver.Float
 module Spec = Mwct_core.Spec
 module G = Mwct_workload.Generator
 module B = Mwct_bandwidth.Bandwidth.Float
@@ -43,10 +44,13 @@ let ratio_study ~seed ~count ~gen ~algo ~reference =
 
 let fmt_ratio (s : Stats.summary) = Printf.sprintf "mean %.4f / max %.4f" s.Stats.mean s.Stats.max
 
-let lp_opt inst = fst (EF.Lp_schedule.optimal inst)
-let wdeq_obj inst = objective (fst (EF.Wdeq.wdeq inst))
-let deq_obj inst = objective (fst (EF.Wdeq.deq inst))
-let smith_greedy_obj inst = objective (EF.Greedy.run inst (EF.Orderings.smith inst))
+(* Algorithms under study come from the solver registry — one
+   registration covers the CLI, the bench loop and these tables. *)
+let lp_opt = SF.objective "optimal"
+let wdeq_obj = SF.objective "wdeq"
+let deq_obj = SF.objective "deq"
+let smith_greedy_obj = SF.objective "greedy-smith"
+let best_greedy_obj = SF.objective "best-greedy"
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Table I                                                        *)
@@ -105,7 +109,7 @@ let table1 scale =
   (* Cmax: WF-schedule makespan over the trivial lower bound. *)
   let s, _ =
     ratio_study ~seed:107 ~count ~gen:uni
-      ~algo:(fun inst -> EF.Schedule.makespan (EF.Makespan.schedule inst))
+      ~algo:(fun inst -> EF.Schedule.makespan (fst (SF.solve_exn "wf-cmax" inst)))
       ~reference:EF.Makespan.optimal
   in
   add_row "(diff, diff, Cmax, C) WF makespan [10]" "O(n log n) (opt)" s 1.;
@@ -135,8 +139,7 @@ let table1 scale =
   let s, eq =
     ratio_study ~seed:110 ~count
       ~gen:(fun rng -> with_unit_volumes (with_unit_weights (uni rng)))
-      ~algo:(fun inst -> fst (EF.Lp_schedule.best_greedy inst))
-      ~reference:lp_opt
+      ~algo:best_greedy_obj ~reference:lp_opt
   in
   Tablefmt.add_row t
     [
@@ -166,8 +169,8 @@ let greedy_vs_opt scale =
     for _ = 1 to per_size do
       let spec = G.uniform (Rng.split rng) ~procs:4 ~n () in
       let inst = EF.Instance.of_spec spec in
-      let opt, _ = EF.Lp_schedule.optimal inst in
-      let bg, _ = EF.Lp_schedule.best_greedy inst in
+      let opt = lp_opt inst in
+      let bg = best_greedy_obj inst in
       let gap = (bg -. opt) /. opt in
       if gap <= 1e-7 then incr matches;
       if gap > !max_gap then max_gap := gap
@@ -374,7 +377,8 @@ let wdeq_ratio scale =
       for _ = 1 to count do
         let spec = G.uniform (Rng.split rng) ~procs:8 ~n () in
         let inst = EF.Instance.of_spec spec in
-        let s, d = EF.Wdeq.wdeq inst in
+        let s, meta = SF.solve_exn "wdeq" inst in
+        let d = Option.get meta.SF.wdeq_diagnostics in
         let bound =
           2.
           *. (EF.Lower_bounds.squashed_area (EF.Instance.sub_instance inst d.EF.Wdeq.limited_volume)
@@ -469,7 +473,7 @@ let makespan scale =
         if not (EF.Water_filling.feasible inst (all (0.99 *. t_star))) then incr infeas;
         let sigma = EF.Orderings.random (Rng.split rng) n in
         greedy_ratio := (EF.Schedule.makespan (EF.Greedy.run inst sigma) /. t_star) :: !greedy_ratio;
-        let w, _ = EF.Wdeq.wdeq inst in
+        let w = fst (SF.solve_exn "wdeq" inst) in
         wdeq_r := (EF.Schedule.makespan w /. t_star) :: !wdeq_r
       done;
       Tablefmt.add_row t
@@ -538,7 +542,7 @@ let smith_greedy scale =
     for _ = 1 to count do
       let spec = G.unit_tasks (Rng.split rng) ~procs:8 ~n () in
       let inst = EF.Instance.of_spec spec in
-      let opt, _ = EF.Lp_schedule.optimal inst in
+      let opt = lp_opt inst in
       let best = ref infinity and worst = ref 0. in
       EF.Orderings.fold_permutations n
         (fun () sigma ->

@@ -9,6 +9,7 @@
     Malleability can only help; the measured ratios say by how much. *)
 
 module EF = Mwct_core.Engine.Float
+module SF = Mwct_solver.Solver.Float
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
 module Stats = Mwct_util.Stats
@@ -29,7 +30,7 @@ let table scale =
       for _ = 1 to count do
         let spec = G.uniform (Rng.split rng) ~procs ~n () in
         let inst = EF.Instance.of_spec spec in
-        let opt, _ = EF.Lp_schedule.optimal inst in
+        let opt = SF.objective "optimal" inst in
         let order = EF.Orderings.smith inst in
         mold := (EF.Moldable.best_heuristic inst /. opt) :: !mold;
         full :=

@@ -8,6 +8,7 @@
     that the conclusions are not artifacts of the generator. *)
 
 module EF = Mwct_core.Engine.Float
+module SF = Mwct_solver.Solver.Float
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
 module Stats = Mwct_util.Stats
@@ -37,10 +38,10 @@ let table scale =
       for _ = 1 to count do
         let spec = gen (Rng.split rng) ~procs:4 ~n:4 in
         let inst = EF.Instance.of_spec spec in
-        let opt, _ = EF.Lp_schedule.optimal inst in
-        let wdeq = EF.Schedule.weighted_completion_time (fst (EF.Wdeq.wdeq inst)) in
+        let opt = SF.objective "optimal" inst in
+        let wdeq = SF.objective "wdeq" inst in
         ratios := (wdeq /. opt) :: !ratios;
-        let bg, _ = EF.Lp_schedule.best_greedy inst in
+        let bg = SF.objective "best-greedy" inst in
         if (bg -. opt) /. opt <= 1e-7 then incr greedy_opt
       done;
       let s = Stats.summarize !ratios in

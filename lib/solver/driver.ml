@@ -1,0 +1,115 @@
+(** Uniform solver execution: run any registered solver and get one
+    [report] — schedule, objective, makespan, the [A(I)]/[H(I)] lower
+    bounds, ratio-to-bound, the structured {!Mwct_core.Schedule.Make.check}
+    verdict and wall-clock timing. Every consumer (CLI, experiments,
+    bench, tests) reads the same record instead of re-deriving the
+    quantities by hand. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module S = Solver.Make (F)
+  module E = S.E
+
+  type report = {
+    solver : Solver.info;
+    schedule : E.Types.column_schedule;
+    meta : S.meta;
+    objective : F.t;  (** [Σ w_i C_i] of the schedule *)
+    makespan : F.t;
+    squashed_area : F.t;  (** [A(I)] (Definition 5) *)
+    height_bound : F.t;  (** [H(I)] (Definition 6) *)
+    lower_bound : F.t;  (** [max (A(I)) (H(I))] — a bound on OPT *)
+    ratio_to_bound : float option;
+        (** [objective / lower_bound] as a float; [None] when the bound
+            is zero (empty instances) *)
+    check : (unit, E.Schedule.violation) result;
+    elapsed_s : float;  (** wall-clock seconds spent in [solve] *)
+  }
+
+  (** Run [solver] on [inst]. [~exact:true] makes the validity check
+      strict (use with the rational engine). Only the [solve] call is
+      timed; bounds and the check are recomputed outside the clock. *)
+  let run ?(exact = false) (solver : S.t) (inst : E.Types.instance) : report =
+    let t0 = Unix.gettimeofday () in
+    let schedule, meta = solver.S.solve inst in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let objective = E.Schedule.weighted_completion_time schedule in
+    let squashed_area = E.Lower_bounds.squashed_area inst in
+    let height_bound = E.Lower_bounds.height_bound inst in
+    let lower_bound = F.max squashed_area height_bound in
+    let ratio_to_bound =
+      if F.sign lower_bound > 0 then Some (F.to_float objective /. F.to_float lower_bound) else None
+    in
+    {
+      solver = solver.S.info;
+      schedule;
+      meta;
+      objective;
+      makespan = E.Schedule.makespan schedule;
+      squashed_area;
+      height_bound;
+      lower_bound;
+      ratio_to_bound;
+      check = E.Schedule.check ~exact schedule;
+      elapsed_s;
+    }
+
+  let valid (r : report) = match r.check with Ok () -> true | Error _ -> false
+
+  (* ---------- JSON report ---------- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_num x = Printf.sprintf "%.12g" x
+
+  (** Machine-readable report. [~engine] labels the arithmetic
+      ("float" / "exact"); numeric fields carry both a decimal [float]
+      rendering and the field's own [*_repr] string (exact rationals
+      survive the round trip). Timing is the only non-deterministic
+      field. *)
+  let to_json ~engine (r : report) : string =
+    let n = Array.length r.schedule.E.Types.instance.E.Types.tasks in
+    let fields =
+      [
+        ("algo", Printf.sprintf "\"%s\"" (json_escape r.solver.Solver.name));
+        ( "caps",
+          Printf.sprintf "[%s]"
+            (String.concat ", "
+               (List.map (fun c -> Printf.sprintf "\"%s\"" (Solver.cap_to_string c)) r.solver.Solver.caps))
+        );
+        ("engine", Printf.sprintf "\"%s\"" (json_escape engine));
+        ("tasks", string_of_int n);
+        ("procs", json_num (F.to_float r.schedule.E.Types.instance.E.Types.procs));
+        ("objective", json_num (F.to_float r.objective));
+        ("objective_repr", Printf.sprintf "\"%s\"" (json_escape (F.to_string r.objective)));
+        ("makespan", json_num (F.to_float r.makespan));
+        ("makespan_repr", Printf.sprintf "\"%s\"" (json_escape (F.to_string r.makespan)));
+        ("squashed_area", json_num (F.to_float r.squashed_area));
+        ("height_bound", json_num (F.to_float r.height_bound));
+        ("lower_bound", json_num (F.to_float r.lower_bound));
+        ("ratio_to_bound", match r.ratio_to_bound with Some x -> json_num x | None -> "null");
+        ("valid", string_of_bool (valid r));
+        ( "violation",
+          match r.check with
+          | Ok () -> "null"
+          | Error v -> Printf.sprintf "\"%s\"" (json_escape (E.Schedule.violation_to_string v)) );
+        ("elapsed_s", json_num r.elapsed_s);
+      ]
+    in
+    "{\n"
+    ^ String.concat ",\n" (List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %s" k v) fields)
+    ^ "\n}\n"
+end
+
+(** Pre-applied drivers over the two standard engines. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

@@ -1,0 +1,156 @@
+(** Field-polymorphic solver registry: the single dispatch path shared
+    by the CLI, the experiment battery, the benchmark harness and the
+    property tests.
+
+    A {e solver} is a packed value [{ info; solve }] — a name, a doc
+    line, capability flags, and a function from an instance to a column
+    schedule plus per-run metadata. [Make (F)] instantiates the whole
+    registry over a field, so every registered algorithm is available
+    on both engines with the types lined up (functors are applicative,
+    exactly as in {!Mwct_core.Engine}).
+
+    Adding an algorithm is {e one} registration here; the CLI enum,
+    the bench loop, the cross-engine property tests and the experiment
+    lookups all pick it up automatically. Capability flags let
+    consumers filter: the bench loop shrinks instances for
+    {!Enumerative} solvers, the CLI documents {!Needs_lp}, experiments
+    select {!Non_clairvoyant} policies.
+
+    Field-neutral metadata ([infos], [names], [find_info]) is exposed
+    at the top level for consumers that only need names and flags
+    (argument parsers, documentation generators). *)
+
+(** Capability flags — coarse facts consumers dispatch on.
+
+    - [Needs_lp]: runs the Corollary-1 LP (simplex) internally.
+    - [Exact_recommended]: float results can be off by more than test
+      tolerance on adversarial inputs; prefer the exact engine for
+      ground truth.
+    - [Non_clairvoyant]: never reads volumes except to locate the next
+      completion event — an online policy in the paper's sense.
+    - [Enumerative]: exponential in [n] (order enumeration); callers
+      must keep [n] small (the LP enumeration guard is 8). *)
+type cap = Needs_lp | Exact_recommended | Non_clairvoyant | Enumerative
+
+let cap_to_string = function
+  | Needs_lp -> "needs-lp"
+  | Exact_recommended -> "exact-recommended"
+  | Non_clairvoyant -> "non-clairvoyant"
+  | Enumerative -> "enumerative"
+
+(** Field-neutral identity of a registered solver. *)
+type info = { name : string; doc : string; caps : cap list }
+
+let caps_to_string (i : info) = String.concat "," (List.map cap_to_string i.caps)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module E = Mwct_core.Engine.Make (F)
+
+  (** Per-run metadata beyond the schedule: WDEQ's Lemma-2 volume
+      split, and the completion/insertion order for order-based
+      solvers. Fields are [None] when the solver has nothing to
+      report. *)
+  type meta = {
+    wdeq_diagnostics : E.Wdeq.diagnostics option;
+    order : int array option;
+  }
+
+  let no_meta = { wdeq_diagnostics = None; order = None }
+
+  type t = {
+    info : info;
+    solve : E.Types.instance -> E.Types.column_schedule * meta;
+  }
+
+  let make ~name ~doc ?(caps = []) solve = { info = { name; doc; caps }; solve }
+
+  let of_greedy_order ~name ~doc ?caps order_of =
+    make ~name ~doc ?caps (fun inst ->
+        let sigma = order_of inst in
+        (E.Greedy.run inst sigma, { no_meta with order = Some sigma }))
+
+  let wdeq =
+    make ~name:"wdeq" ~doc:"Weighted Dynamic EQuipartition (Algorithm 1), the 2-approximation"
+      ~caps:[ Non_clairvoyant ] (fun inst ->
+        let s, d = E.Wdeq.wdeq inst in
+        (s, { no_meta with wdeq_diagnostics = Some d }))
+
+  let deq =
+    make ~name:"deq" ~doc:"unweighted Dynamic EQuipartition (Deng et al.)" ~caps:[ Non_clairvoyant ]
+      (fun inst ->
+        let s, d = E.Wdeq.deq inst in
+        (s, { no_meta with wdeq_diagnostics = Some d }))
+
+  let greedy_smith =
+    of_greedy_order ~name:"greedy-smith" ~doc:"Greedy (Algorithm 3) in Smith/LRF order (largest w/V first)"
+      E.Orderings.smith
+
+  let greedy_identity =
+    of_greedy_order ~name:"greedy" ~doc:"Greedy (Algorithm 3) in input order" (fun inst ->
+        E.Orderings.identity (Array.length inst.E.Types.tasks))
+
+  let greedy_height =
+    of_greedy_order ~name:"greedy-height" ~doc:"Greedy in non-decreasing height V/min(delta,P) order"
+      E.Orderings.shortest_height
+
+  let greedy_ldf =
+    of_greedy_order ~name:"greedy-ldf" ~doc:"Greedy in largest-delta-first order" E.Orderings.largest_delta
+
+  let wf_cmax =
+    make ~name:"wf-cmax"
+      ~doc:"Water-Filling schedule at the optimal makespan T* (minimizes Cmax, not sum w.C)" (fun inst ->
+        (E.Makespan.schedule inst, no_meta))
+
+  let best_greedy =
+    make ~name:"best-greedy" ~doc:"best Greedy over all n! insertion orders (Section V-A quantity)"
+      ~caps:[ Enumerative ] (fun inst ->
+        let _, sigma = E.Lp_schedule.best_greedy inst in
+        (E.Greedy.run inst sigma, { no_meta with order = Some sigma }))
+
+  let optimal =
+    make ~name:"optimal" ~doc:"exact optimum: Corollary-1 LP over all n! completion orders (n <= 8)"
+      ~caps:[ Needs_lp; Exact_recommended; Enumerative ] (fun inst ->
+        let _, s = E.Lp_schedule.optimal inst in
+        (s, { no_meta with order = Some s.E.Types.order }))
+
+  (** The registry. Order is the presentation order everywhere
+      ([--list-algos], bench, README). *)
+  let all =
+    [
+      wdeq; deq; greedy_smith; greedy_identity; greedy_height; greedy_ldf; wf_cmax; best_greedy; optimal;
+    ]
+
+  let infos = List.map (fun s -> s.info) all
+  let names = List.map (fun s -> s.info.name) all
+  let find name = List.find_opt (fun s -> s.info.name = name) all
+
+  (** [find_exn name] raises [Invalid_argument] on unknown names —
+      for callers that already validated the name (CLI enums,
+      experiment code naming registered solvers). *)
+  let find_exn name =
+    match find name with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Solver.find_exn: unknown solver %S (known: %s)" name (String.concat ", " names))
+
+  let has_cap c (s : t) = List.mem c s.info.caps
+
+  (** [solve_exn name inst] — registry lookup + run in one call. *)
+  let solve_exn name inst = (find_exn name).solve inst
+
+  (** Objective [Σ w_i C_i] of the named solver's schedule. *)
+  let objective name inst = E.Schedule.weighted_completion_time (fst (solve_exn name inst))
+end
+
+(** Pre-applied registries, mirroring {!Mwct_core.Engine}. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)
+
+(** Field-neutral registry metadata (identical on every field — the
+    registrations are shared code). *)
+let infos = Float.infos
+
+let names = Float.names
+let find_info name = List.find_opt (fun i -> i.name = name) infos

@@ -8,6 +8,8 @@
 open Test_support
 module EF = Support.EF
 module EQ = Support.EQ
+module SF = Mwct_solver.Solver.Float
+module SQ = Mwct_solver.Solver.Exact
 module Q = Support.Q
 module Rng = Mwct_util.Rng
 
@@ -112,6 +114,28 @@ let prop_moldable =
       let pq = EQ.Moldable.schedule qi ~widths ~order in
       close (EF.Moldable.objective fi pf) (EQ.Moldable.objective qi pq))
 
+let prop_registry =
+  (* Quantified over the *registry*, not a hand-kept list: any solver
+     registered in lib/solver is automatically cross-checked between
+     engines. Small instances because the registry includes the
+     enumerative solvers (optimal, best-greedy). *)
+  QCheck2.Test.make ~name:"every registered solver agrees across engines" ~count:30
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_procs:4 ~max_n:4 ~den:16 `Uniform)
+    (fun spec ->
+      let fi = Support.finst spec and qi = Support.qinst spec in
+      List.for_all2
+        (fun (sf : SF.t) (sq : SQ.t) ->
+          let name_ok = sf.SF.info.Mwct_solver.Solver.name = sq.SQ.info.Mwct_solver.Solver.name in
+          let f, _ = sf.SF.solve fi in
+          let q, _ = sq.SQ.solve qi in
+          name_ok
+          && EF.Schedule.is_valid f
+          && EQ.Schedule.is_valid ~exact:true q
+          && close (EF.Schedule.weighted_completion_time f) (EQ.Schedule.weighted_completion_time q)
+          && close (EF.Schedule.makespan f) (EQ.Schedule.makespan q))
+        SF.all SQ.all)
+
 let () =
   let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
   Alcotest.run "cross_engine"
@@ -127,4 +151,5 @@ let () =
             prop_release_dates;
             prop_moldable;
           ] );
+      ("solver registry", q [ prop_registry ]);
     ]

@@ -1,0 +1,123 @@
+(* Fault injection for Schedule.check: start from a valid hand-built
+   schedule, corrupt it in each violation class, and assert the checker
+   reports the *matching* structured violation — not just "invalid".
+   This pins the diagnosis the CLI and the driver report surface to
+   users. *)
+
+open Test_support
+module EF = Support.EF
+module EQ = Support.EQ
+
+(* procs = 2, two tasks with V = 2, w = 1, delta = 2. The canonical
+   valid schedule runs task 0 alone on [0,1] at width 2, then task 1
+   alone on [1,2] at width 2. *)
+let spec = Support.spec ~procs:2 [ ((2, 1), (1, 1), 2); ((2, 1), (1, 1), 2) ]
+
+(* Dense allocation matrix for the valid schedule; each test copies and
+   corrupts it. *)
+let base_alloc () = [| [| 2.; 0. |]; [| 0.; 2. |] |]
+
+let build ?(order = [| 0; 1 |]) ?(finish = [| 1.; 2. |]) alloc =
+  EF.Schedule.of_dense ~instance:(Support.finst spec) ~order ~finish alloc
+
+let violation =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (EF.Schedule.violation_to_string v))
+    ( = )
+
+let check_result = Alcotest.(result unit violation)
+
+let test_baseline_valid () =
+  Alcotest.check check_result "uncorrupted schedule passes" (Ok ()) (EF.Schedule.check (build (base_alloc ())))
+
+let test_negative_alloc () =
+  let alloc = base_alloc () in
+  alloc.(0).(0) <- -1.;
+  Alcotest.check check_result "negative rate flagged"
+    (Error (EF.Schedule.Negative_alloc (0, 0)))
+    (EF.Schedule.check (build alloc))
+
+let test_over_delta () =
+  let alloc = base_alloc () in
+  alloc.(0).(0) <- 3.;
+  Alcotest.check check_result "rate above delta flagged"
+    (Error (EF.Schedule.Over_delta (0, 0)))
+    (EF.Schedule.check (build alloc))
+
+let test_over_capacity () =
+  (* both entries legal on their own (<= delta), but the column sums to
+     2.5 > P = 2 *)
+  let alloc = [| [| 1.5; 0.5 |]; [| 1.; 1.5 |] |] in
+  Alcotest.check check_result "over-capacity column flagged"
+    (Error (EF.Schedule.Over_capacity 0))
+    (EF.Schedule.check (build alloc))
+
+let test_late_alloc () =
+  (* task 0 completes in column 0 but still holds processors in
+     column 1 *)
+  let alloc = base_alloc () in
+  alloc.(0).(1) <- 1.;
+  Alcotest.check check_result "allocation after completion flagged"
+    (Error (EF.Schedule.Late_alloc (0, 1)))
+    (EF.Schedule.check (build alloc))
+
+let test_not_sorted () =
+  (* second finish time precedes the first: column 1 ends before it
+     starts *)
+  Alcotest.check check_result "non-monotone finish times flagged"
+    (Error (EF.Schedule.Not_sorted 1))
+    (EF.Schedule.check (build ~finish:[| 1.; 0.5 |] (base_alloc ())))
+
+let test_volume_mismatch () =
+  let alloc = base_alloc () in
+  alloc.(0).(0) <- 1.;
+  Alcotest.check check_result "underdelivered volume flagged"
+    (Error (EF.Schedule.Volume_mismatch 0))
+    (EF.Schedule.check (build alloc))
+
+let test_bad_shape () =
+  Alcotest.check check_result "non-permutation order flagged"
+    (Error (EF.Schedule.Bad_shape "order not a permutation"))
+    (EF.Schedule.check (build ~order:[| 0; 0 |] (base_alloc ())))
+
+let test_exact_strictness () =
+  (* A volume short by 1/10^6: the exact checker must flag it — no
+     approximate comparison can wave it through. *)
+  let module Q = Support.Q in
+  let inst = Support.qinst spec in
+  let two = Q.of_int 2 in
+  let short = Q.sub two (Q.of_q 1 1_000_000) in
+  let alloc = [| [| short; Q.zero |]; [| Q.zero; two |] |] in
+  let s =
+    EQ.Schedule.of_dense ~instance:inst ~order:[| 0; 1 |] ~finish:[| Q.of_int 1; two |] alloc
+  in
+  Alcotest.(check bool) "exact check rejects a ppm-short volume" true
+    (match EQ.Schedule.check ~exact:true s with
+    | Error (EQ.Schedule.Volume_mismatch 0) -> true
+    | _ -> false)
+
+let test_violation_strings () =
+  (* the rendered diagnosis names the offending task and column *)
+  let msg v = EF.Schedule.violation_to_string v in
+  Alcotest.(check string) "negative alloc message" "task 0 has negative allocation in column 1"
+    (msg (EF.Schedule.Negative_alloc (0, 1)));
+  Alcotest.(check string) "over capacity message" "column 3 exceeds P processors"
+    (msg (EF.Schedule.Over_capacity 3))
+
+let () =
+  Alcotest.run "diagnostics"
+    [
+      ( "fault injection",
+        [
+          Alcotest.test_case "baseline valid" `Quick test_baseline_valid;
+          Alcotest.test_case "negative allocation" `Quick test_negative_alloc;
+          Alcotest.test_case "over delta" `Quick test_over_delta;
+          Alcotest.test_case "over capacity" `Quick test_over_capacity;
+          Alcotest.test_case "late allocation" `Quick test_late_alloc;
+          Alcotest.test_case "non-monotone finishes" `Quick test_not_sorted;
+          Alcotest.test_case "volume mismatch" `Quick test_volume_mismatch;
+          Alcotest.test_case "bad shape" `Quick test_bad_shape;
+          Alcotest.test_case "exact strictness" `Quick test_exact_strictness;
+          Alcotest.test_case "violation rendering" `Quick test_violation_strings;
+        ] );
+    ]

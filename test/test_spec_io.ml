@@ -1,0 +1,83 @@
+(* Spec_io error paths: every malformed input must produce an [Error]
+   naming the offending line, matching what the CLI prints before
+   exiting with code 2. The happy path is covered by the CLI golden
+   tests; this suite pins the diagnostics. *)
+
+module Spec = Mwct_core.Spec
+module Spec_io = Mwct_core.Spec_io
+
+let err = Alcotest.(result reject string)
+
+let check_error name input expected =
+  Alcotest.check err name (Error expected) (Spec_io.of_string input)
+
+let test_bad_procs () =
+  check_error "procs 0" "procs 0\ntask 1 1 1\n" "line 1: procs expects a positive integer";
+  check_error "procs -3" "procs -3\n" "line 1: procs expects a positive integer";
+  check_error "procs x" "procs x\n" "line 1: procs expects a positive integer"
+
+let test_missing_procs () = check_error "no procs line" "task 1 1 1\n" "missing 'procs' line"
+
+let test_short_task_line () =
+  (* a task line with the wrong arity falls through to the
+     unknown-directive arm (only the 4-token form is a task) *)
+  check_error "task with two fields" "procs 2\ntask 1 1\n" "line 2: unknown directive \"task\"";
+  check_error "task with zero delta" "procs 2\ntask 1 1 0\n"
+    "line 2: task expects: volume weight delta (delta a positive integer)"
+
+let test_bad_numbers () =
+  check_error "volume not a number" "procs 2\ntask x 1 1\n" "line 2: not a number: \"x\"";
+  check_error "zero denominator" "procs 2\ntask 1/0 1 1\n" "line 2: not a rational: \"1/0\"";
+  check_error "garbage rational" "procs 2\ntask 1/y 1 1\n" "line 2: not a rational: \"1/y\""
+
+let test_semantic_validation () =
+  (* parses fine, rejected by Spec.validate *)
+  check_error "negative volume" "procs 2\ntask -1 1 1\n" "task 0: volume must be positive";
+  check_error "negative weight" "procs 2\ntask 1 -2/3 1\n" "task 0: weight must be positive"
+
+let test_unknown_directive () =
+  check_error "unknown directive" "procs 2\nfrobnicate 3\n" "line 2: unknown directive \"frobnicate\""
+
+let test_comments_and_blanks () =
+  match Spec_io.of_string "# header\n\nprocs 2 # trailing comment\ntask 1/2 2/3 1\n" with
+  | Error e -> Alcotest.fail ("comments should be ignored: " ^ e)
+  | Ok spec ->
+    Alcotest.(check int) "procs parsed" 2 spec.Spec.procs;
+    Alcotest.(check int) "one task" 1 (Array.length spec.Spec.tasks)
+
+let test_roundtrip () =
+  let spec =
+    Spec.make ~procs:5
+      [
+        Spec.task ~volume:(Spec.rat 7 3) ~weight:(Spec.rat 2 1) ~delta:4 ();
+        Spec.task ~volume:(Spec.rat 1 2) ~weight:(Spec.rat 5 6) ~delta:1 ();
+      ]
+  in
+  match Spec_io.of_string (Spec_io.to_string spec) with
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+  | Ok spec' -> Alcotest.(check string) "to_string . of_string = id" (Spec.to_string spec) (Spec.to_string spec')
+
+let test_load_missing_file () =
+  match Spec_io.load "/no/such/file.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file should be an error"
+
+let () =
+  Alcotest.run "spec_io"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "bad procs" `Quick test_bad_procs;
+          Alcotest.test_case "missing procs" `Quick test_missing_procs;
+          Alcotest.test_case "short task line" `Quick test_short_task_line;
+          Alcotest.test_case "bad numbers" `Quick test_bad_numbers;
+          Alcotest.test_case "semantic validation" `Quick test_semantic_validation;
+          Alcotest.test_case "unknown directive" `Quick test_unknown_directive;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+    ]

@@ -4,6 +4,8 @@
 
 open Test_support
 module EF = Support.EF
+module SF = Mwct_solver.Solver.Float
+module DF = Mwct_solver.Driver.Float
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
 
@@ -77,6 +79,27 @@ let test_homogeneous_at_scale () =
   let gap = EQ.Homogeneous.reversal_gap deltas order in
   Alcotest.(check string) "Conjecture 13 exactly at n=400" "0" (Q.to_string gap)
 
+let test_registry_at_scale () =
+  (* Every polynomial solver in the registry, through the uniform
+     driver, at n = 150: valid schedule, coherent report, objective at
+     or above the lower bound. Enumerative solvers are skipped by their
+     capability flag — exactly how the bench loop sizes instances. *)
+  let inst = big_instance ~n:150 ~procs:16 8 in
+  List.iter
+    (fun (s : SF.t) ->
+      if not (SF.has_cap Mwct_solver.Solver.Enumerative s) then begin
+        let name = s.SF.info.Mwct_solver.Solver.name in
+        let r = DF.run s inst in
+        Alcotest.(check bool) (name ^ " valid at n=150") true (DF.valid r);
+        Alcotest.(check (float 0.)) (name ^ " objective matches schedule")
+          (EF.Schedule.weighted_completion_time r.DF.schedule)
+          r.DF.objective;
+        match r.DF.ratio_to_bound with
+        | Some ratio -> Alcotest.(check bool) (name ^ " above the lower bound") true (ratio >= 1. -. 1e-9)
+        | None -> Alcotest.fail (name ^ ": lower bound unexpectedly zero")
+      end)
+    SF.all
+
 let () =
   Alcotest.run "stress"
     [
@@ -88,5 +111,6 @@ let () =
           Alcotest.test_case "makespan n=500" `Slow test_makespan_at_scale;
           Alcotest.test_case "ncv arrivals n=150" `Slow test_ncv_at_scale;
           Alcotest.test_case "conjecture 13 n=400 exact" `Slow test_homogeneous_at_scale;
+          Alcotest.test_case "solver registry n=150" `Slow test_registry_at_scale;
         ] );
     ]
