@@ -7,7 +7,15 @@
    Part 2 runs bechamel micro-benchmarks (B1-B8) over the computational
    kernels: Water-Filling normalization, Greedy, WDEQ simulation, the
    Corollary-1 LP, integerization + assignment, the homogeneous
-   recurrence, and the exact-arithmetic substrate. *)
+   recurrence, and the exact-arithmetic substrate.
+
+   Part 3 measures the online runtime: sustained input-event throughput
+   of the incremental engine on a churning 1000-alive-task stream
+   (BENCH_3.json).
+
+   `--quick` is the CI smoke mode: experiments are skipped, the
+   bechamel quota is cut, and the throughput run is shortened — every
+   BENCH_*.json is still produced. *)
 
 open Bechamel
 open Toolkit
@@ -304,7 +312,7 @@ let registry_tests =
         (Staged.stage (fun () -> ignore (s.SF.solve inst))))
     SF.all
 
-let benchmark () =
+let benchmark ~quota =
   let tests =
     [
       bench_wf; bench_greedy; bench_wdeq; bench_lp; bench_integerize; bench_homogeneous;
@@ -316,7 +324,7 @@ let benchmark () =
     @ registry_tests
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true () in
   let raw_results =
     Benchmark.all cfg instances (Test.make_grouped ~name:"mwct" ~fmt:"%s %s" tests)
   in
@@ -365,10 +373,100 @@ let emit_json path rows =
 let is_registry_row (name, _) =
   String.length name >= 9 && String.sub name 0 9 = "mwct REG "
 
+(* ---------- part 3: online engine event throughput ---------- *)
+
+module EnF = Mwct_runtime.Engine.Float
+module PF = Mwct_ncv.Simulator.Float.P
+
+(* Sustained input-event throughput of the incremental engine on a
+   churning stream that holds the alive set at [alive_target]: each
+   round refills the alive set, cancels the oldest task every few
+   rounds, and advances virtual time far enough that a batch of tasks
+   completes inside the window. Segment recording is off (the realistic
+   long-lived-server configuration); the warm-up fill and initial
+   reshare happen before the clock starts. *)
+let engine_throughput ~rounds ~alive_target =
+  let policy = PF.engine_policy PF.Wdeq in
+  let eng = EnF.create ~record_segments:false ~capacity:64.0 ~policy () in
+  let rng = Rng.create 20120515 in
+  let next_id = ref 0 in
+  let events = ref 0 in
+  let completions = ref 0 in
+  let apply ev =
+    match EnF.apply eng ev with
+    | Ok notes ->
+      incr events;
+      completions := !completions + List.length notes
+    | Error e -> failwith ("engine_throughput: " ^ EnF.error_to_string e)
+  in
+  let submit_one () =
+    let id = !next_id in
+    incr next_id;
+    apply
+      (EnF.Submit
+         {
+           id;
+           volume = 0.5 +. (float_of_int (Rng.int_in rng 0 64) /. 16.);
+           weight = float_of_int (1 + Rng.int_in rng 0 10);
+           cap = float_of_int (1 + Rng.int_in rng 0 4);
+         })
+  in
+  while EnF.alive_count eng < alive_target do
+    submit_one ()
+  done;
+  apply (EnF.Advance 0.0);
+  let t0 = Unix.gettimeofday () in
+  let e0 = !events and c0 = !completions in
+  for _ = 1 to rounds do
+    (* Withdraw the four oldest tasks (clients killing jobs), refill the
+       slots they and the previous window's completions freed, then let
+       time pass. *)
+    (match EnF.alive_ids eng with
+    | a :: b :: c :: d :: _ -> List.iter (fun id -> apply (EnF.Cancel id)) [ a; b; c; d ]
+    | _ -> ());
+    while EnF.alive_count eng < alive_target do
+      submit_one ()
+    done;
+    apply (EnF.Advance 0.25)
+  done;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (!events - e0, !completions - c0, elapsed_s)
+
+let run_throughput ~quick =
+  let alive_target = 1000 in
+  let rounds = if quick then 300 else 2000 in
+  let input_events, completions, elapsed_s = engine_throughput ~rounds ~alive_target in
+  let events_per_sec = float_of_int input_events /. elapsed_s in
+  print_endline "================================================================";
+  print_endline " Online engine event throughput (BENCH_3.json)";
+  print_endline "================================================================";
+  Printf.printf
+    "  alive=%d rounds=%d input_events=%d completions=%d elapsed=%.3fs -> %.0f events/s\n"
+    alive_target rounds input_events completions elapsed_s events_per_sec;
+  let oc = open_out "BENCH_3.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"engine event throughput (wdeq policy, churning alive set)\",\n\
+    \  \"alive_target\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"input_events\": %d,\n\
+    \  \"completions\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"target_events_per_sec\": 10000.0,\n\
+    \  \"sustained_10k\": %b\n\
+     }\n"
+    alive_target rounds input_events completions elapsed_s events_per_sec
+    (events_per_sec >= 10000.0);
+  close_out oc;
+  Printf.printf "\nWrote throughput results to BENCH_3.json\n"
+
 let () =
   let argv = Array.to_list Sys.argv in
-  if not (List.mem "--no-experiments" argv) then run_experiments ();
-  let rows = benchmark () in
+  let quick = List.mem "--quick" argv in
+  if (not quick) && not (List.mem "--no-experiments" argv) then run_experiments ();
+  let rows = benchmark ~quota:(if quick then 0.05 else 0.5) in
   let registry_rows, kernel_rows = List.partition is_registry_row rows in
   emit_json "BENCH_1.json" kernel_rows;
-  emit_json "BENCH_2.json" registry_rows
+  emit_json "BENCH_2.json" registry_rows;
+  run_throughput ~quick

@@ -7,6 +7,7 @@
      bounds      print the lower bounds and the optimal makespan
      render      ASCII/SVG Gantt chart of a schedule
      simulate    non-clairvoyant policies under task arrivals
+     serve       long-lived online scheduler driven by an event stream
 
    Algorithm dispatch goes through the solver registry
    (Mwct_solver.Solver): `solve`, `render` and `--list-algos` all read
@@ -310,9 +311,231 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a non-clairvoyant policy with optional task arrivals and print the event trace.")
     Term.(const run $ file $ policy $ releases)
 
+(* ---------- serve ---------- *)
+
+(* Long-lived online front end over the incremental runtime engine:
+   events come in as line-delimited commands (text grammar or journal
+   JSONL, auto-detected per line), decisions and metrics go out as
+   JSONL. The policy argument is gated through the solver registry's
+   capability flags: a registry algorithm may drive the engine only if
+   it is Non_clairvoyant; policy-only names (equi, priority-weight)
+   pass through. Deterministic output — wall-clock gauges are never
+   printed — so the golden CLI tests can diff it byte for byte.
+
+   Text grammar (one command per line; '#' starts a comment):
+     submit ID VOLUME WEIGHT CAP
+     cancel ID
+     advance DT
+     drain
+     metrics
+     quit *)
+module Serve_runner (D : sig
+  module F : Mwct_field.Field.S
+end) =
+struct
+  module En = Mwct_runtime.Engine.Make (D.F)
+  module J = Mwct_runtime.Journal.Make (D.F)
+  module P = Mwct_ncv.Policy.Make (D.F)
+
+  let policy_names = String.concat ", " (List.map P.name P.all)
+
+  let error_json msg =
+    let buf = Buffer.create (String.length msg + 32) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      msg;
+    Printf.sprintf "{\"type\":\"error\",\"msg\":\"%s\"}" (Buffer.contents buf)
+
+  (* Resolve a policy name through the registry capability gate. *)
+  let resolve_policy name =
+    (match Solver.find_info name with
+    | Some i when not (Solver.info_has_cap Solver.Non_clairvoyant i) ->
+      Error
+        (Printf.sprintf
+           "algorithm %S is registered but not non-clairvoyant (caps: %s); online policies: %s" name
+           (match Solver.caps_to_string i with "" -> "-" | s -> s)
+           policy_names)
+    | _ -> Ok ())
+    |> Result.map (fun () -> P.of_name name)
+    |> fun r ->
+    match r with
+    | Error _ as e -> e
+    | Ok (Some p) -> Ok p
+    | Ok None -> Error (Printf.sprintf "unknown policy %S; known: %s" name policy_names)
+
+  let run ~policy_name ~procs_str ~input ~record_path : int =
+    let fail_input msg =
+      Printf.eprintf "error: %s\n" msg;
+      exit exit_bad_input
+    in
+    let default_policy =
+      match resolve_policy policy_name with Ok p -> p | Error msg -> fail_input msg
+    in
+    let default_procs =
+      match D.F.of_repr procs_str with
+      | Some p when D.F.sign p > 0 -> p
+      | _ -> fail_input (Printf.sprintf "bad --procs value %S" procs_str)
+    in
+    let ic =
+      match input with
+      | None -> stdin
+      | Some f -> ( try open_in f with Sys_error msg -> fail_input msg)
+    in
+    let record_oc =
+      match record_path with
+      | None -> None
+      | Some p -> ( try Some (open_out p) with Sys_error msg -> fail_input msg)
+    in
+    (* One monotonic sequence counter shared by the journal file and
+       the decision lines on stdout. *)
+    let seq = ref 0 in
+    let record_entry entry =
+      let s = !seq in
+      incr seq;
+      (match record_oc with
+      | Some oc ->
+        output_string oc (J.to_line ~seq:s entry);
+        output_char oc '\n';
+        flush oc
+      | None -> ());
+      s
+    in
+    let eng = ref None in
+    let init_engine ~capacity ~policy ~policy_label =
+      let e = En.create ~capacity ~policy:(P.engine_policy policy) () in
+      ignore (record_entry (J.Init { capacity; policy = policy_label }));
+      eng := Some e;
+      e
+    in
+    let get_engine () =
+      match !eng with
+      | Some e -> e
+      | None ->
+        init_engine ~capacity:default_procs ~policy:default_policy ~policy_label:policy_name
+    in
+    let handle_event ev =
+      let e = get_engine () in
+      match En.apply e ev with
+      | Ok notes ->
+        ignore (record_entry (J.Input ev));
+        List.iter
+          (fun (nt : En.notification) ->
+            let entry = J.Output { id = nt.En.id; at = nt.En.at } in
+            let s = record_entry entry in
+            print_endline (J.to_line ~seq:s entry))
+          notes
+      | Error err -> print_endline (error_json (En.error_to_string err))
+    in
+    let handle_init ~capacity ~policy_label =
+      if !eng <> None then print_endline (error_json "init after events; line ignored")
+      else
+        match resolve_policy policy_label with
+        | Error msg -> print_endline (error_json msg)
+        | Ok p ->
+          if D.F.sign capacity <= 0 then print_endline (error_json "init: capacity must be positive")
+          else ignore (init_engine ~capacity ~policy:p ~policy_label)
+    in
+    let num s = D.F.of_repr s in
+    let handle_text_line line =
+      let parts = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+      match parts with
+      | [] -> ()
+      | cmd :: _ when String.length cmd > 0 && cmd.[0] = '#' -> ()
+      | [ "submit"; id; v; w; c ] -> (
+        match (int_of_string_opt id, num v, num w, num c) with
+        | Some id, Some volume, Some weight, Some cap ->
+          handle_event (En.Submit { id; volume; weight; cap })
+        | _ -> print_endline (error_json ("submit: bad arguments: " ^ line)))
+      | [ "cancel"; id ] -> (
+        match int_of_string_opt id with
+        | Some id -> handle_event (En.Cancel id)
+        | None -> print_endline (error_json ("cancel: bad task id: " ^ line)))
+      | [ "advance"; dt ] -> (
+        match num dt with
+        | Some dt -> handle_event (En.Advance dt)
+        | None -> print_endline (error_json ("advance: bad duration: " ^ line)))
+      | [ "drain" ] -> handle_event En.Drain
+      | [ "metrics" ] -> print_endline (En.metrics_json (get_engine ()))
+      | _ -> print_endline (error_json ("unknown command: " ^ line))
+    in
+    let handle_json_line line =
+      match J.of_line line with
+      | Error msg -> print_endline (error_json ("bad journal line: " ^ msg))
+      | Ok (_, J.Init { capacity; policy }) -> handle_init ~capacity ~policy_label:policy
+      | Ok (_, J.Input ev) -> handle_event ev
+      | Ok (_, J.Output _) -> ()
+      (* out lines are the recorded run's decisions; this run recomputes
+         its own (Journal.replay is the strict verifier) *)
+    in
+    let quit = ref false in
+    (try
+       while not !quit do
+         let line = input_line ic in
+         let trimmed = String.trim line in
+         if trimmed = "quit" || trimmed = "exit" then quit := true
+         else if String.length trimmed > 0 && trimmed.[0] = '{' then handle_json_line trimmed
+         else handle_text_line trimmed
+       done
+     with End_of_file -> ());
+    (* Final metrics line: the state the process ends on. *)
+    print_endline (En.metrics_json (get_engine ()));
+    (match record_oc with Some oc -> close_out oc | None -> ());
+    if ic != stdin then close_in ic;
+    0
+end
+
+module Serve_float = Serve_runner (struct
+  module F = Mwct_field.Field.Float_field
+end)
+
+module Serve_exact = Serve_runner (struct
+  module F = Mwct_rational.Rational.Rat_field
+end)
+
+let serve_cmd =
+  let policy =
+    Arg.(value & opt string "wdeq"
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:
+               "Online policy. Registry algorithms are admitted only with the non-clairvoyant \
+                capability (wdeq, deq); policy-only names: equi, priority-weight.")
+  in
+  let procs =
+    Arg.(value & opt string "4"
+         & info [ "procs" ] ~docv:"P" ~doc:"Processor capacity (number, or p/q on the exact engine).")
+  in
+  let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Use exact rational arithmetic.") in
+  let journal =
+    Arg.(value & opt (some file) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Read events from FILE (text commands or journal JSONL) instead of stdin.")
+  in
+  let record =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"PATH"
+             ~doc:"Append the run's journal (JSONL, replayable) to PATH.")
+  in
+  let run policy procs exact journal record =
+    exit
+      (if exact then
+         Serve_exact.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record
+       else Serve_float.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online scheduling engine as a long-lived process: events in (stdin or --journal), \
+          decision/metrics JSONL out; --record writes a replayable journal.")
+    Term.(const run $ policy $ procs $ exact $ journal $ record)
+
 let () =
   let doc = "malleable-task scheduling for weighted mean completion time (IPDPS 2012 reproduction)" in
   let info = Cmd.info "mwct" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd ]))
+       (Cmd.group info
+          [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd; serve_cmd ]))

@@ -18,6 +18,8 @@ module type S = sig
   val max : t -> t -> t
   val to_float : t -> float
   val to_string : t -> string
+  val repr : t -> string
+  val of_repr : string -> t option
   val pp : Format.formatter -> t -> unit
   val leq_approx : t -> t -> bool
   val equal_approx : t -> t -> bool
@@ -65,6 +67,24 @@ module Float_field = struct
   let max = Float.max
   let to_float x = x
   let to_string = string_of_float
+
+  (* Hexadecimal floats round-trip exactly through float_of_string;
+     decimal renderings (string_of_float's %.12g) do not. *)
+  let repr x = Printf.sprintf "%h" x
+
+  let of_repr s =
+    match float_of_string_opt s with
+    | Some x -> Some x
+    | None -> (
+      (* "p/q" ratio notation, for symmetry with the exact engine. *)
+      match String.index_opt s '/' with
+      | None -> None
+      | Some i -> (
+        let num = float_of_string_opt (String.sub s 0 i) in
+        let den = float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) in
+        match (num, den) with
+        | Some n, Some d when d <> 0. -> Some (n /. d)
+        | _ -> None))
   let pp fmt x = Format.fprintf fmt "%g" x
   let leq_approx a b = a <= b +. epsilon
   let equal_approx a b = Float.abs (a -. b) <= epsilon

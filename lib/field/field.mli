@@ -43,6 +43,20 @@ module type S = sig
 
   val to_float : t -> float
   val to_string : t -> string
+
+  (** [repr x] is an exact, machine-readable rendering:
+      [of_repr (repr x)] reconstructs [x] bit-for-bit. The float field
+      renders hexadecimal floats ([%h]); exact fields reuse their
+      canonical [to_string]. Used by serialization layers (the runtime
+      journal) that must survive a round trip without drift. *)
+  val repr : t -> string
+
+  (** Parse a {!repr} output. Also accepts the field's human notations:
+      ["p/q"] ratios on both engines, decimal literals where the field
+      can represent them exactly ([1.5] is [3/2]). [None] on anything
+      else. *)
+  val of_repr : string -> t option
+
   val pp : Format.formatter -> t -> unit
 
   (** [leq_approx a b] holds when [a <= b] up to the field's tolerance.

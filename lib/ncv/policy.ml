@@ -14,6 +14,8 @@
     heuristic). *)
 
 module Make (F : Mwct_field.Field.S) = struct
+  module En = Mwct_runtime.Engine.Make (F)
+
   (** What a policy may observe about one alive task. *)
   type view = { id : int; weight : F.t; cap : F.t }
 
@@ -26,6 +28,9 @@ module Make (F : Mwct_field.Field.S) = struct
     | Priority_weight -> "priority-weight"
 
   let all = [ Wdeq; Deq; Equi; Priority_weight ]
+
+  (** Lookup by {!name}; [None] for unknown names. *)
+  let of_name s = List.find_opt (fun p -> String.equal (name p) s) all
 
   (* Weighted water-filling fixpoint (Algorithm 1) over a residual
      pool: sort the views by saturation ratio [cap/weight] and
@@ -131,4 +136,13 @@ module Make (F : Mwct_field.Field.S) = struct
             remaining := F.sub !remaining give;
             (v.id, give))
           sorted)
+
+  (** The policy as the online runtime's share function — the bridge
+      between this module's view records and
+      {!Mwct_runtime.Engine.Make}. Applicative functors keep the field
+      types shared, so no conversion beyond the record relabeling. *)
+  let engine_policy (p : t) : En.policy =
+   fun ~capacity views ->
+    shares p ~capacity
+      (List.map (fun (v : En.view) -> { id = v.En.id; weight = v.En.weight; cap = v.En.cap }) views)
 end

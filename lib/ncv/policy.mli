@@ -17,7 +17,15 @@ module Make (F : Mwct_field.Field.S) : sig
   (** All policies, for sweeps. *)
   val all : t list
 
+  (** Lookup by {!name}; [None] for unknown names. *)
+  val of_name : string -> t option
+
   (** [shares policy ~capacity views]: one share per alive id;
       non-negative, within caps, summing to at most [capacity]. *)
   val shares : t -> capacity:F.t -> view list -> (int * F.t) list
+
+  (** The policy as the online runtime's share function (the engine's
+      pluggable policy slot). *)
+  val engine_policy :
+    t -> capacity:F.t -> Mwct_runtime.Engine.Make(F).view list -> (int * F.t) list
 end

@@ -3,9 +3,17 @@
     Generalizes {!Mwct_core.Engine.Make.Wdeq} (which assumes all tasks
     present at time 0): tasks arrive at release dates; whenever a task
     arrives or completes, the policy's shares are recomputed from the
-    alive set. Volumes are used by the simulator only to detect
-    completions — the policy never sees them, preserving
-    non-clairvoyance.
+    alive set. Volumes are used only to detect completions — the policy
+    never sees them, preserving non-clairvoyance.
+
+    Since the online runtime landed, [run] is a thin wrapper over the
+    incremental {!Mwct_runtime.Engine}: releases are fed as
+    [Submit]/advance events and the trace is read back from the
+    engine's closed-task records. The engine reproduces this module's
+    historical event-loop arithmetic exactly (absolute completion
+    estimates, first-min selection, [leq_approx] completion detection,
+    views in increasing id order), so the traces are bit-identical to
+    the pre-runtime batch loop — one scheduling loop, not two.
 
     The output is an event trace plus per-task records; helpers compute
     the paper's objective and convert the trace to segment form for
@@ -15,6 +23,7 @@ module Make (F : Mwct_field.Field.S) = struct
   module T = Mwct_core.Types.Make (F)
   module I = Mwct_core.Instance.Make (F)
   module P = Policy.Make (F)
+  module En = Mwct_runtime.Engine.Make (F)
 
   type event = Arrival of int | Completion of int
 
@@ -42,27 +51,32 @@ module Make (F : Mwct_field.Field.S) = struct
     let n = I.num_tasks inst in
     let releases = match releases with Some r -> r | None -> Array.make n F.zero in
     if Array.length releases <> n then invalid_arg "Simulator.run: releases length mismatch";
-    let remaining = Array.map (fun (t : T.task) -> t.T.volume) inst.T.tasks in
-    let completed = Array.make n false in
-    let alive = Array.make n false in
-    let segments = Array.make n [] in
-    let completion = Array.make n F.zero in
+    let eng = En.create ~capacity:inst.T.procs ~policy:(P.engine_policy policy) () in
     let events = ref [] in
-    (* Pending arrivals sorted by release. *)
+    let fail err = invalid_arg ("Simulator.run: " ^ En.error_to_string err) in
+    let push_completions notes =
+      List.iter (fun (nt : En.notification) -> events := (nt.En.at, Completion nt.En.id) :: !events) notes
+    in
+    (* Pending arrivals sorted by release (stable, so ties keep id
+       order — as the historical batch loop did). *)
     let pending =
       List.sort
         (fun a b -> F.compare releases.(a) releases.(b))
         (List.init n (fun i -> i))
       |> ref
     in
-    let t_now = ref F.zero in
-    (* Pop arrivals due at or before now. *)
+    (* Submit arrivals due at or before the engine clock. *)
     let admit_due () =
       let rec go () =
         match !pending with
-        | i :: rest when F.compare releases.(i) !t_now <= 0 ->
+        | i :: rest when F.compare releases.(i) (En.now eng) <= 0 ->
           pending := rest;
-          alive.(i) <- true;
+          (match
+             En.submit eng ~id:i ~volume:inst.T.tasks.(i).T.volume
+               ~weight:inst.T.tasks.(i).T.weight ~cap:(I.effective_delta inst i)
+           with
+          | Ok () -> ()
+          | Error e -> fail e);
           events := (releases.(i), Arrival i) :: !events;
           go ()
         | _ -> ()
@@ -70,66 +84,27 @@ module Make (F : Mwct_field.Field.S) = struct
       go ()
     in
     admit_due ();
-    let n_done = ref 0 in
-    let guard = ref 0 in
-    while !n_done < n do
-      incr guard;
-      if !guard > 4 * n + 16 then invalid_arg "Simulator.run: event-loop guard tripped (no progress)";
-      let views =
-        List.filter_map
-          (fun i ->
-            if alive.(i) then
-              Some { P.id = i; weight = inst.T.tasks.(i).T.weight; cap = I.effective_delta inst i }
-            else None)
-          (List.init n (fun i -> i))
-      in
-      let share_list = P.shares policy ~capacity:inst.T.procs views in
-      (* Next completion among alive tasks with positive shares. *)
-      let next_completion =
-        List.fold_left
-          (fun acc (i, s) ->
-            if F.sign s > 0 then begin
-              let eta = F.add !t_now (F.div remaining.(i) s) in
-              match acc with Some best when F.compare best eta <= 0 -> acc | _ -> Some eta
-            end
-            else acc)
-          None share_list
-      in
-      (* Next arrival. *)
-      let next_arrival = match !pending with [] -> None | i :: _ -> Some releases.(i) in
-      let t_next =
-        match (next_completion, next_arrival) with
-        | None, None -> invalid_arg "Simulator.run: deadlock (alive tasks but nothing can progress)"
-        | Some c, None -> c
-        | None, Some a -> a
-        | Some c, Some a -> F.min c a
-      in
-      let dt = F.sub t_next !t_now in
-      (* Advance everyone; record segments. *)
-      List.iter
-        (fun (i, s) ->
-          if F.sign s > 0 && F.sign dt > 0 then begin
-            segments.(i) <- (!t_now, t_next, s) :: segments.(i);
-            remaining.(i) <- F.sub remaining.(i) (F.mul s dt)
-          end)
-        share_list;
-      t_now := t_next;
-      (* Completions at t_next. *)
-      List.iter
-        (fun (i, s) ->
-          if F.sign s > 0 && F.leq_approx remaining.(i) F.zero && not completed.(i) then begin
-            completed.(i) <- true;
-            alive.(i) <- false;
-            completion.(i) <- !t_now;
-            incr n_done;
-            events := (!t_now, Completion i) :: !events
-          end)
-        share_list;
-      admit_due ()
-    done;
+    (* Advance arrival to arrival (the engine handles the completions
+       in between), then drain the tail. *)
+    let rec loop () =
+      if En.completed_count eng < n then begin
+        match !pending with
+        | [] -> ( match En.drain eng with Ok notes -> push_completions notes | Error e -> fail e)
+        | i :: _ ->
+          (match En.advance_to eng releases.(i) with
+          | Ok notes -> push_completions notes
+          | Error e -> fail e);
+          admit_due ();
+          loop ()
+      end
+    in
+    loop ();
     let records =
       Array.init n (fun i ->
-          { release = releases.(i); completion = completion.(i); segments = List.rev segments.(i) })
+          match En.find_closed eng i with
+          | Some c ->
+            { release = releases.(i); completion = c.En.closed_at; segments = c.En.segments }
+          | None -> invalid_arg "Simulator.run: task never completed")
     in
     { instance = inst; policy; events = List.rev !events; records }
 

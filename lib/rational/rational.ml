@@ -221,6 +221,34 @@ module Rat_field = struct
   let max = max
   let to_float = to_float
   let to_string = to_string
+
+  (* The canonical "p/q" rendering is already exact, so [repr] reuses
+     it; [of_repr] additionally accepts finite decimal literals
+     ("1.5" = 3/2), which are exact rationals. *)
+  let repr = to_string
+
+  let of_decimal s =
+    match String.index_opt s '.' with
+    | None -> None
+    | Some i ->
+      let negative = String.length s > 0 && s.[0] = '-' in
+      let start = if negative || (String.length s > 0 && s.[0] = '+') then 1 else 0 in
+      let int_part = String.sub s start (i - start) in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      let digits t = String.length t > 0 && String.for_all (fun c -> c >= '0' && c <= '9') t in
+      if i < start || not (digits int_part) || not (digits frac) then None
+      else begin
+        let mag = Bigint.of_string (int_part ^ frac) in
+        let num = if negative then Bigint.neg mag else mag in
+        let den = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+        Some (make num den)
+      end
+
+  let of_repr s =
+    match of_decimal s with
+    | Some q -> Some q
+    | None -> ( try Some (of_string s) with _ -> None)
+
   let pp = pp
   let leq_approx a b = compare a b <= 0
   let equal_approx = equal

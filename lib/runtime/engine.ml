@@ -1,0 +1,405 @@
+(** Incremental online scheduler.
+
+    The engine holds the alive-task set and advances virtual time event
+    by event: [Submit] adds a task (volume, weight, parallelism cap),
+    [Cancel] withdraws one, [Advance dt] moves time forward processing
+    any completions that fall inside the window, [Drain] runs the
+    remaining work to completion. Shares are recomputed {e only} on
+    state changes (submit / cancel / completion) through a pluggable
+    policy — any non-clairvoyant share rule, e.g. WDEQ's O(n log n)
+    kernel via {!Mwct_ncv.Policy} — and cached between events, so a
+    long [Advance] over a stable alive set costs one pass.
+
+    The per-step arithmetic is {e exactly} the batch simulator's
+    (absolute completion estimates [eta = now + remaining/share],
+    first-min selection, [remaining -= share·dt], [leq_approx]
+    completion detection), which is what lets
+    {!Mwct_ncv.Simulator.run} be a thin wrapper over this engine with
+    bit-identical output. All state transitions are deterministic
+    functions of the event sequence — the replay invariant
+    {!Journal.replay} relies on (no wall clock, no hash-order
+    iteration: views are built in increasing task-id order from a
+    sorted alive list). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module M = Metrics.Make (F)
+
+  (** What the policy observes about one alive task — never the
+      remaining volume (non-clairvoyance). *)
+  type view = { id : int; weight : F.t; cap : F.t }
+
+  (** A share rule: non-negative shares, one per view, within caps,
+      summing to at most [capacity]. *)
+  type policy = capacity:F.t -> view list -> (int * F.t) list
+
+  (** Input events, the journal's vocabulary. *)
+  type event =
+    | Submit of { id : int; volume : F.t; weight : F.t; cap : F.t }
+    | Cancel of int
+    | Advance of F.t  (** relative: advance virtual time by [dt >= 0] *)
+    | Drain  (** run the alive set to completion *)
+
+  type error =
+    | Unknown_task of int  (** cancel of an id never submitted or already closed *)
+    | Duplicate_task of int  (** submit of an id that is alive or closed *)
+    | Invalid of string  (** bad payload (negative dt, non-positive volume), deadlock, no progress *)
+
+  let error_to_string = function
+    | Unknown_task id -> Printf.sprintf "unknown task %d" id
+    | Duplicate_task id -> Printf.sprintf "duplicate task %d" id
+    | Invalid msg -> msg
+
+  (** Why a task left the alive set. *)
+  type outcome = Completed | Cancelled
+
+  (** Closed-task record: everything the engine knew about the task,
+      with its piecewise-constant rate history (chronological). *)
+  type closed = {
+    volume : F.t;
+    weight : F.t;
+    cap : F.t;
+    submitted_at : F.t;
+    closed_at : F.t;
+    outcome : outcome;
+    segments : (F.t * F.t * F.t) list;  (** [(from, to, share)], chronological *)
+    share_changes : int;  (** times this task's allocation changed while alive *)
+  }
+
+  type task_state = {
+    ts_volume : F.t;
+    ts_weight : F.t;
+    ts_cap : F.t;
+    ts_submitted_at : F.t;
+    mutable ts_remaining : F.t;
+    mutable ts_share : F.t;
+    mutable ts_segments : (F.t * F.t * F.t) list;  (* reverse chronological *)
+    mutable ts_share_changes : int;
+  }
+
+  (** An emitted decision: the engine completed task [id] at virtual
+      time [at]. Returned (in order) by the event-applying calls so
+      front-ends can stream them out. *)
+  type notification = { id : int; at : F.t }
+
+  type t = {
+    capacity : F.t;
+    policy : policy;
+    record_segments : bool;
+    mutable now : F.t;
+    alive : (int, task_state) Hashtbl.t;
+    mutable alive_entries : (int * task_state) list;  (* strictly increasing ids *)
+    closed_tbl : (int, closed) Hashtbl.t;
+    (* Share cache in policy output order, with the task states resolved
+       once per reshare so the hot advance loop never touches the
+       hashtable. Only consulted when not dirty — every entry is then
+       alive and ids are distinct. *)
+    mutable shares : (int * task_state * F.t) list;
+    mutable dirty : bool;
+    metrics : M.t;
+  }
+
+  (** [create ~capacity ~policy ()]. [record_segments] (default [true])
+      keeps per-task rate histories; switch it off for long-lived
+      high-throughput processes where the history is unbounded. *)
+  let create ?(record_segments = true) ~capacity ~policy () =
+    if F.sign capacity <= 0 then invalid_arg "Engine.create: capacity must be positive";
+    {
+      capacity;
+      policy;
+      record_segments;
+      now = F.zero;
+      alive = Hashtbl.create 64;
+      alive_entries = [];
+      closed_tbl = Hashtbl.create 64;
+      shares = [];
+      dirty = false;
+      metrics = M.create ();
+    }
+
+  (* ---------- accessors ---------- *)
+
+  let now t = t.now
+  let capacity t = t.capacity
+  let alive_count t = Hashtbl.length t.alive
+  let completed_count t = t.metrics.M.completed
+  let cancelled_count t = t.metrics.M.cancelled
+  let alive_ids t = List.map fst t.alive_entries
+  let metrics t = t.metrics
+  let weighted_completion t = t.metrics.M.weighted_completion
+  let weighted_flow t = t.metrics.M.weighted_flow
+
+  let remaining t id =
+    match Hashtbl.find_opt t.alive id with Some ts -> Some ts.ts_remaining | None -> None
+
+  let find_closed t id = Hashtbl.find_opt t.closed_tbl id
+
+  (** Closed tasks sorted by id. *)
+  let closed t =
+    Hashtbl.fold (fun id c acc -> (id, c) :: acc) t.closed_tbl []
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+  (** Completion times sorted by id (completed tasks only). *)
+  let completions t =
+    List.filter_map
+      (fun (id, c) -> if c.outcome = Completed then Some (id, c.closed_at) else None)
+      (closed t)
+
+  let metrics_json ?events_per_sec t =
+    M.to_json ?events_per_sec ~alive:(alive_count t) ~now:t.now t.metrics
+
+  (** Deterministic textual fingerprint of the whole state (exact
+      [repr] renderings): equal strings iff equal states. Shares are
+      excluded — they are a cache, recomputed lazily. *)
+  let dump t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "now=%s capacity=%s\n" (F.repr t.now) (F.repr t.capacity));
+    List.iter
+      (fun (id, ts) ->
+        Buffer.add_string b
+          (Printf.sprintf "alive id=%d rem=%s w=%s cap=%s submitted=%s changes=%d\n" id
+             (F.repr ts.ts_remaining) (F.repr ts.ts_weight) (F.repr ts.ts_cap)
+             (F.repr ts.ts_submitted_at) ts.ts_share_changes))
+      t.alive_entries;
+    List.iter
+      (fun (id, c) ->
+        Buffer.add_string b
+          (Printf.sprintf "closed id=%d at=%s outcome=%s segments=%d changes=%d\n" id
+             (F.repr c.closed_at)
+             (match c.outcome with Completed -> "completed" | Cancelled -> "cancelled")
+             (List.length c.segments) c.share_changes))
+      (closed t);
+    let m = t.metrics in
+    Buffer.add_string b
+      (Printf.sprintf
+         "metrics events=%d submitted=%d completed=%d cancelled=%d reshares=%d alloc_changes=%d \
+          wc=%s wflow=%s\n"
+         m.M.events m.M.submitted m.M.completed m.M.cancelled m.M.reshares m.M.alloc_changes
+         (F.repr m.M.weighted_completion) (F.repr m.M.weighted_flow));
+    Buffer.contents b
+
+  (* ---------- share cache ---------- *)
+
+  (* Views in increasing id order — the same order the batch simulator
+     fed its policy, and deterministic across runs. *)
+  let recompute_if_dirty t =
+    if t.dirty then begin
+      let views =
+        List.map
+          (fun (id, ts) -> { id; weight = ts.ts_weight; cap = ts.ts_cap })
+          t.alive_entries
+      in
+      let raw = t.policy ~capacity:t.capacity views in
+      let shares =
+        List.filter_map
+          (fun (id, s) ->
+            match Hashtbl.find_opt t.alive id with
+            | None -> None (* policy named a dead task; drop it *)
+            | Some ts ->
+              if not (F.equal ts.ts_share s) then begin
+                ts.ts_share <- s;
+                ts.ts_share_changes <- ts.ts_share_changes + 1;
+                t.metrics.M.alloc_changes <- t.metrics.M.alloc_changes + 1
+              end;
+              Some (id, ts, s))
+          raw
+      in
+      t.shares <- shares;
+      t.metrics.M.reshares <- t.metrics.M.reshares + 1;
+      t.dirty <- false
+    end
+
+  (* ---------- closing tasks ---------- *)
+
+  let remove_alive t id =
+    Hashtbl.remove t.alive id;
+    t.alive_entries <- List.filter (fun (i, _) -> i <> id) t.alive_entries
+
+  let close t id (ts : task_state) outcome =
+    remove_alive t id;
+    Hashtbl.replace t.closed_tbl id
+      {
+        volume = ts.ts_volume;
+        weight = ts.ts_weight;
+        cap = ts.ts_cap;
+        submitted_at = ts.ts_submitted_at;
+        closed_at = t.now;
+        outcome;
+        segments = List.rev ts.ts_segments;
+        share_changes = ts.ts_share_changes;
+      };
+    t.dirty <- true;
+    match outcome with
+    | Completed ->
+      t.metrics.M.completed <- t.metrics.M.completed + 1;
+      t.metrics.M.weighted_completion <-
+        F.add t.metrics.M.weighted_completion (F.mul ts.ts_weight t.now);
+      t.metrics.M.weighted_flow <-
+        F.add t.metrics.M.weighted_flow (F.mul ts.ts_weight (F.sub t.now ts.ts_submitted_at))
+    | Cancelled -> t.metrics.M.cancelled <- t.metrics.M.cancelled + 1
+
+  (* ---------- the time-stepping core ---------- *)
+
+  (* Earliest absolute completion estimate over the cached shares —
+     first-min over the policy's output order, exactly like the batch
+     loop (the min value is order-independent; fold order only matters
+     for which task the estimate belongs to, which we never use). *)
+  let next_completion t =
+    List.fold_left
+      (fun acc (_, ts, s) ->
+        if F.sign s > 0 then begin
+          let eta = F.add t.now (F.div ts.ts_remaining s) in
+          match acc with Some best when F.compare best eta <= 0 -> acc | _ -> Some eta
+        end
+        else acc)
+      None t.shares
+
+  (* Advance every positively-shared task to absolute time [t_next],
+     recording segments; then sweep the share list for completions
+     ([leq_approx], matching the batch simulator's tolerance). Returns
+     the completions in share-list order. *)
+  let advance_and_sweep t t_next =
+    let dt = F.sub t_next t.now in
+    if F.sign dt > 0 then
+      List.iter
+        (fun (_, ts, s) ->
+          if F.sign s > 0 then begin
+            if t.record_segments then ts.ts_segments <- (t.now, t_next, s) :: ts.ts_segments;
+            ts.ts_remaining <- F.sub ts.ts_remaining (F.mul s dt)
+          end)
+        t.shares;
+    t.now <- t_next;
+    let completed = ref [] in
+    List.iter
+      (fun (id, ts, s) ->
+        if F.sign s > 0 && F.leq_approx ts.ts_remaining F.zero then begin
+          close t id ts Completed;
+          completed := { id; at = t.now } :: !completed
+        end)
+      t.shares;
+    List.rev !completed
+
+  (* Floating-point residue can leave [remaining] a few ulps above zero
+     after advancing to a task's own estimate; the estimate then shrinks
+     geometrically, so a handful of extra iterations settles it. The
+     budget bounds pathological non-convergence. *)
+  let no_progress_budget = 64
+
+  (** Advance to absolute time [target], processing every completion on
+      the way. The engine lands exactly at [target] (absolute times are
+      assigned, not accumulated, so [advance_to] after [advance_to]
+      reproduces the batch simulator's arithmetic bit for bit). *)
+  let advance_to t target : (notification list, error) result =
+    if F.compare target t.now < 0 then
+      Error (Invalid (Printf.sprintf "advance into the past (target %s < now %s)" (F.to_string target) (F.to_string t.now)))
+    else begin
+      let notes = ref [] in
+      let stall = ref 0 in
+      let err = ref None in
+      let continue = ref true in
+      while !continue && !err = None do
+        recompute_if_dirty t;
+        match next_completion t with
+        | Some eta when F.compare eta target <= 0 ->
+          let completed = advance_and_sweep t eta in
+          notes := List.rev_append completed !notes;
+          if completed = [] then begin
+            incr stall;
+            if !stall > no_progress_budget then
+              err := Some (Invalid "no progress: completion estimate does not converge")
+          end
+          else stall := 0
+        | _ ->
+          (* No completion inside the window: land on the target. *)
+          let completed = advance_and_sweep t target in
+          notes := List.rev_append completed !notes;
+          continue := false
+      done;
+      match !err with Some e -> Error e | None -> Ok (List.rev !notes)
+    end
+
+  (** Run the alive set to completion. Fails with [Invalid "deadlock"]
+      when alive tasks remain but none has a positive share (a policy
+      that starves everything). *)
+  let drain t : (notification list, error) result =
+    let notes = ref [] in
+    let stall = ref 0 in
+    let err = ref None in
+    while Hashtbl.length t.alive > 0 && !err = None do
+      recompute_if_dirty t;
+      match next_completion t with
+      | None -> err := Some (Invalid "deadlock: alive tasks but no positive share")
+      | Some eta ->
+        let completed = advance_and_sweep t eta in
+        notes := List.rev_append completed !notes;
+        if completed = [] then begin
+          incr stall;
+          if !stall > no_progress_budget then
+            err := Some (Invalid "no progress: completion estimate does not converge")
+        end
+        else stall := 0
+    done;
+    match !err with Some e -> Error e | None -> Ok (List.rev !notes)
+
+  (* ---------- input events ---------- *)
+
+  let insert_sorted id ts entries =
+    let rec go = function
+      | [] -> [ (id, ts) ]
+      | ((x, _) :: rest as l) -> if id < x then (id, ts) :: l else List.hd l :: go rest
+    in
+    go entries
+
+  let submit t ~id ~volume ~weight ~cap : (unit, error) result =
+    if Hashtbl.mem t.alive id || Hashtbl.mem t.closed_tbl id then Error (Duplicate_task id)
+    else if F.sign volume <= 0 then Error (Invalid (Printf.sprintf "task %d: volume must be positive" id))
+    else if F.sign weight <= 0 then Error (Invalid (Printf.sprintf "task %d: weight must be positive" id))
+    else if F.sign cap <= 0 then Error (Invalid (Printf.sprintf "task %d: cap must be positive" id))
+    else begin
+      let ts =
+        {
+          ts_volume = volume;
+          ts_weight = weight;
+          ts_cap = cap;
+          ts_submitted_at = t.now;
+          ts_remaining = volume;
+          ts_share = F.zero;
+          ts_segments = [];
+          ts_share_changes = 0;
+        }
+      in
+      Hashtbl.replace t.alive id ts;
+      t.alive_entries <- insert_sorted id ts t.alive_entries;
+      t.dirty <- true;
+      t.metrics.M.submitted <- t.metrics.M.submitted + 1;
+      Ok ()
+    end
+
+  let cancel t id : (unit, error) result =
+    match Hashtbl.find_opt t.alive id with
+    | None -> Error (Unknown_task id)
+    | Some ts ->
+      close t id ts Cancelled;
+      Ok ()
+
+  (** Apply one input event; the returned notifications are the
+      completions it triggered, in chronological order. Every success
+      bumps [metrics.events]; failures leave the state untouched. *)
+  let apply t (e : event) : (notification list, error) result =
+    let r =
+      match e with
+      | Submit { id; volume; weight; cap } ->
+        Result.map (fun () -> []) (submit t ~id ~volume ~weight ~cap)
+      | Cancel id -> Result.map (fun () -> []) (cancel t id)
+      | Advance dt ->
+        if F.sign dt < 0 then Error (Invalid "advance: negative dt")
+        else advance_to t (F.add t.now dt)
+      | Drain -> drain t
+    in
+    (match r with Ok _ -> t.metrics.M.events <- t.metrics.M.events + 1 | Error _ -> ());
+    r
+end
+
+(** Pre-applied engines, mirroring the rest of the library. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

@@ -1,0 +1,291 @@
+(** JSONL event journal for the online engine.
+
+    One JSON object per line, each carrying a monotonically increasing
+    [seq] number. Three line kinds:
+
+    - [init] — engine parameters (capacity, policy name); always first.
+    - [in]   — an input event ([submit] / [cancel] / [advance] / [drain]).
+    - [out]  — an emitted decision: task [id] completed at time [t].
+
+    Numeric payloads follow the library's dual-rendering convention: a
+    decimal [float] field for tooling plus an exact [_repr] string
+    ({!Mwct_field.Field.S.repr}) that survives the round trip
+    bit-for-bit. {!replay} reads the [_repr] fields only, so replaying
+    a journal reconstructs the {e exact} final engine state and
+    objective — crash recovery and debugging for free. [out] lines are
+    verified against the decisions the replayed engine emits; a
+    mismatch is reported as corruption instead of being ignored.
+
+    The parser is a minimal flat-object JSON reader (string / number /
+    literal values, no nesting) — the journal grammar needs nothing
+    more, and the repo deliberately has no JSON dependency. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module En = Engine.Make (F)
+
+  type entry =
+    | Init of { capacity : F.t; policy : string }
+    | Input of En.event
+    | Output of { id : int; at : F.t }
+
+  (* ---------- encoding ---------- *)
+
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Dual rendering of one field value: "k":<decimal>,"k_repr":"<exact>". *)
+  let num_fields k x =
+    [
+      (k, Printf.sprintf "%.12g" (F.to_float x));
+      (k ^ "_repr", Printf.sprintf "\"%s\"" (escape (F.repr x)));
+    ]
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
+
+  (** One journal line (no trailing newline). *)
+  let to_line ~seq (e : entry) : string =
+    let seq_field = ("seq", string_of_int seq) in
+    match e with
+    | Init { capacity; policy } ->
+      obj
+        ([ seq_field; ("type", "\"init\"") ]
+        @ num_fields "capacity" capacity
+        @ [ ("policy", Printf.sprintf "\"%s\"" (escape policy)) ])
+    | Input (En.Submit { id; volume; weight; cap }) ->
+      obj
+        ([ seq_field; ("type", "\"submit\""); ("id", string_of_int id) ]
+        @ num_fields "volume" volume @ num_fields "weight" weight @ num_fields "cap" cap)
+    | Input (En.Cancel id) -> obj [ seq_field; ("type", "\"cancel\""); ("id", string_of_int id) ]
+    | Input (En.Advance dt) -> obj ([ seq_field; ("type", "\"advance\"") ] @ num_fields "dt" dt)
+    | Input En.Drain -> obj [ seq_field; ("type", "\"drain\"") ]
+    | Output { id; at } ->
+      obj ([ seq_field; ("type", "\"complete\""); ("id", string_of_int id) ] @ num_fields "t" at)
+
+  (* ---------- flat-object JSON parsing ---------- *)
+
+  exception Parse of string
+
+  let parse_object (line : string) : (string * string) list =
+    (* Returns raw values: strings are unescaped without quotes, other
+       scalars (numbers, true/false/null) verbatim. *)
+    let n = String.length line in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at column %d" msg !pos)) in
+    let skip_ws () = while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done in
+    let expect c =
+      skip_ws ();
+      if !pos < n && line.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            (match line.[!pos + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> fail (Printf.sprintf "unsupported escape '\\%c'" c));
+            pos := !pos + 2;
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_scalar () =
+      skip_ws ();
+      if !pos < n && line.[!pos] = '"' then parse_string ()
+      else begin
+        let start = !pos in
+        while
+          !pos < n
+          && (match line.[!pos] with
+             | ',' | '}' | ' ' | '\t' -> false
+             | _ -> true)
+        do
+          incr pos
+        done;
+        if !pos = start then fail "empty value";
+        String.sub line start (!pos - start)
+      end
+    in
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    if !pos < n && line.[!pos] = '}' then incr pos
+    else begin
+      let continue = ref true in
+      while !continue do
+        let k = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        if !pos < n && line.[!pos] = ',' then incr pos
+        else begin
+          expect '}';
+          continue := false
+        end
+      done
+    end;
+    List.rev !fields
+
+  let of_line (line : string) : (int * entry, string) result =
+    try
+      let fields = parse_object line in
+      let get k =
+        match List.assoc_opt k fields with
+        | Some v -> v
+        | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+      in
+      let get_int k =
+        match int_of_string_opt (get k) with
+        | Some i -> i
+        | None -> raise (Parse (Printf.sprintf "field %S: not an integer" k))
+      in
+      let get_num k =
+        (* The exact [_repr] string is authoritative; the decimal field
+           is only a fallback for hand-written journals. *)
+        let raw = match List.assoc_opt (k ^ "_repr") fields with Some r -> r | None -> get k in
+        match F.of_repr raw with
+        | Some x -> x
+        | None -> raise (Parse (Printf.sprintf "field %S: unparseable number %S" k raw))
+      in
+      let seq = get_int "seq" in
+      let entry =
+        match get "type" with
+        | "init" -> Init { capacity = get_num "capacity"; policy = get "policy" }
+        | "submit" ->
+          Input
+            (En.Submit
+               {
+                 id = get_int "id";
+                 volume = get_num "volume";
+                 weight = get_num "weight";
+                 cap = get_num "cap";
+               })
+        | "cancel" -> Input (En.Cancel (get_int "id"))
+        | "advance" -> Input (En.Advance (get_num "dt"))
+        | "drain" -> Input En.Drain
+        | "complete" -> Output { id = get_int "id"; at = get_num "t" }
+        | ty -> raise (Parse (Printf.sprintf "unknown line type %S" ty))
+      in
+      Ok (seq, entry)
+    with Parse msg -> Error msg
+
+  (* ---------- writer ---------- *)
+
+  (** Append-only journal writer with its own monotonic sequence
+      counter. Lines are flushed as written, so a crash loses at most
+      the line being formatted. *)
+  type writer = { oc : out_channel; mutable next_seq : int }
+
+  let writer oc = { oc; next_seq = 0 }
+
+  (** Write one entry; returns the sequence number it was stamped
+      with. *)
+  let record (w : writer) (e : entry) : int =
+    let seq = w.next_seq in
+    w.next_seq <- seq + 1;
+    output_string w.oc (to_line ~seq e);
+    output_char w.oc '\n';
+    flush w.oc;
+    seq
+
+  (* ---------- loading & replay ---------- *)
+
+  (** Parse a journal file. Blank lines are skipped; any malformed line
+      aborts with its line number. *)
+  let load (path : string) : ((int * entry) list, string) result =
+    match open_in path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | "" -> go (lineno + 1) acc
+            | line -> (
+              match of_line line with
+              | Ok e -> go (lineno + 1) (e :: acc)
+              | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+          in
+          go 1 [])
+
+  (** Rebuild an engine from a journal: the first entry must be [init]
+      (resolved to a policy via [resolve]), sequence numbers must be
+      strictly increasing, input events are re-applied in order, and
+      every [out] line must match the decision the replayed engine
+      emits at that point — same task, identical ([F.equal]) time.
+      Because the engine is deterministic, the result has the exact
+      final state, metrics and objective of the recorded run. *)
+  let replay ~(resolve : string -> En.policy option) (entries : (int * entry) list) :
+      (En.t, string) result =
+    let exception Fail of string in
+    try
+      let eng, rest =
+        match entries with
+        | (_, Init { capacity; policy }) :: rest -> (
+          match resolve policy with
+          | Some p -> (En.create ~capacity ~policy:p (), rest)
+          | None -> raise (Fail (Printf.sprintf "unknown policy %S" policy)))
+        | _ -> raise (Fail "journal must start with an init line")
+      in
+      let last_seq = ref (match entries with (s, _) :: _ -> s | [] -> -1) in
+      (* Decisions the engine emitted that have not yet been matched
+         against an [out] line. *)
+      let pending : En.notification list ref = ref [] in
+      List.iter
+        (fun (seq, entry) ->
+          if seq <= !last_seq then
+            raise (Fail (Printf.sprintf "sequence numbers not increasing at seq %d" seq));
+          last_seq := seq;
+          match entry with
+          | Init _ -> raise (Fail (Printf.sprintf "seq %d: duplicate init line" seq))
+          | Input e -> (
+            match En.apply eng e with
+            | Ok notes -> pending := !pending @ notes
+            | Error err ->
+              raise (Fail (Printf.sprintf "seq %d: %s" seq (En.error_to_string err))))
+          | Output { id; at } -> (
+            match !pending with
+            | [] ->
+              raise (Fail (Printf.sprintf "seq %d: out line with no matching decision" seq))
+            | note :: rest ->
+              if note.En.id <> id || not (F.equal note.En.at at) then
+                raise
+                  (Fail
+                     (Printf.sprintf
+                        "seq %d: decision mismatch (journal: task %d at %s; replay: task %d at %s)"
+                        seq id (F.to_string at) note.En.id (F.to_string note.En.at)));
+              pending := rest))
+        rest;
+      Ok eng
+    with Fail msg -> Error msg
+end
+
+(** Pre-applied journals. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

@@ -1,0 +1,79 @@
+(** Runtime counters and gauges for the online engine.
+
+    A plain mutable record the engine bumps as events flow through it,
+    plus a JSON snapshot following the library's dual-rendering
+    convention (decimal [float] field + exact [_repr] string). The
+    snapshot is deliberately deterministic — wall-clock derived gauges
+    (events per second) are optional parameters supplied by the caller,
+    so golden tests of the [serve] front-end stay byte-stable. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  type t = {
+    mutable events : int;  (** input events applied (submit/cancel/advance/drain) *)
+    mutable submitted : int;
+    mutable completed : int;
+    mutable cancelled : int;
+    mutable reshares : int;  (** share recomputations (state changes) *)
+    mutable alloc_changes : int;  (** individual per-task share changes *)
+    mutable weighted_completion : F.t;  (** [Σ w_i C_i] over completed tasks *)
+    mutable weighted_flow : F.t;  (** [Σ w_i (C_i − submit_i)] over completed tasks *)
+  }
+
+  let create () =
+    {
+      events = 0;
+      submitted = 0;
+      completed = 0;
+      cancelled = 0;
+      reshares = 0;
+      alloc_changes = 0;
+      weighted_completion = F.zero;
+      weighted_flow = F.zero;
+    }
+
+  let copy (m : t) = { m with events = m.events }
+
+  let equal (a : t) (b : t) =
+    a.events = b.events && a.submitted = b.submitted && a.completed = b.completed
+    && a.cancelled = b.cancelled && a.reshares = b.reshares && a.alloc_changes = b.alloc_changes
+    && F.equal a.weighted_completion b.weighted_completion
+    && F.equal a.weighted_flow b.weighted_flow
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_num x = Printf.sprintf "%.12g" x
+
+  (** One JSONL metrics line (no trailing newline). [alive] and [now]
+      are gauges owned by the engine; [events_per_sec] is wall-clock
+      derived and only included when the caller measured it. *)
+  let to_json ?events_per_sec ~alive ~now (m : t) : string =
+    let fields =
+      [
+        ("type", "\"metrics\"");
+        ("now", json_num (F.to_float now));
+        ("now_repr", Printf.sprintf "\"%s\"" (json_escape (F.repr now)));
+        ("alive", string_of_int alive);
+        ("submitted", string_of_int m.submitted);
+        ("completed", string_of_int m.completed);
+        ("cancelled", string_of_int m.cancelled);
+        ("events", string_of_int m.events);
+        ("reshares", string_of_int m.reshares);
+        ("alloc_changes", string_of_int m.alloc_changes);
+        ("sum_wc", json_num (F.to_float m.weighted_completion));
+        ("sum_wc_repr", Printf.sprintf "\"%s\"" (json_escape (F.repr m.weighted_completion)));
+        ("sum_wflow", json_num (F.to_float m.weighted_flow));
+        ("sum_wflow_repr", Printf.sprintf "\"%s\"" (json_escape (F.repr m.weighted_flow)));
+      ]
+      @ (match events_per_sec with None -> [] | Some r -> [ ("events_per_sec", json_num r) ])
+    in
+    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
+end

@@ -77,6 +77,13 @@ module Make (F : Mwct_field.Field.S) = struct
       field. *)
   let to_json ~engine (r : report) : string =
     let n = Array.length r.schedule.E.Types.instance.E.Types.tasks in
+    (* Per-task completion times in task-index order: task [order.(j)]
+       completes at [finish.(j)]. *)
+    let completions =
+      let c = Array.make n F.zero in
+      Array.iteri (fun j ti -> c.(ti) <- r.schedule.E.Types.finish.(j)) r.schedule.E.Types.order;
+      c
+    in
     let fields =
       [
         ("algo", Printf.sprintf "\"%s\"" (json_escape r.solver.Solver.name));
@@ -92,6 +99,16 @@ module Make (F : Mwct_field.Field.S) = struct
         ("objective_repr", Printf.sprintf "\"%s\"" (json_escape (F.to_string r.objective)));
         ("makespan", json_num (F.to_float r.makespan));
         ("makespan_repr", Printf.sprintf "\"%s\"" (json_escape (F.to_string r.makespan)));
+        ( "completions",
+          Printf.sprintf "[%s]"
+            (String.concat ", "
+               (List.map (fun c -> json_num (F.to_float c)) (Array.to_list completions))) );
+        ( "completions_repr",
+          Printf.sprintf "[%s]"
+            (String.concat ", "
+               (List.map
+                  (fun c -> Printf.sprintf "\"%s\"" (json_escape (F.to_string c)))
+                  (Array.to_list completions))) );
         ("squashed_area", json_num (F.to_float r.squashed_area));
         ("height_bound", json_num (F.to_float r.height_bound));
         ("lower_bound", json_num (F.to_float r.lower_bound));

@@ -154,3 +154,13 @@ let infos = Float.infos
 
 let names = Float.names
 let find_info name = List.find_opt (fun i -> i.name = name) infos
+
+(** Field-neutral capability test on registry metadata — what the
+    online runtime uses to decide whether a named algorithm may drive
+    the event engine. *)
+let info_has_cap c (i : info) = List.mem c i.caps
+
+(** Names of the registered solvers usable as online policies
+    ({!Non_clairvoyant} capability). *)
+let non_clairvoyant_names =
+  List.filter_map (fun i -> if info_has_cap Non_clairvoyant i then Some i.name else None) infos

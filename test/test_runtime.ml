@@ -1,0 +1,240 @@
+(* Tests for the online runtime (lib/runtime): the incremental engine
+   against the batch WDEQ simulator on zero-release instances, the
+   journal codec, the deterministic-replay invariant on random event
+   streams (both fields), and error handling on bad events. *)
+
+open Test_support
+module Rng = Mwct_util.Rng
+
+(* Field-generic helpers, instantiated below for both engines. *)
+module H (F : Mwct_field.Field.S) = struct
+  module En = Mwct_runtime.Engine.Make (F)
+  module J = Mwct_runtime.Journal.Make (F)
+  module E = Mwct_core.Engine.Make (F)
+  module Sim = Mwct_ncv.Simulator.Make (F)
+
+  let wdeq_policy = Sim.P.engine_policy Sim.P.Wdeq
+  let fresh (inst : E.Types.instance) = En.create ~capacity:inst.E.Types.procs ~policy:wdeq_policy ()
+
+  let ok = function Ok x -> x | Error e -> Alcotest.fail (En.error_to_string e)
+
+  let submit eng inst i =
+    let t = inst.E.Types.tasks.(i) in
+    En.apply eng
+      (En.Submit
+         {
+           id = i;
+           volume = t.E.Types.volume;
+           weight = t.E.Types.weight;
+           cap = E.Instance.effective_delta inst i;
+         })
+
+  (* Submit everything at t=0 and run to completion. *)
+  let drain_all inst =
+    let eng = fresh inst in
+    Array.iteri (fun i _ -> ignore (ok (submit eng inst i))) inst.E.Types.tasks;
+    ignore (ok (En.apply eng En.Drain));
+    eng
+
+  (* Drive a random event stream (submits interleaved with advances and
+     cancels, then a drain), journaling every applied event. Rejected
+     events never enter the journal. Returns the entries and the final
+     state fingerprint. *)
+  let random_stream ~seed (inst : E.Types.instance) =
+    let rng = Rng.create seed in
+    let eng = fresh inst in
+    let entries = ref [ J.Init { capacity = inst.E.Types.procs; policy = "wdeq" } ] in
+    let push e = entries := e :: !entries in
+    let apply ev =
+      match En.apply eng ev with
+      | Ok notes ->
+        push (J.Input ev);
+        List.iter
+          (fun (nt : En.notification) -> push (J.Output { id = nt.En.id; at = nt.En.at }))
+          notes
+      | Error _ -> ()
+    in
+    let n = Array.length inst.E.Types.tasks in
+    Array.iteri
+      (fun i _ ->
+        if Rng.int_in rng 0 3 = 0 then apply (En.Advance (F.of_q (Rng.int_in rng 0 8) 4));
+        if Rng.int_in rng 0 4 = 0 then apply (En.Cancel (Rng.int_in rng 0 (n - 1)));
+        apply
+          (En.Submit
+             {
+               id = i;
+               volume = inst.E.Types.tasks.(i).E.Types.volume;
+               weight = inst.E.Types.tasks.(i).E.Types.weight;
+               cap = E.Instance.effective_delta inst i;
+             }))
+      inst.E.Types.tasks;
+    apply En.Drain;
+    (List.mapi (fun i e -> (i, e)) (List.rev !entries), En.dump eng)
+
+  let resolve name = Option.map Sim.P.engine_policy (Sim.P.of_name name)
+
+  (* Serialize, reparse, replay; check the codec round-trips and the
+     replayed engine reaches the identical state. *)
+  let check_roundtrip (entries, dump) =
+    let lines = List.map (fun (seq, e) -> J.to_line ~seq e) entries in
+    let reparsed =
+      List.map
+        (fun line ->
+          match J.of_line line with
+          | Ok se -> se
+          | Error msg -> Alcotest.failf "of_line %S: %s" line msg)
+        lines
+    in
+    List.iter2
+      (fun line (seq, e) ->
+        Alcotest.(check string) "codec round-trip" line (J.to_line ~seq e))
+      lines reparsed;
+    match J.replay ~resolve reparsed with
+    | Error msg -> Alcotest.failf "replay: %s" msg
+    | Ok eng -> Alcotest.(check string) "replayed state identical" dump (En.dump eng)
+end
+
+module HF = H (Mwct_field.Field.Float_field)
+module HQ = H (Mwct_rational.Rational.Rat_field)
+module EF = Support.EF
+module EQ = Support.EQ
+
+(* ---------- engine vs batch WDEQ ---------- *)
+
+let prop_engine_matches_wdeq_float =
+  QCheck2.Test.make ~count:120 ~name:"engine drain = Wdeq.simulate objective (float)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:8 `Uniform)
+    (fun spec ->
+      let inst = Support.finst spec in
+      let eng = HF.drain_all inst in
+      let batch, _ = EF.Wdeq.wdeq inst in
+      let expected = EF.Schedule.weighted_completion_time batch in
+      abs_float (expected -. HF.En.weighted_completion eng) <= 1e-9 *. (1. +. abs_float expected))
+
+let prop_engine_matches_wdeq_exact =
+  QCheck2.Test.make ~count:40 ~name:"engine drain = Wdeq.simulate objective (exact)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:5 `Mixed)
+    (fun spec ->
+      let inst = Support.qinst spec in
+      let eng = HQ.drain_all inst in
+      let batch, _ = EQ.Wdeq.wdeq inst in
+      Support.Q.equal (EQ.Schedule.weighted_completion_time batch) (HQ.En.weighted_completion eng))
+
+(* Per-task completion times, not just the objective. *)
+let test_engine_completions_match () =
+  let spec =
+    Support.spec ~procs:4 [ ((1, 1), (1, 1), 1); ((6, 1), (1, 1), 4); ((2, 1), (3, 1), 2) ]
+  in
+  let inst = Support.finst spec in
+  let eng = HF.drain_all inst in
+  let batch, _ = EF.Wdeq.wdeq inst in
+  let by_id = HF.En.completions eng in
+  Array.iteri
+    (fun j ti ->
+      let c = List.assoc ti by_id in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "task %d completion" ti)
+        batch.EF.Types.finish.(j) c)
+    batch.EF.Types.order
+
+(* ---------- journal: replay determinism ---------- *)
+
+let prop_replay_roundtrip_float =
+  QCheck2.Test.make ~count:100 ~name:"journal replay deterministic (float)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:8 `Uniform)
+    (fun spec ->
+      let inst = Support.finst spec in
+      HF.check_roundtrip (HF.random_stream ~seed:(Hashtbl.hash spec) inst);
+      true)
+
+let prop_replay_roundtrip_exact =
+  QCheck2.Test.make ~count:100 ~name:"journal replay deterministic (exact)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:5 `Mixed)
+    (fun spec ->
+      let inst = Support.qinst spec in
+      HQ.check_roundtrip (HQ.random_stream ~seed:(Hashtbl.hash spec) inst);
+      true)
+
+(* ---------- errors ---------- *)
+
+let test_cancel_unknown () =
+  let spec = Support.uspec ~procs:2 [ ((1, 1), 1); ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  let eng = HF.fresh inst in
+  ignore (HF.ok (HF.submit eng inst 0));
+  let before = HF.En.dump eng in
+  (match HF.En.apply eng (HF.En.Cancel 7) with
+  | Error (HF.En.Unknown_task 7) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (HF.En.error_to_string e)
+  | Ok _ -> Alcotest.fail "cancel of unknown id succeeded");
+  Alcotest.(check string) "state untouched by failed cancel" before (HF.En.dump eng);
+  (* Complete task 0, then cancelling it must fail the same way. *)
+  ignore (HF.ok (HF.En.apply eng HF.En.Drain));
+  let before = HF.En.dump eng in
+  (match HF.En.apply eng (HF.En.Cancel 0) with
+  | Error (HF.En.Unknown_task 0) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (HF.En.error_to_string e)
+  | Ok _ -> Alcotest.fail "cancel of completed id succeeded");
+  Alcotest.(check string) "state untouched by failed cancel" before (HF.En.dump eng)
+
+let test_bad_events () =
+  let spec = Support.uspec ~procs:2 [ ((1, 1), 1) ] in
+  let inst = Support.finst spec in
+  let eng = HF.fresh inst in
+  ignore (HF.ok (HF.submit eng inst 0));
+  (match HF.submit eng inst 0 with
+  | Error (HF.En.Duplicate_task 0) -> ()
+  | _ -> Alcotest.fail "duplicate submit not rejected");
+  (match HF.En.apply eng (HF.En.Advance (-1.0)) with
+  | Error (HF.En.Invalid _) -> ()
+  | _ -> Alcotest.fail "negative advance not rejected");
+  (match HF.En.apply eng (HF.En.Submit { id = 5; volume = 0.; weight = 1.; cap = 1. }) with
+  | Error (HF.En.Invalid _) -> ()
+  | _ -> Alcotest.fail "zero volume not rejected")
+
+let test_replay_rejects_corruption () =
+  let spec = Support.uspec ~procs:2 [ ((1, 1), 1); ((2, 1), 2) ] in
+  let inst = Support.finst spec in
+  let entries, _ = HF.random_stream ~seed:42 inst in
+  (* Drop the init line: replay must refuse. *)
+  (match HF.J.replay ~resolve:HF.resolve (List.tl entries) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replay accepted a journal without init");
+  (* Tamper with a completion time: replay must detect the mismatch. *)
+  let tampered =
+    List.map
+      (function
+        | seq, HF.J.Output { id; at } -> (seq, HF.J.Output { id; at = at +. 1. })
+        | e -> e)
+      entries
+  in
+  match HF.J.replay ~resolve:HF.resolve tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replay accepted tampered decisions"
+
+let () =
+  let p = QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "completions match batch wdeq" `Quick test_engine_completions_match;
+          p prop_engine_matches_wdeq_float;
+          p prop_engine_matches_wdeq_exact;
+        ] );
+      ( "journal",
+        [
+          p prop_replay_roundtrip_float;
+          p prop_replay_roundtrip_exact;
+          Alcotest.test_case "replay rejects corruption" `Quick test_replay_rejects_corruption;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "cancel unknown/completed" `Quick test_cancel_unknown;
+          Alcotest.test_case "bad payloads rejected" `Quick test_bad_events;
+        ] );
+    ]

@@ -169,7 +169,48 @@ let test_json () =
       "\"violation\": null";
       "\"objective\":";
       "\"ratio_to_bound\":";
+      "\"completions\": [";
+      "\"completions_repr\": [";
     ]
+
+(* The completions array is in task-index order and consistent with the
+   schedule's (order, finish) pairing — on both engines. *)
+let test_json_completions () =
+  let inst = fi () in
+  let r = DF.run (SF.find_exn "wdeq") inst in
+  let json = DF.to_json ~engine:"float" r in
+  let expected =
+    let n = Array.length r.DF.schedule.EF.Types.instance.EF.Types.tasks in
+    let c = Array.make n 0. in
+    Array.iteri (fun j ti -> c.(ti) <- r.DF.schedule.EF.Types.finish.(j)) r.DF.schedule.EF.Types.order;
+    Printf.sprintf "\"completions\": [%s]"
+      (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.12g") c)))
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) ("json contains " ^ expected) true (contains expected);
+  (* Exact engine: the _repr completions are exact rationals. *)
+  let inst = qi () in
+  let r = DQ.run ~exact:true (SQ.find_exn "wdeq") inst in
+  let json = DQ.to_json ~engine:"exact" r in
+  let expected_repr =
+    let module Q = Support.Q in
+    let n = Array.length r.DQ.schedule.EQ.Types.instance.EQ.Types.tasks in
+    let c = Array.make n Q.zero in
+    Array.iteri (fun j ti -> c.(ti) <- r.DQ.schedule.EQ.Types.finish.(j)) r.DQ.schedule.EQ.Types.order;
+    Printf.sprintf "\"completions_repr\": [%s]"
+      (String.concat ", "
+         (Array.to_list (Array.map (fun q -> Printf.sprintf "\"%s\"" (Q.to_string q)) c)))
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) ("json contains " ^ expected_repr) true (contains expected_repr)
 
 let () =
   Alcotest.run "solver"
@@ -191,5 +232,6 @@ let () =
           Alcotest.test_case "report coherence, every solver" `Quick test_driver_reports;
           Alcotest.test_case "exact strict report" `Quick test_driver_exact;
           Alcotest.test_case "json report" `Quick test_json;
+          Alcotest.test_case "json completions array" `Quick test_json_completions;
         ] );
     ]
