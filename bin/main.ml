@@ -8,6 +8,7 @@
      render      ASCII/SVG Gantt chart of a schedule
      simulate    non-clairvoyant policies under task arrivals
      serve       long-lived online scheduler driven by an event stream
+     fuzz        theorem-backed conformance fuzzing of the solver registry
 
    Algorithm dispatch goes through the solver registry
    (Mwct_solver.Solver): `solve`, `render` and `--list-algos` all read
@@ -532,10 +533,132 @@ let serve_cmd =
           decision/metrics JSONL out; --record writes a replayable journal.")
     Term.(const run $ policy $ procs $ exact $ journal $ record)
 
+(* ---------- fuzz ---------- *)
+
+(* Theorem-backed conformance fuzzing (DESIGN.md §11): draw structural
+   instances, run every capable registry solver on both engines against
+   the oracle catalogue, shrink the first failure and print a one-line
+   reproducer. Output is deterministic for a fixed (--seed, --cases)
+   pair — the golden CLI tests rely on it — so timing never reaches
+   stdout. *)
+
+module Check_oracle = Mwct_check.Oracle
+module Check_diff = Mwct_check.Differential
+module Check_fuzz = Mwct_check.Fuzz
+
+(* "30" = seconds; "30s" and "2m" also accepted. *)
+let parse_budget s =
+  let num part = float_of_string_opt part in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    match s.[n - 1] with
+    | 's' -> num (String.sub s 0 (n - 1))
+    | 'm' -> Option.map (fun x -> x *. 60.) (num (String.sub s 0 (n - 1)))
+    | _ -> num s
+
+let parse_name_list ~what ~known = function
+  | None -> None
+  | Some s -> (
+    let names = String.split_on_char ',' s |> List.map String.trim |> List.filter (fun n -> n <> "") in
+    match List.find_opt (fun n -> not (List.mem n known)) names with
+    | Some bad ->
+      Printf.eprintf "error: unknown %s %S; known: %s\n" what bad (String.concat ", " known);
+      exit exit_bad_input
+    | None -> if names = [] then None else Some names)
+
+let list_oracles_string () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (i : Check_oracle.info) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-12s %-18s %s\n" i.Check_oracle.id i.Check_oracle.theorem i.Check_oracle.doc))
+    Check_oracle.catalogue;
+  Buffer.contents b
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed (SplitMix64).") in
+  let budget =
+    Arg.(value & opt string "30s"
+         & info [ "budget" ] ~docv:"TIME" ~doc:"Wall-clock budget: seconds, or with an $(b,s)/$(b,m) suffix.")
+  in
+  let cases =
+    Arg.(value & opt int 1_000_000
+         & info [ "cases" ] ~docv:"N"
+             ~doc:"Stop after N instances. Reproducer lines pin this, so replays are budget-independent.")
+  in
+  let oracle =
+    Arg.(value & opt (some string) None
+         & info [ "oracle" ] ~docv:"IDS" ~doc:"Comma-separated oracle ids (see --list-oracles). Default: all.")
+  in
+  let algo =
+    Arg.(value & opt (some string) None
+         & info [ "algo" ] ~docv:"ALGOS" ~doc:"Comma-separated registry solvers. Default: all.")
+  in
+  let inject =
+    Arg.(value & flag
+         & info [ "inject-fault" ]
+             ~doc:"Self-test: fabricate a failure on the first multi-task draw to exercise the \
+                   shrink/reproduce/corpus pipeline.")
+  in
+  let corpus =
+    Arg.(value & opt string "fuzz-findings"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk counterexamples (created on first failure). Confirmed bugs get \
+                   promoted to test/corpus/ for permanent replay.")
+  in
+  let list_oracles =
+    Arg.(value & flag & info [ "list-oracles" ] ~doc:"List the oracle catalogue and exit.")
+  in
+  let run seed budget cases oracle algo inject corpus list_oracles =
+    if list_oracles then begin
+      print_string (list_oracles_string ());
+      exit 0
+    end;
+    let budget =
+      match parse_budget budget with
+      | Some b when b > 0. -> b
+      | _ ->
+        Printf.eprintf "error: bad --budget value %S\n" budget;
+        exit exit_bad_input
+    in
+    let cfg =
+      {
+        Check_diff.default_config with
+        Check_diff.oracles = parse_name_list ~what:"oracle" ~known:Check_oracle.ids oracle;
+        algos = parse_name_list ~what:"algorithm" ~known:Solver.names algo;
+        inject_fault = inject;
+      }
+    in
+    let outcome = Check_fuzz.run ~seed ~budget ~max_cases:cases cfg in
+    match outcome.Check_fuzz.failures with
+    | None ->
+      Printf.printf "fuzz ok: %d cases, %d verdicts, 0 failures (seed %d)\n" outcome.Check_fuzz.cases
+        outcome.Check_fuzz.verdicts seed;
+      exit 0
+    | Some cx ->
+      Printf.printf "fuzz FAILED at case %d (family %s):\n" cx.Check_fuzz.case_no
+        (Mwct_check.Instances.family_name cx.Check_fuzz.family);
+      List.iter (fun v -> Printf.printf "  %s\n" (Check_oracle.verdict_to_string v)) cx.Check_fuzz.verdicts;
+      Printf.printf "shrunk instance (%d tasks, drawn with %d):\n%s"
+        (Spec.num_tasks cx.Check_fuzz.shrunk) (Spec.num_tasks cx.Check_fuzz.spec)
+        (Spec_io.to_string cx.Check_fuzz.shrunk);
+      let path = Check_fuzz.write_corpus ~dir:corpus ~seed cfg cx in
+      Printf.printf "counterexample written to %s\n" path;
+      Printf.printf "reproduce: %s\n" (Check_fuzz.reproducer ~seed cfg cx);
+      exit exit_invalid
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the solver registry against the paper's theorem oracles on both engines; on failure, \
+          shrink the instance, write it to the corpus and print a reproducer (exit 1).")
+    Term.(const run $ seed $ budget $ cases $ oracle $ algo $ inject $ corpus $ list_oracles)
+
 let () =
   let doc = "malleable-task scheduling for weighted mean completion time (IPDPS 2012 reproduction)" in
   let info = Cmd.info "mwct" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd; serve_cmd ]))
+          [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd; serve_cmd; fuzz_cmd ]))

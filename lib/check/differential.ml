@@ -1,0 +1,167 @@
+(** Differential driver: every registry solver against every applicable
+    oracle, on both engines, plus the float-vs-exact cross-field
+    objective comparison (DESIGN.md §11).
+
+    The driver is field-{e spanning} rather than field-polymorphic: it
+    instantiates {!Oracle.Make} over both engines and correlates the two
+    runs through the shared field-neutral {!Mwct_core.Spec.t}. Solver
+    selection is by name; {!Mwct_solver.Solver.Enumerative} solvers are
+    size-gated so a fuzz loop never wanders into an [n!] enumeration on
+    a large draw. *)
+
+module Slv = Mwct_solver.Solver
+
+type config = {
+  oracles : string list option;  (** [None] = all catalogue oracles *)
+  algos : string list option;  (** [None] = all registry solvers *)
+  max_enum : int;
+      (** skip {!Slv.Enumerative} solvers when [n] exceeds this on the
+          float engine (the exact engine uses one less — LP enumeration
+          over big rationals is an order of magnitude slower) *)
+  inject_fault : bool;
+      (** testing hook: fabricate a failing verdict on any instance with
+          at least two tasks, attributed to the first selected oracle
+          and solver. Exercises the reproduce/shrink/corpus pipeline in
+          CI without carrying a real bug. *)
+}
+
+let default_config = { oracles = None; algos = None; max_enum = 5; inject_fault = false }
+
+let selected sel name = match sel with None -> true | Some l -> List.mem name l
+
+let known_oracle id = List.mem id Oracle.ids
+let known_algo name = List.mem name Slv.names
+
+(* Engine-specific oracle sets. *)
+module Of = Oracle.Make (struct
+  module F = Mwct_field.Field.Float_field
+
+  let exact = false
+  let engine = "float"
+end)
+
+module Oq = Oracle.Make (struct
+  module F = Mwct_rational.Rational.Rat_field
+
+  let exact = true
+  let engine = "exact"
+end)
+
+let solve_fail ~algo ~engine e =
+  {
+    Oracle.oracle = "solve";
+    theorem = "-";
+    algo;
+    engine;
+    status = Oracle.Fail { witness = "exception: " ^ Printexc.to_string e; slack = "-" };
+  }
+
+(* The two per-engine runners are textually parallel: [Of] and [Oq]
+   have distinct (applicative) types, and a shared functor over the
+   oracle module's full signature would cost more than these few
+   lines. *)
+
+let run_float cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  let inst = Of.E.Instance.of_spec spec in
+  let n = Array.length inst.Of.E.Types.tasks in
+  Of.S.all
+  |> List.filter (fun s -> selected cfg.algos s.Of.S.info.Slv.name)
+  |> List.concat_map (fun s ->
+         if List.mem Slv.Enumerative s.Of.S.info.Slv.caps && n > cfg.max_enum then []
+         else
+           match Of.solve s inst with
+           | sv ->
+             Of.all
+             |> List.filter (fun o -> selected cfg.oracles o.Of.info.Oracle.id)
+             |> List.map (fun o -> Of.run o sv)
+           | exception e -> [ solve_fail ~algo:s.Of.S.info.Slv.name ~engine:"float" e ])
+
+let run_exact cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  let inst = Oq.E.Instance.of_spec spec in
+  let n = Array.length inst.Oq.E.Types.tasks in
+  let max_enum = max 1 (cfg.max_enum - 1) in
+  Oq.S.all
+  |> List.filter (fun s -> selected cfg.algos s.Oq.S.info.Slv.name)
+  |> List.concat_map (fun s ->
+         if List.mem Slv.Enumerative s.Oq.S.info.Slv.caps && n > max_enum then []
+         else
+           match Oq.solve s inst with
+           | sv ->
+             Oq.all
+             |> List.filter (fun o -> selected cfg.oracles o.Oq.info.Oracle.id)
+             |> List.map (fun o -> Oq.run o sv)
+           | exception e -> [ solve_fail ~algo:s.Oq.S.info.Slv.name ~engine:"exact" e ])
+
+(* Cross-field agreement: the float and exact objectives of the same
+   deterministic solver on the same spec must agree within 1e-6
+   relative — the historical cross-engine test tolerance.
+   [Exact_recommended] solvers are exempt by definition of the flag. *)
+let cross_field cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  if not (selected cfg.oracles Oracle.cross_field_info.Oracle.id) then []
+  else begin
+    let finst = Of.E.Instance.of_spec spec in
+    let qinst = Oq.E.Instance.of_spec spec in
+    let n = Mwct_core.Spec.num_tasks spec in
+    let max_enum = max 1 (cfg.max_enum - 1) in
+    Slv.infos
+    |> List.filter (fun (i : Slv.info) -> selected cfg.algos i.Slv.name)
+    |> List.map (fun (i : Slv.info) ->
+           let verdict status =
+             {
+               Oracle.oracle = Oracle.cross_field_info.Oracle.id;
+               theorem = Oracle.cross_field_info.Oracle.theorem;
+               algo = i.Slv.name;
+               engine = "both";
+               status;
+             }
+           in
+           if Slv.info_has_cap Slv.Exact_recommended i then
+             verdict (Oracle.Skip "exact-recommended: float drift expected")
+           else if Slv.info_has_cap Slv.Enumerative i && n > max_enum then
+             verdict (Oracle.Skip "enumerative solver above the size gate")
+           else begin
+             match
+               ( Of.S.objective i.Slv.name finst,
+                 Mwct_rational.Rational.to_float (Oq.S.objective i.Slv.name qinst) )
+             with
+             | fo, qo ->
+               let slack = 1e-6 *. Float.max 1.0 (Float.max (Float.abs fo) (Float.abs qo)) in
+               if Float.abs (fo -. qo) <= slack then verdict Oracle.Pass
+               else
+                 verdict
+                   (Oracle.Fail
+                      {
+                        witness = Printf.sprintf "float=%.12g exact=%.12g" fo qo;
+                        slack = Printf.sprintf "%.3g" (Float.abs (fo -. qo) -. slack);
+                      })
+             | exception e ->
+               verdict (Oracle.Fail { witness = "exception: " ^ Printexc.to_string e; slack = "-" })
+           end)
+  end
+
+let injected cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  if not (cfg.inject_fault && Mwct_core.Spec.num_tasks spec >= 2) then []
+  else begin
+    let first sel fallback = match sel with Some (x :: _) -> x | _ -> fallback in
+    [
+      {
+        Oracle.oracle = first cfg.oracles "injected-fault";
+        theorem = "(injected)";
+        algo = first cfg.algos "*";
+        engine = "float";
+        status =
+          Oracle.Fail
+            { witness = "fault injected by --inject-fault (self-test)"; slack = "-" };
+      };
+    ]
+  end
+
+(** All verdicts of one spec under [cfg]: float oracles, exact oracles,
+    cross-field, plus any injected fault. *)
+let run_spec cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  injected cfg spec @ run_float cfg spec @ run_exact cfg spec @ cross_field cfg spec
+
+let failures verdicts = List.filter (fun v -> not (Oracle.passed v)) verdicts
+
+(** [fails cfg spec] — does any verdict fail? The shrinking predicate. *)
+let fails cfg spec = failures (run_spec cfg spec) <> []

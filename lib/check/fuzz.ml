@@ -1,0 +1,128 @@
+(** The conformance fuzz loop behind [mwct fuzz] (DESIGN.md §11).
+
+    Draws instances from the {!Instances} families in rotation, runs the
+    full {!Differential} matrix on each, and on the first failure
+    narrows the configuration to the failing (oracle, solver) pair,
+    shrinks the instance with {!Instances.minimize}, and reports a
+    structured {!counterexample} — the caller (the CLI) renders the
+    reproducer line and writes the corpus file.
+
+    Randomness comes from {!Mwct_util.Rng} (SplitMix64), not
+    [Stdlib.Random]: the stdlib generator changed algorithms between
+    OCaml 4.14 and 5.x, and the CI matrix golden-tests fuzz output on
+    both. *)
+
+open Mwct_core
+module Rng = Mwct_util.Rng
+
+type counterexample = {
+  case_no : int;  (** 1-based index of the failing draw *)
+  family : Instances.family;
+  spec : Spec.t;  (** the instance as drawn *)
+  shrunk : Spec.t;  (** after {!Instances.minimize} *)
+  verdicts : Oracle.verdict list;  (** failing verdicts on [shrunk] *)
+}
+
+type outcome = {
+  cases : int;  (** instances executed *)
+  verdicts : int;  (** total verdicts across all cases *)
+  failures : counterexample option;  (** first failure, shrunk — [None] = clean run *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+(* Narrow a config to the failing verdicts' (oracle, algo) sets so the
+   shrink predicate re-runs only what failed — minimizing under the
+   full matrix would multiply every shrink candidate by ~9 solvers x 8
+   oracles x 2 engines. Pseudo-verdicts ("solve" failures, injected
+   faults attributed to "*") fall outside the selectable names and are
+   dropped; if nothing selectable remains, the original selection
+   stands. *)
+let narrow (cfg : Differential.config) (failing : Oracle.verdict list) : Differential.config =
+  let uniq l = List.sort_uniq String.compare l in
+  let oracles =
+    match uniq (List.filter Differential.known_oracle (List.map (fun v -> v.Oracle.oracle) failing)) with
+    | [] -> cfg.Differential.oracles
+    | l -> Some l
+  in
+  let algos =
+    match uniq (List.filter Differential.known_algo (List.map (fun v -> v.Oracle.algo) failing)) with
+    | [] -> cfg.Differential.algos
+    | l -> Some l
+  in
+  { cfg with Differential.oracles; algos }
+
+(** [run ?progress ~seed ~budget ~max_cases cfg] — fuzz until the time
+    budget (seconds) or the case count runs out, stopping at the first
+    failure. [progress] is called after every case with (cases run,
+    verdicts so far). *)
+let run ?(progress = fun _ _ -> ()) ~seed ~budget ~max_cases (cfg : Differential.config) : outcome
+    =
+  let rng = Rng.create seed in
+  let draw lo hi = Rng.int_in rng lo hi in
+  let families = Array.of_list Instances.all_families in
+  let started = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. started in
+  let rec go case verdict_count =
+    if case >= max_cases || elapsed () > budget then
+      { cases = case; verdicts = verdict_count; failures = None; elapsed = elapsed () }
+    else begin
+      let family = families.(case mod Array.length families) in
+      let spec = Instances.sample draw family in
+      let verdicts = Differential.run_spec cfg spec in
+      let verdict_count = verdict_count + List.length verdicts in
+      match Differential.failures verdicts with
+      | [] ->
+        progress (case + 1) verdict_count;
+        go (case + 1) verdict_count
+      | failing ->
+        let narrowed = narrow cfg failing in
+        let shrunk = Instances.minimize ~failing:(Differential.fails narrowed) spec in
+        let final = Differential.failures (Differential.run_spec narrowed shrunk) in
+        (* Shrinking preserves failure of the narrowed config by
+           construction, but guard against a flaky oracle anyway. *)
+        let final = if final = [] then failing else final in
+        {
+          cases = case + 1;
+          verdicts = verdict_count;
+          failures = Some { case_no = case + 1; family; spec; shrunk; verdicts = final };
+          elapsed = elapsed ();
+        }
+    end
+  in
+  go 0 0
+
+(** One-line deterministic reproducer for a counterexample: re-running
+    it replays exactly the draws that produced the failure, regardless
+    of wall-clock budget. *)
+let reproducer ~seed (cfg : Differential.config) (cx : counterexample) : string =
+  let opt flag = function
+    | None -> ""
+    | Some l -> Printf.sprintf " %s %s" flag (String.concat "," l)
+  in
+  Printf.sprintf "mwct fuzz --seed %d --cases %d%s%s%s" seed cx.case_no
+    (opt "--oracle" cfg.Differential.oracles)
+    (opt "--algo" cfg.Differential.algos)
+    (if cfg.Differential.inject_fault then " --inject-fault" else "")
+
+(** Corpus file name for a counterexample:
+    [fuzz-seed<seed>-case<k>-<oracle>.spec]. *)
+let corpus_name ~seed (cx : counterexample) : string =
+  let oracle =
+    match cx.verdicts with
+    | v :: _ -> v.Oracle.oracle
+    | [] -> "unknown"
+  in
+  Printf.sprintf "fuzz-seed%d-case%d-%s.spec" seed cx.case_no oracle
+
+(** Write the shrunk instance to [dir] (created if missing), with the
+    failing verdicts and the reproducer as header comments. Returns the
+    file path. *)
+let write_corpus ~dir ~seed (cfg : Differential.config) (cx : counterexample) : string =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (corpus_name ~seed cx) in
+  let oc = open_out path in
+  Printf.fprintf oc "# %s\n" (reproducer ~seed cfg cx);
+  List.iter (fun v -> Printf.fprintf oc "# %s\n" (Oracle.verdict_to_string v)) cx.verdicts;
+  output_string oc (Spec_io.to_string cx.shrunk);
+  close_out oc;
+  path

@@ -1,0 +1,150 @@
+(* Structural generators and shrinkers over Spec.t — see instances.mli.
+
+   Everything here is field-neutral: specs are exact integer rationals,
+   so one sampled instance means the same thing to the float and the
+   rational engine. *)
+
+open Mwct_core
+
+type family =
+  | Uniform
+  | Unweighted
+  | Wide
+  | Unit
+  | Mixed
+  | Delta_one
+  | Delta_full
+  | Near_tie
+  | Tiny_den
+
+let all_families =
+  [ Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den ]
+
+let family_name = function
+  | Uniform -> "uniform"
+  | Unweighted -> "unweighted"
+  | Wide -> "wide"
+  | Unit -> "unit"
+  | Mixed -> "mixed"
+  | Delta_one -> "delta-one"
+  | Delta_full -> "delta-full"
+  | Near_tie -> "near-tie"
+  | Tiny_den -> "tiny-den"
+
+let family_of_string s = List.find_opt (fun f -> family_name f = s) all_families
+
+type draw = int -> int -> int
+
+let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
+  let p = max 1 procs in
+  let dyadic () = Spec.rat (draw 1 den) den in
+  let one = Spec.rat 1 1 in
+  let task () =
+    match family with
+    | Uniform ->
+      Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~delta:(draw 1 (max 1 (p - 1))) ()
+    | Unweighted -> Spec.task ~volume:(dyadic ()) ~delta:(draw 1 (max 1 (p - 1))) ()
+    | Wide -> Spec.task ~volume:(dyadic ()) ~delta:(draw ((p / 2) + 1) p) ()
+    | Unit -> Spec.task ~volume:one ~delta:(draw ((p + 1) / 2) p) ()
+    | Mixed ->
+      if draw 0 1 = 1 then
+        (* elephant: large volume, wide *)
+        Spec.task
+          ~volume:(Spec.rat ((den / 2) + draw 1 (max 1 (den / 2))) den)
+          ~weight:(dyadic ())
+          ~delta:(draw (max 1 (p / 2)) p)
+          ()
+      else
+        (* mouse: tiny volume, narrow *)
+        Spec.task
+          ~volume:(Spec.rat (draw 1 (max 1 (den / 8))) den)
+          ~weight:(dyadic ())
+          ~delta:(draw 1 (max 1 (p / 4)))
+          ()
+    | Delta_one -> Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~delta:1 ()
+    | Delta_full -> Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~delta:p ()
+    | Near_tie ->
+      (* Equal weights and volumes one grain apart: completion ties
+         everywhere, the worst case for order-sensitive code paths. *)
+      Spec.task
+        ~volume:(Spec.rat ((den / 2) + draw 0 1) den)
+        ~delta:(draw (max 1 (p / 2)) p)
+        ()
+    | Tiny_den ->
+      Spec.task
+        ~volume:(Spec.rat (draw 1 4) (draw 1 4))
+        ~weight:(Spec.rat (draw 1 4) (draw 1 4))
+        ~delta:(draw 1 p)
+        ()
+  in
+  Spec.make ~procs:p (List.init (max 1 n) (fun _ -> task ()))
+
+let sample (draw : draw) ?(max_procs = 8) ?(max_n = 6) ?den family : Spec.t =
+  let procs = draw 2 (max 2 max_procs) in
+  let n = draw 1 (max 1 max_n) in
+  sample_sized draw ~procs ~n ?den family
+
+(* ---------- shrinking ---------- *)
+
+let one = Spec.rat 1 1
+
+(* Candidates for a rational, rounding toward 1: first the nearest
+   integer at or above 1, then 1 itself. Each candidate is strictly
+   smaller under [measure] below. *)
+let rat_candidates (r : Spec.rat) =
+  if r.Spec.num = 1 && r.Spec.den = 1 then []
+  else begin
+    let i = max 1 (r.Spec.num / r.Spec.den) in
+    if i > 1 && r.Spec.den > 1 then [ one; Spec.rat i 1 ] else [ one ]
+  end
+
+let shrink (s : Spec.t) : Spec.t Seq.t =
+  let tasks = Array.to_list s.Spec.tasks in
+  let n = List.length tasks in
+  let mk ?(procs = s.Spec.procs) tasks = Spec.make ~procs tasks in
+  let remove =
+    if n <= 1 then Seq.empty
+    else Seq.init n (fun i -> mk (List.filteri (fun j _ -> j <> i) tasks))
+  in
+  let procs_smaller =
+    if s.Spec.procs <= 1 then Seq.empty
+    else begin
+      let half = s.Spec.procs / 2 in
+      let cands =
+        if half >= 1 && half < s.Spec.procs - 1 then [ half; s.Spec.procs - 1 ]
+        else [ s.Spec.procs - 1 ]
+      in
+      Seq.map (fun p -> mk ~procs:p tasks) (List.to_seq cands)
+    end
+  in
+  let per_task f =
+    Seq.concat
+      (Seq.init n (fun i ->
+           List.to_seq (f (List.nth tasks i))
+           |> Seq.map (fun t -> mk (List.mapi (fun j tj -> if j = i then t else tj) tasks))))
+  in
+  let deltas =
+    per_task (fun t ->
+        if t.Spec.delta > 2 then [ { t with Spec.delta = 1 }; { t with Spec.delta = t.Spec.delta / 2 } ]
+        else if t.Spec.delta = 2 then [ { t with Spec.delta = 1 } ]
+        else [])
+  in
+  let volumes = per_task (fun t -> List.map (fun v -> { t with Spec.volume = v }) (rat_candidates t.Spec.volume)) in
+  let weights = per_task (fun t -> List.map (fun w -> { t with Spec.weight = w }) (rat_candidates t.Spec.weight)) in
+  Seq.concat (List.to_seq [ remove; procs_smaller; deltas; volumes; weights ])
+
+let minimize ?(max_steps = 400) ~failing (spec : Spec.t) : Spec.t =
+  let rec first_failing seq =
+    match seq () with
+    | Seq.Nil -> None
+    | Seq.Cons (c, rest) -> if failing c then Some c else first_failing rest
+  in
+  let rec go steps spec =
+    if steps >= max_steps then spec
+    else begin
+      match first_failing (shrink spec) with
+      | Some c -> go (steps + 1) c
+      | None -> spec
+    end
+  in
+  if failing spec then go 0 spec else spec

@@ -1,0 +1,62 @@
+(** Structural instance generators and shrinkers for the conformance
+    fuzzer (DESIGN.md §11).
+
+    Unlike {!Mwct_workload.Generator}, which is seeded by an opaque PRNG
+    state, these builders construct instances {e structurally} from a
+    stream of bounded integer draws: every volume, weight and delta is
+    an explicit decision. That makes counterexamples shrinkable — the
+    shrinker edits the failing {!Mwct_core.Spec.t} itself (removing
+    tasks, rounding rationals toward [1], lowering [procs] and [δ])
+    instead of perturbing a seed into an unrelated instance. *)
+
+open Mwct_core
+
+(** Adversarial instance families. The first five mirror the workload
+    generator's experiment families; the rest are degenerate or
+    near-tie shapes aimed at the theorems' edge cases. *)
+type family =
+  | Uniform  (** Section V-A: dyadic volumes/weights, [δ < P] *)
+  | Unweighted  (** uniform with all weights 1 *)
+  | Wide  (** Theorem 11 family: homogeneous weights, [δ > P/2] *)
+  | Unit  (** [V = w = 1], [δ ∈ [⌈P/2⌉, P]] *)
+  | Mixed  (** mice-and-elephants heterogeneous mix *)
+  | Delta_one  (** [δ = 1] for every task (sequential chains) *)
+  | Delta_full  (** [δ = P] for every task (fully malleable) *)
+  | Near_tie  (** equal weights, volumes within [1/den] of each other *)
+  | Tiny_den  (** volumes/weights with denominators in [[1, 4]] — not
+                  dyadic, so the float engine rounds (cross-field
+                  stress) *)
+
+val all_families : family list
+
+val family_name : family -> string
+val family_of_string : string -> family option
+
+(** [draw lo hi] must return a uniform integer in [[lo, hi]]
+    (inclusive). The caller supplies the randomness — a
+    {!Mwct_util.Rng.t} in the fuzz driver, a [Random.State.t] in the
+    QCheck harness — so the same structural logic backs both. *)
+type draw = int -> int -> int
+
+(** Build one instance of the family at an exact size. [den] (default
+    64) is the dyadic grain of volumes and weights where the family
+    uses it. *)
+val sample_sized : draw -> procs:int -> n:int -> ?den:int -> family -> Spec.t
+
+(** Draw [procs ∈ [2, max_procs]] (default 8) and [n ∈ [1, max_n]]
+    (default 6), then {!sample_sized}. *)
+val sample : draw -> ?max_procs:int -> ?max_n:int -> ?den:int -> family -> Spec.t
+
+(** Structural shrink candidates of a spec, most aggressive first:
+    remove one task (never below one), halve or decrement [procs],
+    lower a task's [δ] (to 1, or halved), and round a volume or weight
+    toward [1] (first to the nearest integer, then to [1] itself).
+    Every candidate is strictly smaller under a fixed measure, so
+    repeated shrinking terminates. *)
+val shrink : Spec.t -> Spec.t Seq.t
+
+(** Greedy fixpoint: repeatedly replace [spec] by its first shrink
+    candidate on which [failing] still holds, until none does (or
+    [max_steps] accepted steps, default 400). Returns the input
+    unchanged when it does not fail. *)
+val minimize : ?max_steps:int -> failing:(Spec.t -> bool) -> Spec.t -> Spec.t

@@ -36,6 +36,13 @@ module Make (F : Mwct_field.Field.S) = struct
     for j = 0 to n - 1 do
       let cstart = S.column_start s j in
       let len = S.column_length s j in
+      (* The exact right edge of the column: the next column starts at
+         [finish.(j)] (Schedule.column_start), so bookings are clamped
+         to it below. [cstart + used + take] can land one ulp past it
+         under floats, and that overhang would make the task's adjacent
+         columns' demand segments overlap at the seam — Assignment then
+         sees a transient demand of P+1. Exact fields are unchanged. *)
+      let cend = s.finish.(j) in
       if F.sign len > 0 then begin
         (* Sequential fill: processor [p] is filled up to offset
            [used] (a time offset within the column, in [0, len]). *)
@@ -53,9 +60,12 @@ module Make (F : Mwct_field.Field.S) = struct
               let room = F.sub len !used in
               let take = F.min !remaining_area room in
               if F.sign take > 0 then begin
-                let t0 = F.add cstart !used and t1 = F.add cstart (F.add !used take) in
-                bookings.(!p) <- { task = i; from_time = t0; to_time = t1 } :: bookings.(!p);
-                mine := (t0, t1) :: !mine;
+                let t0 = F.min (F.add cstart !used) cend in
+                let t1 = F.min (F.add cstart (F.add !used take)) cend in
+                if F.compare t0 t1 < 0 then begin
+                  bookings.(!p) <- { task = i; from_time = t0; to_time = t1 } :: bookings.(!p);
+                  mine := (t0, t1) :: !mine
+                end;
                 used := F.add !used take;
                 remaining_area := F.sub !remaining_area take
               end;
@@ -67,7 +77,7 @@ module Make (F : Mwct_field.Field.S) = struct
             (* Demand profile of this task within the column: sweep the
                booking endpoints. *)
             let points =
-              List.sort_uniq F.compare (cstart :: F.add cstart len :: List.concat_map (fun (a, b) -> [ a; b ]) !mine)
+              List.sort_uniq F.compare (cstart :: cend :: List.concat_map (fun (a, b) -> [ a; b ]) !mine)
             in
             let rec emit = function
               | t0 :: (t1 :: _ as rest) ->

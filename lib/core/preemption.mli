@@ -2,8 +2,11 @@
     (Section IV-B). A task "changes" when its processor count differs
     between two consecutive positive-length columns in which it is
     active; starting and finishing are free, a gap (stop + restart)
-    costs two. Theorem 9: WF normal forms have at most [n] changes in
-    total. *)
+    costs two. Theorem 9: the WF normal form of an {e offline}
+    completion-time vector (greedy, LP) has at most [n] changes in
+    total. The bound does not extend to event-driven vectors: WDEQ can
+    need [n + 1] changes when completions tie
+    (test/corpus/wdeq-thm9-boundary.spec). *)
 
 module Make (F : Mwct_field.Field.S) : sig
   (** Changes of one task. *)

@@ -18,21 +18,32 @@ let spec ~procs tasks =
 let uspec ~procs tasks =
   Spec.make ~procs (List.map (fun ((vn, vd), d) -> Spec.task ~volume:(Spec.rat vn vd) ~delta:d ()) tasks)
 
-(* QCheck generators of specs driven by the deterministic workload
-   generators: a random seed selects the instance. *)
+module Instances = Mwct_check.Instances
+
+let family_of_kind = function
+  | `Uniform -> Instances.Uniform
+  | `Unweighted -> Instances.Unweighted
+  | `Wide -> Instances.Wide
+  | `Unit -> Instances.Unit
+  | `Mixed -> Instances.Mixed
+  | `Delta_one -> Instances.Delta_one
+  | `Delta_full -> Instances.Delta_full
+  | `Near_tie -> Instances.Near_tie
+  | `Tiny_den -> Instances.Tiny_den
+
+(* QCheck generators of specs, built structurally from lib/check's
+   instance families. Structural generation (rather than drawing a PRNG
+   seed and handing it to lib/workload) is what makes shrinking work: a
+   failing spec shrinks to a smaller spec of the same shape — tasks
+   removed, rationals rounded toward 1, procs/delta lowered — instead
+   of jumping to the unrelated instance of a "smaller" seed. *)
 let gen_spec ?(max_procs = 8) ?(max_n = 6) ?(den = 64) kind =
-  let open QCheck2.Gen in
-  let* seed = int_bound 1_000_000_000 in
-  let* procs = int_range 2 max_procs in
-  let* n = int_range 1 max_n in
-  let rng = Rng.create seed in
-  return
-    (match kind with
-    | `Uniform -> Mwct_workload.Generator.uniform rng ~procs ~n ~den ()
-    | `Unweighted -> Mwct_workload.Generator.uniform_unweighted rng ~procs ~n ~den ()
-    | `Wide -> Mwct_workload.Generator.wide rng ~procs ~n ~den ()
-    | `Unit -> Mwct_workload.Generator.unit_tasks rng ~procs ~n ()
-    | `Mixed -> Mwct_workload.Generator.mixed rng ~procs ~n ~den ())
+  let family = family_of_kind kind in
+  QCheck2.Gen.make_primitive
+    ~gen:(fun st ->
+      let draw lo hi = if hi <= lo then lo else lo + Random.State.int st (hi - lo + 1) in
+      Instances.sample draw ~max_procs ~max_n ~den family)
+    ~shrink:Instances.shrink
 
 let check_close ?(tol = 1e-6) name expected actual =
   Alcotest.(check (float tol)) name expected actual

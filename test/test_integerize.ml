@@ -155,6 +155,49 @@ let prop_exact_wrap =
            (fun r r' -> Array.for_all2 Q.equal r r')
            (EQ.Schedule.dense_alloc s) (EQ.Schedule.dense_alloc s'))
 
+(* Exact-field sharp counting bounds over the adversarial generator
+   families (engineered ties, full malleability, awkward denominators).
+   These are the float-fragile theorems: exact arithmetic keeps tied
+   completion times tied, so the counts are checked with no tolerance.
+   Both bounds are offline results — the schedules come from greedy
+   over a random priority order, not from WDEQ, whose event-driven
+   completion vectors can exceed them (corpus/wdeq-thm9-boundary.spec). *)
+let gen_adversarial_exact =
+  QCheck2.Gen.pair
+    (QCheck2.Gen.oneof
+       [
+         Support.gen_spec ~max_procs:5 ~max_n:5 ~den:16 `Near_tie;
+         Support.gen_spec ~max_procs:5 ~max_n:5 ~den:16 `Delta_full;
+         Support.gen_spec ~max_procs:5 ~max_n:5 ~den:16 `Tiny_den;
+       ])
+    (QCheck2.Gen.int_bound 1_000_000)
+
+let exact_wf spec seed =
+  let inst = Support.qinst spec in
+  let n = Array.length inst.EQ.Types.tasks in
+  let sigma = EQ.Orderings.random (Rng.create seed) n in
+  (inst, EQ.Water_filling.normalize (EQ.Greedy.run inst sigma))
+
+let prop_thm9_exact_adversarial =
+  QCheck2.Test.make ~name:"Theorem 9: <= n allocation changes (exact, adversarial)" ~count:60
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_adversarial_exact
+    (fun (spec, seed) ->
+      let inst, s = exact_wf spec seed in
+      EQ.Preemption.total_changes s <= Array.length inst.EQ.Types.tasks)
+
+let prop_thm10_exact_adversarial =
+  QCheck2.Test.make ~name:"Theorem 10: <= 3n preemptions (exact, adversarial)" ~count:60
+    ~print:(fun (s, _) -> Support.print_spec s)
+    gen_adversarial_exact
+    (fun (spec, seed) ->
+      let inst, s = exact_wf spec seed in
+      let is, wrap = EQ.Integerize.of_columns s in
+      let g = EQ.Assignment.assign is in
+      EQ.Assignment.no_overlap wrap
+      && EQ.Assignment.no_overlap g
+      && EQ.Assignment.preemptions g <= 3 * Array.length inst.EQ.Types.tasks)
+
 let () =
   let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
   Alcotest.run "integerize"
@@ -174,5 +217,7 @@ let () =
             prop_assignment_valid;
             prop_theorem10_preemptions;
             prop_exact_wrap;
+            prop_thm9_exact_adversarial;
+            prop_thm10_exact_adversarial;
           ] );
     ]

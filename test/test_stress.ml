@@ -8,8 +8,12 @@ module SF = Mwct_solver.Solver.Float
 module DF = Mwct_solver.Driver.Float
 module G = Mwct_workload.Generator
 module Rng = Mwct_util.Rng
+module Instances = Mwct_check.Instances
 
-let big_instance ~n ~procs seed = Support.finst (G.uniform (Rng.create seed) ~procs ~n ())
+let big_instance ~n ~procs seed =
+  let rng = Rng.create seed in
+  let draw lo hi = Rng.int_in rng lo hi in
+  Support.finst (Instances.sample_sized draw ~procs ~n Instances.Uniform)
 
 let test_greedy_wf_at_scale () =
   let n = 200 and procs = 32 in

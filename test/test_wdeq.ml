@@ -133,6 +133,33 @@ let prop_deq_equals_wdeq_when_unweighted =
         (EF.Schedule.weighted_completion_time s1 -. EF.Schedule.weighted_completion_time s2)
       < 1e-6)
 
+(* The adversarial families from lib/check: exact completion-time ties
+   (near-tie), fully malleable tasks (delta-full) and non-dyadic
+   rationals (tiny-den) exercise the event paths that uniform dyadic
+   draws rarely hit. *)
+let gen_adversarial =
+  QCheck2.Gen.oneof
+    [ Support.gen_spec `Near_tie; Support.gen_spec `Delta_full; Support.gen_spec `Tiny_den ]
+
+let prop_wdeq_valid_adversarial =
+  QCheck2.Test.make ~name:"WDEQ schedules are valid on the adversarial families" ~count:150
+    ~print:Support.print_spec gen_adversarial
+    (fun spec ->
+      let inst = Support.finst spec in
+      let s, _ = EF.Wdeq.wdeq inst in
+      EF.Schedule.is_valid s)
+
+let prop_lemma2_exact_near_tie =
+  QCheck2.Test.make ~name:"Lemma 2 holds exactly under completion-time ties" ~count:60
+    ~print:Support.print_spec (Support.gen_spec `Near_tie)
+    (fun spec ->
+      let qi = Support.qinst spec in
+      let s, d = EQ.Wdeq.wdeq qi in
+      let tc = EQ.Schedule.weighted_completion_time s in
+      let a = EQ.Lower_bounds.squashed_area (EQ.Instance.sub_instance qi d.EQ.Wdeq.limited_volume) in
+      let h = EQ.Lower_bounds.height_bound (EQ.Instance.sub_instance qi d.EQ.Wdeq.full_volume) in
+      Q.compare tc (Q.mul (Q.of_int 2) (Q.add a h)) <= 0)
+
 let () =
   let q tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests in
   Alcotest.run "wdeq"
@@ -154,5 +181,7 @@ let () =
             prop_theorem4_two_approx;
             prop_wdeq_above_lower_bounds;
             prop_deq_equals_wdeq_when_unweighted;
+            prop_wdeq_valid_adversarial;
+            prop_lemma2_exact_near_tie;
           ] );
     ]
