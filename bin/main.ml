@@ -368,7 +368,7 @@ struct
     | Ok (Some p) -> Ok p
     | Ok None -> Error (Printf.sprintf "unknown policy %S; known: %s" name policy_names)
 
-  let run ~policy_name ~procs_str ~input ~record_path : int =
+  let run ~policy_name ~procs_str ~input ~record_path ~no_segments : int =
     let fail_input msg =
       Printf.eprintf "error: %s\n" msg;
       exit exit_bad_input
@@ -407,7 +407,14 @@ struct
     in
     let eng = ref None in
     let init_engine ~capacity ~policy ~policy_label =
-      let e = En.create ~capacity ~policy:(P.engine_policy policy) () in
+      (* [--no-segments] drops per-task rate histories (unbounded on
+         long-lived processes) and, on the float engine, enables the
+         allocation-free advance kernel. Decision and metrics output is
+         unchanged — histories only surface in closed-task records. *)
+      let e =
+        En.create ~record_segments:(not no_segments)
+          ?kinetic:(P.engine_kinetic policy) ~capacity ~policy:(P.engine_policy policy) ()
+      in
       ignore (record_entry (J.Init { capacity; policy = policy_label }));
       eng := Some e;
       e
@@ -520,18 +527,29 @@ let serve_cmd =
          & info [ "record" ] ~docv:"PATH"
              ~doc:"Append the run's journal (JSONL, replayable) to PATH.")
   in
-  let run policy procs exact journal record =
+  let no_segments =
+    Arg.(value & flag
+         & info [ "no-segments" ]
+             ~doc:
+               "Do not record per-task rate histories (unbounded memory on long-lived runs); on \
+                the float engine this also enables the allocation-free advance fast path. \
+                Decisions, metrics and journals are byte-identical either way.")
+  in
+  let run policy procs exact journal record no_segments =
     exit
       (if exact then
          Serve_exact.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record
-       else Serve_float.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record)
+           ~no_segments
+       else
+         Serve_float.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record
+           ~no_segments)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the online scheduling engine as a long-lived process: events in (stdin or --journal), \
           decision/metrics JSONL out; --record writes a replayable journal.")
-    Term.(const run $ policy $ procs $ exact $ journal $ record)
+    Term.(const run $ policy $ procs $ exact $ journal $ record $ no_segments)
 
 (* ---------- fuzz ---------- *)
 

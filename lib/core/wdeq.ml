@@ -126,9 +126,11 @@ module Make (F : Mwct_field.Field.S) = struct
         let i, _, _ = arr.(k) in
         (i, out.(k)))
 
-  (** Simulate a dynamic-equipartition run. [use_weights = false] gives
-      plain DEQ (Deng et al.), the unweighted special case. *)
-  let simulate ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
+  (** Field-generic simulation loop — the semantic source of truth for
+      {!simulate}, which dispatches to a monomorphic float kernel when
+      the field witness allows it. Exposed for the differential tests
+      pinning the kernel bit-for-bit. *)
+  let simulate_reference ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
     let n = I.num_tasks inst in
     let weight = if use_weights then fun i -> inst.tasks.(i).weight else fun _ -> F.one in
     let delta = Array.init n (fun i -> I.effective_delta inst i) in
@@ -240,6 +242,168 @@ module Make (F : Mwct_field.Field.S) = struct
       m := !keep
     done;
     ({ instance = inst; order; finish; columns }, { full_volume; limited_volume })
+
+  (* Monomorphic replica of {!simulate_reference} for [F.t = float],
+     recovered through the field witness: flat float arrays, unboxed
+     arithmetic, no per-event closure or option traffic. The arithmetic
+     is kept literally the generic loop's — [Float.compare] selections,
+     [remaining /. s] event horizons, [rem <= eps] completion and
+     [abs (s -. delta) <= eps] saturation tolerances (the [leq_approx]
+     / [equal_approx] of {!Mwct_field.Field.Float_field}, the witness's
+     single float inhabitant), no FMA contraction — so the schedules
+     are bit-identical, which the kernel equivalence tests pin. *)
+  let simulate_float_opt :
+      (use_weights:bool -> instance -> column_schedule * diagnostics) option =
+    match F.witness with
+    | Mwct_field.Field.Any -> None
+    | Mwct_field.Field.Float ->
+      let eps = Mwct_field.Field.Float_field.epsilon in
+      Some
+        (fun ~use_weights (inst : instance) ->
+          let n = I.num_tasks inst in
+          let p = inst.procs in
+          let weight =
+            Array.init n (fun i -> if use_weights then inst.tasks.(i).weight else 1.)
+          in
+          let delta = Array.init n (fun i -> I.effective_delta inst i) in
+          let remaining = Array.map (fun t -> t.volume) inst.tasks in
+          let alive = Array.make n true in
+          let full_volume = Array.make n 0. in
+          let limited_volume = Array.make n 0. in
+          let order = Array.make n 0 in
+          let finish = Array.make n 0. in
+          let columns : (int * float) list array = Array.make n [] in
+          let by_ratio = Array.init n (fun i -> i) in
+          Array.sort
+            (fun a b ->
+              let c = Float.compare (delta.(a) *. weight.(b)) (delta.(b) *. weight.(a)) in
+              if c <> 0 then c else Stdlib.compare a b)
+            by_ratio;
+          let by_index = Array.init n (fun i -> i) in
+          let ws = Array.make n 0. and ds = Array.make n 0. in
+          let pd = Array.make (n + 1) 0. and pw = Array.make (n + 1) 0. in
+          let out = Array.make n 0. in
+          let share = Array.make n 0. in
+          let finished_buf = Array.make n 0 in
+          let t_now = ref 0. in
+          let col = ref 0 in
+          let m = ref n in
+          while !col < n do
+            let m0 = !m in
+            for k = 0 to m0 - 1 do
+              let i = Array.unsafe_get by_ratio k in
+              Array.unsafe_set ws k (Array.unsafe_get weight i);
+              Array.unsafe_set ds k (Array.unsafe_get delta i)
+            done;
+            (* frontier_shares, monomorphic *)
+            pd.(0) <- 0.;
+            pw.(0) <- 0.;
+            for k = 0 to m0 - 1 do
+              Array.unsafe_set pd (k + 1) (Array.unsafe_get pd k +. Array.unsafe_get ds k);
+              Array.unsafe_set pw (k + 1) (Array.unsafe_get pw k +. Array.unsafe_get ws k)
+            done;
+            let total_w = pw.(m0) in
+            let sat_ok k =
+              k = m0
+              ||
+              let r = p -. pd.(k) and w = total_w -. pw.(k) in
+              w <= 0. || Float.compare (ds.(k) *. w) (ws.(k) *. r) >= 0
+            in
+            let lo = ref 0 and hi = ref m0 in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if sat_ok mid then hi := mid else lo := mid + 1
+            done;
+            let ksat = !lo in
+            let r = p -. pd.(ksat) and w = total_w -. pw.(ksat) in
+            let positive_w = w > 0. in
+            for k = 0 to m0 - 1 do
+              Array.unsafe_set out k
+                (if k < ksat then Array.unsafe_get ds k
+                 else if positive_w then Array.unsafe_get ws k *. r /. w
+                 else 0.)
+            done;
+            (* time to the next completion *)
+            let t_best = ref 0. in
+            let seen = ref false in
+            for k = 0 to m0 - 1 do
+              let i = Array.unsafe_get by_ratio k in
+              let s = Array.unsafe_get out k in
+              Array.unsafe_set share i s;
+              if s > 0. then begin
+                let ti = Array.unsafe_get remaining i /. s in
+                if (not !seen) || Float.compare ti !t_best < 0 then begin
+                  t_best := ti;
+                  seen := true
+                end
+              end
+            done;
+            if not !seen then invalid_arg "Wdeq.simulate: no task can progress";
+            let dt = !t_best in
+            let t_end = !t_now +. dt in
+            let nfin = ref 0 in
+            for k = 0 to m0 - 1 do
+              let i = Array.unsafe_get by_ratio k in
+              let s = Array.unsafe_get out k in
+              let processed = s *. dt in
+              let rem = Array.unsafe_get remaining i -. processed in
+              Array.unsafe_set remaining i rem;
+              let saturated = Float.abs (s -. Array.unsafe_get delta i) <= eps in
+              if saturated then
+                Array.unsafe_set full_volume i (Array.unsafe_get full_volume i +. processed)
+              else Array.unsafe_set limited_volume i (Array.unsafe_get limited_volume i +. processed);
+              if rem <= eps then begin
+                finished_buf.(!nfin) <- i;
+                incr nfin
+              end
+            done;
+            if !nfin = 0 then invalid_arg "Wdeq.simulate: no completion at event (numeric drift)";
+            (* finished tasks ascending, like the reference's List.sort *)
+            let fin = Array.sub finished_buf 0 !nfin in
+            Array.sort Stdlib.compare fin;
+            let column = ref [] in
+            for k = m0 - 1 downto 0 do
+              let i = by_index.(k) in
+              if share.(i) > 0. then column := (i, share.(i)) :: !column
+            done;
+            Array.iteri
+              (fun k i ->
+                let j = !col + k in
+                order.(j) <- i;
+                finish.(j) <- t_end;
+                alive.(i) <- false;
+                if k = 0 then columns.(j) <- !column)
+              fin;
+            col := !col + !nfin;
+            t_now := t_end;
+            let keep = ref 0 in
+            for k = 0 to m0 - 1 do
+              let i = by_ratio.(k) in
+              if alive.(i) then begin
+                by_ratio.(!keep) <- i;
+                incr keep
+              end
+            done;
+            let keep2 = ref 0 in
+            for k = 0 to m0 - 1 do
+              let i = by_index.(k) in
+              if alive.(i) then begin
+                by_index.(!keep2) <- i;
+                incr keep2
+              end
+            done;
+            m := !keep
+          done;
+          ({ instance = inst; order; finish; columns }, { full_volume; limited_volume }))
+
+  (** Simulate a dynamic-equipartition run. [use_weights = false] gives
+      plain DEQ (Deng et al.), the unweighted special case. On the
+      float field this runs the monomorphic kernel (bit-identical to
+      {!simulate_reference}, several times faster at scale). *)
+  let simulate ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
+    match simulate_float_opt with
+    | Some f -> f ~use_weights inst
+    | None -> simulate_reference ~use_weights inst
 
   (** WDEQ schedule of an instance. *)
   let wdeq inst = simulate ~use_weights:true inst

@@ -24,8 +24,18 @@ module Make (F : Mwct_field.Field.S) : sig
 
   (** Simulate a dynamic-equipartition run to completion.
       [~use_weights:false] gives DEQ (the unweighted policy of Deng et
-      al.). *)
+      al.). On the float field this dispatches (via the field witness)
+      to a monomorphic kernel, bit-identical to
+      {!simulate_reference}. *)
   val simulate :
+    ?use_weights:bool ->
+    Types.Make(F).instance ->
+    Types.Make(F).column_schedule * diagnostics
+
+  (** The field-generic simulation loop, the kernel's semantic source
+      of truth — exposed so differential tests can pin the two
+      bit-for-bit. *)
+  val simulate_reference :
     ?use_weights:bool ->
     Types.Make(F).instance ->
     Types.Make(F).column_schedule * diagnostics

@@ -1,5 +1,14 @@
+(* Runtime type witness: lets field-generic code recover [t = float] at
+   functor-application time and branch into monomorphic float kernels
+   (unboxed arithmetic over flat float arrays) without changing any
+   functor arity. Fields other than the float one answer [Any]. *)
+type 'a witness = Float : float witness | Any : 'a witness
+
 module type S = sig
   type t
+
+  (** Type identity of [t], for dispatching to specialized kernels. *)
+  val witness : t witness
 
   val zero : t
   val one : t
@@ -23,6 +32,15 @@ module type S = sig
   val pp : Format.formatter -> t -> unit
   val leq_approx : t -> t -> bool
   val equal_approx : t -> t -> bool
+
+  (** [sub_mul a b c] is [a - b*c]; [add_div a b c] is [a + b/c]
+      ([Division_by_zero] when [c] is zero). Semantically the two-op
+      composition — float fields must not contract to an FMA — but
+      exact fields may canonicalize the fused expression once instead
+      of once per operation. *)
+  val sub_mul : t -> t -> t -> t
+
+  val add_div : t -> t -> t -> t
 end
 
 module Ops (F : S) = struct
@@ -49,6 +67,7 @@ end
 module Float_field = struct
   type t = float
 
+  let witness : t witness = Float
   let epsilon = 1e-9
   let zero = 0.
   let one = 1.
@@ -88,4 +107,9 @@ module Float_field = struct
   let pp fmt x = Format.fprintf fmt "%g" x
   let leq_approx a b = a <= b +. epsilon
   let equal_approx a b = Float.abs (a -. b) <= epsilon
+
+  (* Kept as the plain two-op sequence: OCaml never contracts to an
+     FMA, so these are bit-identical to [sub (mul b c)] / [add (div b c)]. *)
+  let sub_mul a b c = a -. (b *. c)
+  let add_div a b c = if c = 0. then raise Division_by_zero else a +. (b /. c)
 end

@@ -7,9 +7,19 @@
     and with exact rationals (slow, exact — the analogue of the paper's
     Sage verification). *)
 
+(** Runtime type witness for a field's carrier. Matching a field's
+    {!S.witness} against [Float] refines [t = float] in that branch,
+    letting generic code dispatch into monomorphic float kernels
+    (unboxed arithmetic over flat float arrays) while keeping every
+    functor signature unchanged. All non-float fields answer [Any]. *)
+type 'a witness = Float : float witness | Any : 'a witness
+
 (** Signature of an ordered field with conversions. *)
 module type S = sig
   type t
+
+  (** Type identity of [t], for dispatching to specialized kernels. *)
+  val witness : t witness
 
   val zero : t
   val one : t
@@ -68,6 +78,18 @@ module type S = sig
   (** [equal_approx a b] holds when [a = b] up to the field's
       tolerance. *)
   val equal_approx : t -> t -> bool
+
+  (** [sub_mul a b c] is [a - b*c]. Semantically identical to the
+      two-op composition — the float field must not contract to an FMA,
+      so results are bit-for-bit those of [sub a (mul b c)] — but exact
+      fields may canonicalize the fused expression once. The online
+      engine's remaining-volume updates go through this. *)
+  val sub_mul : t -> t -> t -> t
+
+  (** [add_div a b c] is [a + b/c]; raises [Division_by_zero] when [c]
+      is zero. Same contract as {!sub_mul}. The engine's completion
+      estimates ([eta = now + remaining/share]) go through this. *)
+  val add_div : t -> t -> t -> t
 end
 
 (** Derived infix operators and helpers for a field, for local [open]. *)

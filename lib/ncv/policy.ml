@@ -145,4 +145,287 @@ module Make (F : Mwct_field.Field.S) = struct
    fun ~capacity views ->
     shares p ~capacity
       (List.map (fun (v : En.view) -> { id = v.En.id; weight = v.En.weight; cap = v.En.cap }) views)
+
+  (** Incremental (kinetic) WDEQ/DEQ: the saturation-ratio frontier
+      maintained across events instead of rebuilt per reshare.
+
+      {!wdeq_shares} is two [List.partition] rounds in id order plus —
+      only when clipping cascades — a frontier over the residual pool
+      sorted by the saturation ratio [cap/weight]. The partitions are
+      cheap linear sweeps, but the fallback sort is the O(n log n) term
+      paid on every reshare. Here the ratio order is {e kinetic} state:
+      a slot-indexed sorted array updated by binary-search
+      insert/remove as tasks arrive and leave (O(n) blit per event),
+      so a reshare is pure linear sweeps — the frontier order is read
+      off the maintained array (the comparator is a strict total order,
+      ids breaking ties, so the maintained order restricted to any
+      subset {e is} the fresh sort {!frontier_shares} would compute).
+
+      Bit-identity with {!wdeq_shares} is the contract: same partition
+      predicates in the same id order, the same sequential residual
+      folds, the same fresh prefix sums and binary-searched clipping
+      frontier — verified term by term by the differential tests. *)
+  module Incremental = struct
+    type state = {
+      use_weights : bool;  (** [false] maps every weight to [F.one] (DEQ) *)
+      (* slot-indexed task attributes, mirroring the engine's columns *)
+      mutable w : F.t array;
+      mutable d : F.t array;
+      mutable ids : int array;
+      (* the kinetic frontier: alive slots sorted by [d/w] ratio, id tie-break *)
+      mutable rank : int array;
+      mutable n : int;
+      (* reshare scratch (no allocation per call once grown) *)
+      mutable status : int array;  (* 0 unsaturated, 1 round-1 clip, 2 round-2 clip *)
+      mutable rest2 : int array;  (* residual pool in rank order *)
+      mutable pd : F.t array;  (* prefix caps over [rest2] *)
+      mutable pw : F.t array;  (* prefix weights over [rest2] *)
+    }
+
+    let create ~use_weights () =
+      let n = 64 in
+      {
+        use_weights;
+        w = Array.make n F.zero;
+        d = Array.make n F.zero;
+        ids = Array.make n 0;
+        rank = Array.make n 0;
+        n = 0;
+        status = Array.make n 0;
+        rest2 = Array.make n 0;
+        pd = Array.make (n + 1) F.zero;
+        pw = Array.make (n + 1) F.zero;
+      }
+
+    let ensure st slot =
+      let len = Array.length st.w in
+      if slot >= len then begin
+        let m = Stdlib.max (2 * len) (slot + 1) in
+        let g z a = let b = Array.make m z in Array.blit a 0 b 0 len; b in
+        st.w <- g F.zero st.w;
+        st.d <- g F.zero st.d;
+        st.ids <- g 0 st.ids;
+        st.rank <- g 0 st.rank;
+        st.status <- g 0 st.status;
+        st.rest2 <- g 0 st.rest2;
+        st.pd <- (let b = Array.make (m + 1) F.zero in Array.blit st.pd 0 b 0 (len + 1); b);
+        st.pw <- (let b = Array.make (m + 1) F.zero in Array.blit st.pw 0 b 0 (len + 1); b)
+      end
+
+    (* The frontier order: strict total (ids are unique while alive),
+       exactly {!frontier_shares}'s comparator. *)
+    let cmp st a b =
+      let c = F.compare (F.mul st.d.(a) st.w.(b)) (F.mul st.d.(b) st.w.(a)) in
+      if c <> 0 then c else Stdlib.compare st.ids.(a) st.ids.(b)
+
+    let add st ~slot ~id ~weight ~cap =
+      ensure st slot;
+      st.w.(slot) <- (if st.use_weights then weight else F.one);
+      st.d.(slot) <- cap;
+      st.ids.(slot) <- id;
+      let lo = ref 0 and hi = ref st.n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cmp st st.rank.(mid) slot < 0 then lo := mid + 1 else hi := mid
+      done;
+      let pos = !lo in
+      Array.blit st.rank pos st.rank (pos + 1) (st.n - pos);
+      st.rank.(pos) <- slot;
+      st.n <- st.n + 1
+
+    let remove st ~slot =
+      let lo = ref 0 and hi = ref (st.n - 1) in
+      let pos = ref (-1) in
+      while !pos < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let c = cmp st st.rank.(mid) slot in
+        if c = 0 then pos := mid else if c < 0 then lo := mid + 1 else hi := mid - 1
+      done;
+      let pos = !pos in
+      if pos >= 0 then begin
+        Array.blit st.rank (pos + 1) st.rank pos (st.n - 1 - pos);
+        st.n <- st.n - 1
+      end
+
+    (* Replicates [wdeq_shares capacity views] with [views] the [n]
+       slots of [by_id] in ascending-id order: fills [share] (slot-
+       indexed) and [order] (output order — clipped round 1 in id
+       order, then clipped round 2 in id order, then the frontier pool
+       in ratio order), exactly the list the adaptive kernel returns. *)
+    let shares_into st ~capacity ~n ~(by_id : int array) ~(share : F.t array) ~(order : int array)
+        =
+      if n > 0 then begin
+        let w0 = ref F.zero in
+        for i = 0 to n - 1 do
+          w0 := F.add !w0 st.w.(by_id.(i))
+        done;
+        let w0 = !w0 in
+        (* round 1: who clips at the fair share r0/w0? *)
+        let nv1 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = by_id.(i) in
+          if F.compare (F.mul st.d.(s) w0) (F.mul st.w.(s) capacity) < 0 then begin
+            st.status.(s) <- 1;
+            incr nv1
+          end
+          else st.status.(s) <- 0
+        done;
+        if !nv1 = 0 then begin
+          (* nobody clips: plain weighted equipartition, id order *)
+          let pos = F.sign w0 > 0 in
+          for i = 0 to n - 1 do
+            let s = by_id.(i) in
+            order.(i) <- s;
+            share.(s) <- (if pos then F.div (F.mul st.w.(s) capacity) w0 else F.zero)
+          done
+        end
+        else begin
+          let r1 = ref capacity and w1 = ref w0 in
+          for i = 0 to n - 1 do
+            let s = by_id.(i) in
+            if st.status.(s) = 1 then begin
+              r1 := F.sub !r1 st.d.(s);
+              w1 := F.sub !w1 st.w.(s)
+            end
+          done;
+          let r1 = !r1 and w1 = !w1 in
+          (* round 2 over the survivors *)
+          let nv2 = ref 0 in
+          for i = 0 to n - 1 do
+            let s = by_id.(i) in
+            if st.status.(s) = 0 && F.compare (F.mul st.d.(s) w1) (F.mul st.w.(s) r1) < 0 then begin
+              st.status.(s) <- 2;
+              incr nv2
+            end
+          done;
+          let j = ref 0 in
+          for i = 0 to n - 1 do
+            let s = by_id.(i) in
+            if st.status.(s) = 1 then begin
+              order.(!j) <- s;
+              incr j;
+              share.(s) <- st.d.(s)
+            end
+          done;
+          if !nv2 = 0 then begin
+            (* round 2 settles: survivors share the residual, id order *)
+            let pos = F.sign w1 > 0 in
+            for i = 0 to n - 1 do
+              let s = by_id.(i) in
+              if st.status.(s) = 0 then begin
+                order.(!j) <- s;
+                incr j;
+                share.(s) <- (if pos then F.div (F.mul st.w.(s) r1) w1 else F.zero)
+              end
+            done
+          end
+          else begin
+            (* cascade: clip round 2 (id order), frontier on the rest *)
+            let r2 = ref r1 and w2 = ref w1 in
+            for i = 0 to n - 1 do
+              let s = by_id.(i) in
+              if st.status.(s) = 2 then begin
+                r2 := F.sub !r2 st.d.(s);
+                w2 := F.sub !w2 st.w.(s)
+              end
+            done;
+            let r2 = !r2 and w2 = !w2 in
+            for i = 0 to n - 1 do
+              let s = by_id.(i) in
+              if st.status.(s) = 2 then begin
+                order.(!j) <- s;
+                incr j;
+                share.(s) <- st.d.(s)
+              end
+            done;
+            (* the residual pool in ratio order, read off the kinetic
+               array instead of sorted afresh *)
+            let m = ref 0 in
+            for k = 0 to st.n - 1 do
+              let s = st.rank.(k) in
+              if st.status.(s) = 0 then begin
+                st.rest2.(!m) <- s;
+                incr m
+              end
+            done;
+            let m = !m in
+            st.pd.(0) <- F.zero;
+            st.pw.(0) <- F.zero;
+            for k = 0 to m - 1 do
+              let s = st.rest2.(k) in
+              st.pd.(k + 1) <- F.add st.pd.(k) st.d.(s);
+              st.pw.(k + 1) <- F.add st.pw.(k) st.w.(s)
+            done;
+            let sat_ok k =
+              k = m
+              ||
+              let s = st.rest2.(k) in
+              let r' = F.sub r2 st.pd.(k) and w' = F.sub w2 st.pw.(k) in
+              F.sign w' <= 0 || F.compare (F.mul st.d.(s) w') (F.mul st.w.(s) r') >= 0
+            in
+            let lo = ref 0 and hi = ref m in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if sat_ok mid then hi := mid else lo := mid + 1
+            done;
+            let ksat = !lo in
+            let r' = F.sub r2 st.pd.(ksat) and w' = F.sub w2 st.pw.(ksat) in
+            let pos = F.sign w' > 0 in
+            for k = 0 to m - 1 do
+              let s = st.rest2.(k) in
+              order.(!j) <- s;
+              incr j;
+              share.(s) <-
+                (if k < ksat then st.d.(s)
+                 else if pos then F.div (F.mul st.w.(s) r') w'
+                 else F.zero)
+            done
+          end
+        end
+      end
+
+    let kinetic ~use_weights () : En.kinetic =
+      let st = create ~use_weights () in
+      {
+        En.k_add = (fun ~slot ~id ~weight ~cap -> add st ~slot ~id ~weight ~cap);
+        En.k_remove = (fun ~slot -> remove st ~slot);
+        En.k_shares =
+          (fun ~capacity ~n ~by_id ~share ~order -> shares_into st ~capacity ~n ~by_id ~share ~order);
+      }
+  end
+
+  (** The incremental counterpart of {!engine_policy}, for the engine's
+      [?kinetic] slot — a fresh kinetic state per call (states are
+      per-engine). [None] for policies without an incremental rule
+      (they fall back to the list path). *)
+  let engine_kinetic (p : t) : En.kinetic option =
+    match p with
+    | Wdeq -> Some (Incremental.kinetic ~use_weights:true ())
+    | Deq -> Some (Incremental.kinetic ~use_weights:false ())
+    | Equi | Priority_weight -> None
+
+  (** One-shot run of the incremental rule over a view list: builds a
+      fresh kinetic state (slot [i] = the [i]-th view), reshares once,
+      and returns the output list. Differentially testable against
+      [shares p ~capacity (views sorted by id)] — the engine always
+      feeds views in ascending-id order, so that is the order the
+      contract is stated in. [None] for policies without an incremental
+      rule. *)
+  let shares_incremental (p : t) ~(capacity : F.t) (views : view list) : (int * F.t) list option
+      =
+    match p with
+    | Equi | Priority_weight -> None
+    | Wdeq | Deq ->
+      let st = Incremental.create ~use_weights:(p = Wdeq) () in
+      List.iteri (fun i v -> Incremental.add st ~slot:i ~id:v.id ~weight:v.weight ~cap:v.cap) views;
+      let n = List.length views in
+      let by_id = Array.init n (fun i -> i) in
+      Array.sort (fun a b -> Stdlib.compare st.Incremental.ids.(a) st.Incremental.ids.(b)) by_id;
+      let share = Array.make (Stdlib.max n 1) F.zero in
+      let order = Array.make (Stdlib.max n 1) 0 in
+      Incremental.shares_into st ~capacity ~n ~by_id ~share ~order;
+      Some
+        (List.init n (fun k ->
+             let s = order.(k) in
+             (st.Incremental.ids.(s), share.(s))))
 end

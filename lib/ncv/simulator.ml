@@ -51,7 +51,10 @@ module Make (F : Mwct_field.Field.S) = struct
     let n = I.num_tasks inst in
     let releases = match releases with Some r -> r | None -> Array.make n F.zero in
     if Array.length releases <> n then invalid_arg "Simulator.run: releases length mismatch";
-    let eng = En.create ~capacity:inst.T.procs ~policy:(P.engine_policy policy) () in
+    let eng =
+      En.create ?kinetic:(P.engine_kinetic policy) ~capacity:inst.T.procs
+        ~policy:(P.engine_policy policy) ()
+    in
     let events = ref [] in
     let fail err = invalid_arg ("Simulator.run: " ^ En.error_to_string err) in
     let push_completions notes =

@@ -197,6 +197,32 @@ let of_string s =
     let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
     make n d
 
+(* Fused small-path arithmetic. When every component fits in 20 bits,
+   [a - b*c] and [a + b/c] are evaluated as a single native-int
+   expression with one canonicalization instead of one per operation —
+   the bound keeps every three-factor product below 2^60 and the final
+   sum below 2^61, inside the small-representation overflow contract.
+   Values are canonical and unique, so the fused result is identical to
+   the composed one; anything out of range falls back to composition. *)
+let fuse_bound = 1 lsl 20
+
+let fits_fused = function
+  | S { n; d } -> Stdlib.abs n < fuse_bound && d < fuse_bound
+  | B _ -> false
+
+let sub_mul a b c =
+  match (a, b, c) with
+  | S a', S b', S c' when fits_fused a && fits_fused b && fits_fused c ->
+    make_small ((a'.n * b'.d * c'.d) - (b'.n * c'.n * a'.d)) (a'.d * b'.d * c'.d)
+  | _ -> sub a (mul b c)
+
+let add_div a b c =
+  if sign c = 0 then raise Division_by_zero;
+  match (a, b, c) with
+  | S a', S b', S c' when fits_fused a && fits_fused b && fits_fused c ->
+    make_small ((a'.n * b'.d * c'.n) + (b'.n * c'.d * a'.d)) (a'.d * b'.d * c'.n)
+  | _ -> add a (div b c)
+
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 
 let hash a = (Bigint.hash (num a) * 31) + Bigint.hash (den a)
@@ -204,6 +230,7 @@ let hash a = (Bigint.hash (num a) * 31) + Bigint.hash (den a)
 module Rat_field = struct
   type nonrec t = t
 
+  let witness : t Mwct_field.Field.witness = Mwct_field.Field.Any
   let zero = zero
   let one = one
   let of_int = of_int
@@ -252,4 +279,6 @@ module Rat_field = struct
   let pp = pp
   let leq_approx a b = compare a b <= 0
   let equal_approx = equal
+  let sub_mul = sub_mul
+  let add_div = add_div
 end

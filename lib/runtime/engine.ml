@@ -19,7 +19,16 @@
     functions of the event sequence — the replay invariant
     {!Journal.replay} relies on (no wall clock, no hash-order
     iteration: views are built in increasing task-id order from a
-    sorted alive list). *)
+    sorted alive list).
+
+    Data plane (DESIGN.md §12): task state lives in parallel struct-of-
+    arrays columns indexed by a dense slot number with free-list reuse.
+    The alive set is the [by_id] slot array (ascending external id, the
+    view-building order) and the share cache is the [order] slot array
+    (policy output order, the advance/sweep order). On the float field
+    the advance loop dispatches to a monomorphic kernel over the flat
+    float columns — zero minor-heap allocation per steady-state
+    [Advance] — selected through {!Mwct_field.Field.witness}. *)
 
 module Make (F : Mwct_field.Field.S) = struct
   module M = Metrics.Make (F)
@@ -31,6 +40,20 @@ module Make (F : Mwct_field.Field.S) = struct
   (** A share rule: non-negative shares, one per view, within caps,
       summing to at most [capacity]. *)
   type policy = capacity:F.t -> view list -> (int * F.t) list
+
+  (** Incremental (kinetic) share rule: a stateful peer of {!policy}
+      that tracks the alive set through [k_add]/[k_remove] callbacks
+      keyed by the engine's slot numbers, and on each reshare fills the
+      slot-indexed [share] column and the [order] array (its output
+      order, the analogue of the {!policy} result-list order) for the
+      [n] alive slots listed in [by_id] (ascending external id). The
+      contract is bit-identity with the wrapped list policy: same
+      shares, same output order. *)
+  type kinetic = {
+    k_add : slot:int -> id:int -> weight:F.t -> cap:F.t -> unit;
+    k_remove : slot:int -> unit;
+    k_shares : capacity:F.t -> n:int -> by_id:int array -> share:F.t array -> order:int array -> unit;
+  }
 
   (** Input events, the journal's vocabulary. *)
   type event =
@@ -65,71 +88,187 @@ module Make (F : Mwct_field.Field.S) = struct
     share_changes : int;  (** times this task's allocation changed while alive *)
   }
 
-  type task_state = {
-    ts_volume : F.t;
-    ts_weight : F.t;
-    ts_cap : F.t;
-    ts_submitted_at : F.t;
-    mutable ts_remaining : F.t;
-    mutable ts_share : F.t;
-    mutable ts_segments : (F.t * F.t * F.t) list;  (* reverse chronological *)
-    mutable ts_share_changes : int;
-  }
-
   (** An emitted decision: the engine completed task [id] at virtual
       time [at]. Returned (in order) by the event-applying calls so
       front-ends can stream them out. *)
   type notification = { id : int; at : F.t }
 
+  (* Struct-of-arrays task store. A task occupies one slot across all
+     [c_*] columns; slots are recycled through the [free] stack, so the
+     columns stay dense and bounded by the alive high-water mark. [now]
+     lives in a one-element column of its own: on the float field that
+     makes every read/write in the monomorphic kernel an unboxed array
+     access instead of a boxed record field. *)
   type t = {
     capacity : F.t;
     policy : policy;
+    kinetic : kinetic option;
     record_segments : bool;
-    mutable now : F.t;
-    alive : (int, task_state) Hashtbl.t;
-    mutable alive_entries : (int * task_state) list;  (* strictly increasing ids *)
+    now_cell : F.t array;  (* 1 element: current virtual time *)
+    (* slot-indexed columns (parallel arrays, grown together) *)
+    mutable c_volume : F.t array;
+    mutable c_weight : F.t array;
+    mutable c_cap : F.t array;
+    mutable c_submitted : F.t array;
+    mutable c_remaining : F.t array;
+    mutable c_share : F.t array;  (* persists across reshares, like the old ts_share *)
+    mutable c_new_share : F.t array;  (* reshare staging, compared against c_share *)
+    mutable c_changes : int array;
+    mutable c_segments : (F.t * F.t * F.t) list array;  (* reverse chronological *)
+    mutable c_id : int array;  (* external id of the slot's task *)
+    mutable used : int;  (* slots ever handed out (high-water mark) *)
+    mutable free : int array;  (* recycled-slot stack *)
+    mutable nfree : int;
+    (* alive index: slots sorted by ascending external id *)
+    mutable by_id : int array;
+    mutable nalive : int;
+    (* share cache: slots in policy output order (only these advance) *)
+    mutable order : int array;
+    mutable norder : int;
+    mutable scratch_done : int array;  (* completion-sweep staging *)
+    fscratch : F.t array;  (* float-kernel registers: [0] target, [1] best eta *)
+    iscratch : int array;  (* float-kernel registers: [0] seen-flag, [1] done-count *)
+    slot_of_id : (int, int) Hashtbl.t;
     closed_tbl : (int, closed) Hashtbl.t;
-    (* Share cache in policy output order, with the task states resolved
-       once per reshare so the hot advance loop never touches the
-       hashtable. Only consulted when not dirty — every entry is then
-       alive and ids are distinct. *)
-    mutable shares : (int * task_state * F.t) list;
     mutable dirty : bool;
     metrics : M.t;
   }
 
+  let initial_slots = 64
+
   (** [create ~capacity ~policy ()]. [record_segments] (default [true])
       keeps per-task rate histories; switch it off for long-lived
-      high-throughput processes where the history is unbounded. *)
-  let create ?(record_segments = true) ~capacity ~policy () =
+      high-throughput processes where the history is unbounded (on the
+      float field this also enables the allocation-free advance
+      kernel). [kinetic], when given, replaces the list-policy call on
+      each reshare with the incremental rule — it must be bit-identical
+      to [policy], which remains the replay/documentation source of
+      truth. *)
+  let create ?(record_segments = true) ?kinetic ~capacity ~policy () =
     if F.sign capacity <= 0 then invalid_arg "Engine.create: capacity must be positive";
+    let n = initial_slots in
     {
       capacity;
       policy;
+      kinetic;
       record_segments;
-      now = F.zero;
-      alive = Hashtbl.create 64;
-      alive_entries = [];
+      now_cell = Array.make 1 F.zero;
+      c_volume = Array.make n F.zero;
+      c_weight = Array.make n F.zero;
+      c_cap = Array.make n F.zero;
+      c_submitted = Array.make n F.zero;
+      c_remaining = Array.make n F.zero;
+      c_share = Array.make n F.zero;
+      c_new_share = Array.make n F.zero;
+      c_changes = Array.make n 0;
+      c_segments = Array.make n [];
+      c_id = Array.make n 0;
+      used = 0;
+      free = Array.make n 0;
+      nfree = 0;
+      by_id = Array.make n 0;
+      nalive = 0;
+      order = Array.make n 0;
+      norder = 0;
+      scratch_done = Array.make n 0;
+      fscratch = Array.make 2 F.zero;
+      iscratch = Array.make 2 0;
+      slot_of_id = Hashtbl.create 64;
       closed_tbl = Hashtbl.create 64;
-      shares = [];
       dirty = false;
       metrics = M.create ();
     }
 
+  (* ---------- store plumbing ---------- *)
+
+  let grow_columns t =
+    let old = Array.length t.c_volume in
+    let n = 2 * old in
+    let g z a = let b = Array.make n z in Array.blit a 0 b 0 old; b in
+    t.c_volume <- g F.zero t.c_volume;
+    t.c_weight <- g F.zero t.c_weight;
+    t.c_cap <- g F.zero t.c_cap;
+    t.c_submitted <- g F.zero t.c_submitted;
+    t.c_remaining <- g F.zero t.c_remaining;
+    t.c_share <- g F.zero t.c_share;
+    t.c_new_share <- g F.zero t.c_new_share;
+    t.c_changes <- g 0 t.c_changes;
+    t.c_segments <- g [] t.c_segments;
+    t.c_id <- g 0 t.c_id;
+    t.free <- g 0 t.free;
+    t.by_id <- g 0 t.by_id;
+    if Array.length t.order < n then begin
+      t.order <- g 0 t.order;
+      t.scratch_done <- g 0 t.scratch_done
+    end
+
+  let alloc_slot t =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      t.free.(t.nfree)
+    end
+    else begin
+      if t.used = Array.length t.c_volume then grow_columns t;
+      let s = t.used in
+      t.used <- t.used + 1;
+      s
+    end
+
+  (* A pathological list policy may emit more entries than there are
+     alive tasks (duplicate ids); the order/scratch arrays track that
+     length, not the slot count. *)
+  let ensure_order_capacity t n =
+    if Array.length t.order < n then begin
+      let m = Stdlib.max n (2 * Array.length t.order) in
+      t.order <- Array.make m 0;
+      t.scratch_done <- Array.make m 0
+    end
+
+  (* by_id is sorted by external id (ids are unique while alive), so
+     membership maintenance is binary search + blit. *)
+  let insert_by_id t slot id =
+    let lo = ref 0 and hi = ref t.nalive in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.c_id.(t.by_id.(mid)) < id then lo := mid + 1 else hi := mid
+    done;
+    let pos = !lo in
+    Array.blit t.by_id pos t.by_id (pos + 1) (t.nalive - pos);
+    t.by_id.(pos) <- slot;
+    t.nalive <- t.nalive + 1
+
+  let remove_by_id t id =
+    let lo = ref 0 and hi = ref (t.nalive - 1) in
+    let pos = ref (-1) in
+    while !pos < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = t.c_id.(t.by_id.(mid)) in
+      if v = id then pos := mid else if v < id then lo := mid + 1 else hi := mid - 1
+    done;
+    let pos = !pos in
+    Array.blit t.by_id (pos + 1) t.by_id pos (t.nalive - 1 - pos);
+    t.nalive <- t.nalive - 1
+
   (* ---------- accessors ---------- *)
 
-  let now t = t.now
+  let now t = t.now_cell.(0)
   let capacity t = t.capacity
-  let alive_count t = Hashtbl.length t.alive
+  let alive_count t = t.nalive
   let completed_count t = t.metrics.M.completed
   let cancelled_count t = t.metrics.M.cancelled
-  let alive_ids t = List.map fst t.alive_entries
+
+  let alive_ids t =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (t.c_id.(t.by_id.(i)) :: acc) in
+    go (t.nalive - 1) []
+
   let metrics t = t.metrics
   let weighted_completion t = t.metrics.M.weighted_completion
   let weighted_flow t = t.metrics.M.weighted_flow
 
   let remaining t id =
-    match Hashtbl.find_opt t.alive id with Some ts -> Some ts.ts_remaining | None -> None
+    match Hashtbl.find_opt t.slot_of_id id with
+    | Some s -> Some t.c_remaining.(s)
+    | None -> None
 
   let find_closed t id = Hashtbl.find_opt t.closed_tbl id
 
@@ -145,21 +284,21 @@ module Make (F : Mwct_field.Field.S) = struct
       (closed t)
 
   let metrics_json ?events_per_sec t =
-    M.to_json ?events_per_sec ~alive:(alive_count t) ~now:t.now t.metrics
+    M.to_json ?events_per_sec ~alive:(alive_count t) ~now:(now t) t.metrics
 
   (** Deterministic textual fingerprint of the whole state (exact
       [repr] renderings): equal strings iff equal states. Shares are
       excluded — they are a cache, recomputed lazily. *)
   let dump t =
     let b = Buffer.create 256 in
-    Buffer.add_string b (Printf.sprintf "now=%s capacity=%s\n" (F.repr t.now) (F.repr t.capacity));
-    List.iter
-      (fun (id, ts) ->
-        Buffer.add_string b
-          (Printf.sprintf "alive id=%d rem=%s w=%s cap=%s submitted=%s changes=%d\n" id
-             (F.repr ts.ts_remaining) (F.repr ts.ts_weight) (F.repr ts.ts_cap)
-             (F.repr ts.ts_submitted_at) ts.ts_share_changes))
-      t.alive_entries;
+    Buffer.add_string b (Printf.sprintf "now=%s capacity=%s\n" (F.repr (now t)) (F.repr t.capacity));
+    for i = 0 to t.nalive - 1 do
+      let s = t.by_id.(i) in
+      Buffer.add_string b
+        (Printf.sprintf "alive id=%d rem=%s w=%s cap=%s submitted=%s changes=%d\n" t.c_id.(s)
+           (F.repr t.c_remaining.(s)) (F.repr t.c_weight.(s)) (F.repr t.c_cap.(s))
+           (F.repr t.c_submitted.(s)) t.c_changes.(s))
+    done;
     List.iter
       (fun (id, c) ->
         Buffer.add_string b
@@ -180,102 +319,147 @@ module Make (F : Mwct_field.Field.S) = struct
   (* ---------- share cache ---------- *)
 
   (* Views in increasing id order — the same order the batch simulator
-     fed its policy, and deterministic across runs. *)
+     fed its policy, and deterministic across runs. The kinetic rule
+     fills the staging column directly; the list policy goes through
+     the id indirection once per reshare. Either way the commit sweep
+     below is the single place share changes are counted. *)
   let recompute_if_dirty t =
     if t.dirty then begin
-      let views =
-        List.map
-          (fun (id, ts) -> { id; weight = ts.ts_weight; cap = ts.ts_cap })
-          t.alive_entries
-      in
-      let raw = t.policy ~capacity:t.capacity views in
-      let shares =
-        List.filter_map
+      (match t.kinetic with
+      | Some k ->
+        k.k_shares ~capacity:t.capacity ~n:t.nalive ~by_id:t.by_id ~share:t.c_new_share
+          ~order:t.order;
+        t.norder <- t.nalive
+      | None ->
+        let views = ref [] in
+        for i = t.nalive - 1 downto 0 do
+          let s = t.by_id.(i) in
+          views := { id = t.c_id.(s); weight = t.c_weight.(s); cap = t.c_cap.(s) } :: !views
+        done;
+        let raw = t.policy ~capacity:t.capacity !views in
+        ensure_order_capacity t (List.length raw);
+        let n = ref 0 in
+        List.iter
           (fun (id, s) ->
-            match Hashtbl.find_opt t.alive id with
-            | None -> None (* policy named a dead task; drop it *)
-            | Some ts ->
-              if not (F.equal ts.ts_share s) then begin
-                ts.ts_share <- s;
-                ts.ts_share_changes <- ts.ts_share_changes + 1;
-                t.metrics.M.alloc_changes <- t.metrics.M.alloc_changes + 1
-              end;
-              Some (id, ts, s))
-          raw
-      in
-      t.shares <- shares;
+            match Hashtbl.find_opt t.slot_of_id id with
+            | None -> () (* policy named a dead task; drop it *)
+            | Some slot ->
+              t.c_new_share.(slot) <- s;
+              t.order.(!n) <- slot;
+              incr n)
+          raw;
+        t.norder <- !n);
+      for i = 0 to t.norder - 1 do
+        let s = t.order.(i) in
+        let ns = t.c_new_share.(s) in
+        if not (F.equal t.c_share.(s) ns) then begin
+          t.c_share.(s) <- ns;
+          t.c_changes.(s) <- t.c_changes.(s) + 1;
+          t.metrics.M.alloc_changes <- t.metrics.M.alloc_changes + 1
+        end
+      done;
       t.metrics.M.reshares <- t.metrics.M.reshares + 1;
       t.dirty <- false
     end
 
   (* ---------- closing tasks ---------- *)
 
-  let remove_alive t id =
-    Hashtbl.remove t.alive id;
-    t.alive_entries <- List.filter (fun (i, _) -> i <> id) t.alive_entries
-
-  let close t id (ts : task_state) outcome =
-    remove_alive t id;
+  let close t slot outcome =
+    let id = t.c_id.(slot) in
+    let nowv = t.now_cell.(0) in
+    let w = t.c_weight.(slot) in
     Hashtbl.replace t.closed_tbl id
       {
-        volume = ts.ts_volume;
-        weight = ts.ts_weight;
-        cap = ts.ts_cap;
-        submitted_at = ts.ts_submitted_at;
-        closed_at = t.now;
+        volume = t.c_volume.(slot);
+        weight = w;
+        cap = t.c_cap.(slot);
+        submitted_at = t.c_submitted.(slot);
+        closed_at = nowv;
         outcome;
-        segments = List.rev ts.ts_segments;
-        share_changes = ts.ts_share_changes;
+        segments = List.rev t.c_segments.(slot);
+        share_changes = t.c_changes.(slot);
       };
+    remove_by_id t id;
+    Hashtbl.remove t.slot_of_id id;
+    (match t.kinetic with Some k -> k.k_remove ~slot | None -> ());
+    t.c_segments.(slot) <- [];
+    t.free.(t.nfree) <- slot;
+    t.nfree <- t.nfree + 1;
     t.dirty <- true;
     match outcome with
     | Completed ->
       t.metrics.M.completed <- t.metrics.M.completed + 1;
-      t.metrics.M.weighted_completion <-
-        F.add t.metrics.M.weighted_completion (F.mul ts.ts_weight t.now);
+      t.metrics.M.weighted_completion <- F.add t.metrics.M.weighted_completion (F.mul w nowv);
       t.metrics.M.weighted_flow <-
-        F.add t.metrics.M.weighted_flow (F.mul ts.ts_weight (F.sub t.now ts.ts_submitted_at))
+        F.add t.metrics.M.weighted_flow (F.mul w (F.sub nowv t.c_submitted.(slot)))
     | Cancelled -> t.metrics.M.cancelled <- t.metrics.M.cancelled + 1
 
   (* ---------- the time-stepping core ---------- *)
+
+  (* Rate histories coalesce adjacent segments with the same share, so
+     a task resharing to an identical rate keeps one segment — the
+     piecewise-constant function is unchanged, only its representation
+     is minimal. *)
+  let push_segment t slot t0 t1 s =
+    match t.c_segments.(slot) with
+    | (u0, u1, s') :: rest when F.equal u1 t0 && F.equal s' s ->
+      t.c_segments.(slot) <- (u0, t1, s) :: rest
+    | l -> t.c_segments.(slot) <- (t0, t1, s) :: l
 
   (* Earliest absolute completion estimate over the cached shares —
      first-min over the policy's output order, exactly like the batch
      loop (the min value is order-independent; fold order only matters
      for which task the estimate belongs to, which we never use). *)
   let next_completion t =
-    List.fold_left
-      (fun acc (_, ts, s) ->
-        if F.sign s > 0 then begin
-          let eta = F.add t.now (F.div ts.ts_remaining s) in
-          match acc with Some best when F.compare best eta <= 0 -> acc | _ -> Some eta
-        end
-        else acc)
-      None t.shares
+    let nowv = t.now_cell.(0) in
+    let best = ref None in
+    for i = 0 to t.norder - 1 do
+      let slot = t.order.(i) in
+      let s = t.c_share.(slot) in
+      if F.sign s > 0 then begin
+        let eta = F.add_div nowv t.c_remaining.(slot) s in
+        match !best with
+        | Some b when F.compare b eta <= 0 -> ()
+        | _ -> best := Some eta
+      end
+    done;
+    !best
 
   (* Advance every positively-shared task to absolute time [t_next],
      recording segments; then sweep the share list for completions
      ([leq_approx], matching the batch simulator's tolerance). Returns
      the completions in share-list order. *)
   let advance_and_sweep t t_next =
-    let dt = F.sub t_next t.now in
+    let nowv = t.now_cell.(0) in
+    let dt = F.sub t_next nowv in
     if F.sign dt > 0 then
-      List.iter
-        (fun (_, ts, s) ->
-          if F.sign s > 0 then begin
-            if t.record_segments then ts.ts_segments <- (t.now, t_next, s) :: ts.ts_segments;
-            ts.ts_remaining <- F.sub ts.ts_remaining (F.mul s dt)
-          end)
-        t.shares;
-    t.now <- t_next;
+      for i = 0 to t.norder - 1 do
+        let slot = t.order.(i) in
+        let s = t.c_share.(slot) in
+        if F.sign s > 0 then begin
+          if t.record_segments then push_segment t slot nowv t_next s;
+          t.c_remaining.(slot) <- F.sub_mul t.c_remaining.(slot) s dt
+        end
+      done;
+    t.now_cell.(0) <- t_next;
+    let ndone = ref 0 in
+    for i = 0 to t.norder - 1 do
+      let slot = t.order.(i) in
+      if F.sign t.c_share.(slot) > 0 && F.leq_approx t.c_remaining.(slot) F.zero then begin
+        t.scratch_done.(!ndone) <- slot;
+        incr ndone
+      end
+    done;
     let completed = ref [] in
-    List.iter
-      (fun (id, ts, s) ->
-        if F.sign s > 0 && F.leq_approx ts.ts_remaining F.zero then begin
-          close t id ts Completed;
-          completed := { id; at = t.now } :: !completed
-        end)
-      t.shares;
+    let at = t.now_cell.(0) in
+    for k = 0 to !ndone - 1 do
+      let slot = t.scratch_done.(k) in
+      let id = t.c_id.(slot) in
+      if Hashtbl.mem t.slot_of_id id then begin
+        close t slot Completed;
+        completed := { id; at } :: !completed
+      end
+    done;
     List.rev !completed
 
   (* Floating-point residue can leave [remaining] a few ulps above zero
@@ -284,13 +468,12 @@ module Make (F : Mwct_field.Field.S) = struct
      budget bounds pathological non-convergence. *)
   let no_progress_budget = 64
 
-  (** Advance to absolute time [target], processing every completion on
-      the way. The engine lands exactly at [target] (absolute times are
-      assigned, not accumulated, so [advance_to] after [advance_to]
-      reproduces the batch simulator's arithmetic bit for bit). *)
-  let advance_to t target : (notification list, error) result =
-    if F.compare target t.now < 0 then
-      Error (Invalid (Printf.sprintf "advance into the past (target %s < now %s)" (F.to_string target) (F.to_string t.now)))
+  let advance_to_generic t target : (notification list, error) result =
+    if F.compare target (now t) < 0 then
+      Error
+        (Invalid
+           (Printf.sprintf "advance into the past (target %s < now %s)" (F.to_string target)
+              (F.to_string (now t))))
     else begin
       let notes = ref [] in
       let stall = ref 0 in
@@ -317,14 +500,11 @@ module Make (F : Mwct_field.Field.S) = struct
       match !err with Some e -> Error e | None -> Ok (List.rev !notes)
     end
 
-  (** Run the alive set to completion. Fails with [Invalid "deadlock"]
-      when alive tasks remain but none has a positive share (a policy
-      that starves everything). *)
-  let drain t : (notification list, error) result =
+  let drain_generic t : (notification list, error) result =
     let notes = ref [] in
     let stall = ref 0 in
     let err = ref None in
-    while Hashtbl.length t.alive > 0 && !err = None do
+    while t.nalive > 0 && !err = None do
       recompute_if_dirty t;
       match next_completion t with
       | None -> err := Some (Invalid "deadlock: alive tasks but no positive share")
@@ -340,45 +520,204 @@ module Make (F : Mwct_field.Field.S) = struct
     done;
     match !err with Some e -> Error e | None -> Ok (List.rev !notes)
 
+  (* ---------- float fast path ---------- *)
+
+  (* Monomorphic advance loop for [F.t = float], recovered through the
+     field witness. Selected only with [record_segments = false] (the
+     generic loop keeps the history bookkeeping): one step is then two
+     branch-light sweeps over flat float columns with all intermediates
+     unboxed — registers live in [fscratch]/[iscratch] cells rather
+     than local refs so no boxing survives even without flambda — and a
+     steady-state [Advance] (no completions, clean cache) allocates
+     nothing on the minor heap.
+
+     Arithmetic is kept literally the generic loop's: [Float.compare]
+     first-min, [eta = now +. rem /. s] ([add_div]), [rem -. s *. dt]
+     ([sub_mul]; OCaml never contracts to an FMA), completion when
+     [rem <= 0. +. epsilon] ([leq_approx] against zero) — so the two
+     paths are bit-identical, which the cross-engine journal tests pin.
+     The tolerance is {!Mwct_field.Field.Float_field.epsilon}: the
+     float witness has a single inhabitant in this library. *)
+
+  type fops = {
+    f_advance_rel : t -> F.t -> (notification list, error) result;
+    f_advance_abs : t -> F.t -> (notification list, error) result;
+    f_drain : t -> (notification list, error) result;
+  }
+
+  let float_ops : fops option =
+    match F.witness with
+    | Mwct_field.Field.Any -> None
+    | Mwct_field.Field.Float ->
+      (* In this branch [F.t = float]: every column is a flat float
+         array and the code below compiles monomorphically. *)
+      let eps_zero = 0. +. Mwct_field.Field.Float_field.epsilon in
+      (* One step: first-min eta scan, then either land on the target
+         (code 1) or advance to the eta; volume sweep; completion scan
+         into [scratch_done]. Returns [(ndone lsl 2) lor code] with
+         code 0 = stepped, 1 = landed, 2 = deadlock (drain only). *)
+      let f_step (t : t) (has_target : bool) : int =
+        let order = t.order and share = t.c_share and remaining = t.c_remaining in
+        let n = t.norder in
+        let nowv = t.now_cell.(0) in
+        t.iscratch.(0) <- 0;
+        t.fscratch.(1) <- 0.;
+        for i = 0 to n - 1 do
+          let slot = Array.unsafe_get order i in
+          let s = Array.unsafe_get share slot in
+          if s > 0. then begin
+            let eta = nowv +. (Array.unsafe_get remaining slot /. s) in
+            if t.iscratch.(0) = 0 || Float.compare t.fscratch.(1) eta > 0 then begin
+              t.fscratch.(1) <- eta;
+              t.iscratch.(0) <- 1
+            end
+          end
+        done;
+        let seen = t.iscratch.(0) = 1 in
+        if (not has_target) && not seen then 2
+        else begin
+          let best = t.fscratch.(1) in
+          let landed =
+            has_target && not (seen && Float.compare best t.fscratch.(0) <= 0)
+          in
+          let step_to = if landed then t.fscratch.(0) else best in
+          let dt = step_to -. nowv in
+          if dt > 0. then
+            for i = 0 to n - 1 do
+              let slot = Array.unsafe_get order i in
+              let s = Array.unsafe_get share slot in
+              if s > 0. then
+                Array.unsafe_set remaining slot (Array.unsafe_get remaining slot -. (s *. dt))
+            done;
+          t.now_cell.(0) <- step_to;
+          t.iscratch.(1) <- 0;
+          for i = 0 to n - 1 do
+            let slot = Array.unsafe_get order i in
+            if
+              Array.unsafe_get share slot > 0.
+              && Array.unsafe_get remaining slot <= eps_zero
+            then begin
+              t.scratch_done.(t.iscratch.(1)) <- slot;
+              t.iscratch.(1) <- t.iscratch.(1) + 1
+            end
+          done;
+          (t.iscratch.(1) lsl 2) lor (if landed then 1 else 0)
+        end
+      in
+      let finish acc : (notification list, error) result =
+        match acc with [] -> Ok [] | l -> Ok (List.rev l)
+      in
+      let rec run (t : t) (has_target : bool) acc stall =
+        if (not has_target) && t.nalive = 0 then finish acc
+        else begin
+          recompute_if_dirty t;
+          let r = f_step t has_target in
+          let code = r land 3 and ndone = r lsr 2 in
+          if code = 2 then Error (Invalid "deadlock: alive tasks but no positive share")
+          else begin
+            let acc =
+              if ndone = 0 then acc
+              else begin
+                let at = t.now_cell.(0) in
+                let acc = ref acc in
+                for k = 0 to ndone - 1 do
+                  let slot = t.scratch_done.(k) in
+                  let id = t.c_id.(slot) in
+                  if Hashtbl.mem t.slot_of_id id then begin
+                    close t slot Completed;
+                    acc := { id; at } :: !acc
+                  end
+                done;
+                !acc
+              end
+            in
+            if code = 1 then finish acc
+            else begin
+              let stall = if ndone = 0 then stall + 1 else 0 in
+              if stall > no_progress_budget then
+                Error (Invalid "no progress: completion estimate does not converge")
+              else run t has_target acc stall
+            end
+          end
+        end
+      in
+      (* [start] reads the absolute target from [t.fscratch.(0)] rather
+         than taking it as an argument: without flambda a float argument
+         to a non-inlined call is boxed, and this is the per-event hot
+         path that must not allocate. *)
+      let start (t : t) =
+        let nowv = t.now_cell.(0) in
+        if Float.compare t.fscratch.(0) nowv < 0 then
+          Error
+            (Invalid
+               (Printf.sprintf "advance into the past (target %s < now %s)"
+                  (F.to_string t.fscratch.(0)) (F.to_string nowv)))
+        else run t true [] 0
+      in
+      Some
+        {
+          f_advance_rel =
+            (fun t dt ->
+              t.fscratch.(0) <- t.now_cell.(0) +. dt;
+              start t);
+          f_advance_abs =
+            (fun t target ->
+              t.fscratch.(0) <- target;
+              start t);
+          f_drain = (fun t -> run t false [] 0);
+        }
+
+  (** Advance to absolute time [target], processing every completion on
+      the way. The engine lands exactly at [target] (absolute times are
+      assigned, not accumulated, so [advance_to] after [advance_to]
+      reproduces the batch simulator's arithmetic bit for bit). *)
+  let advance_to t target : (notification list, error) result =
+    match float_ops with
+    | Some ops when not t.record_segments -> ops.f_advance_abs t target
+    | _ -> advance_to_generic t target
+
+  (** Run the alive set to completion. Fails with [Invalid "deadlock"]
+      when alive tasks remain but none has a positive share (a policy
+      that starves everything). *)
+  let drain t : (notification list, error) result =
+    match float_ops with
+    | Some ops when not t.record_segments -> ops.f_drain t
+    | _ -> drain_generic t
+
   (* ---------- input events ---------- *)
 
-  let insert_sorted id ts entries =
-    let rec go = function
-      | [] -> [ (id, ts) ]
-      | ((x, _) :: rest as l) -> if id < x then (id, ts) :: l else List.hd l :: go rest
-    in
-    go entries
-
   let submit t ~id ~volume ~weight ~cap : (unit, error) result =
-    if Hashtbl.mem t.alive id || Hashtbl.mem t.closed_tbl id then Error (Duplicate_task id)
-    else if F.sign volume <= 0 then Error (Invalid (Printf.sprintf "task %d: volume must be positive" id))
-    else if F.sign weight <= 0 then Error (Invalid (Printf.sprintf "task %d: weight must be positive" id))
+    if Hashtbl.mem t.slot_of_id id || Hashtbl.mem t.closed_tbl id then Error (Duplicate_task id)
+    else if F.sign volume <= 0 then
+      Error (Invalid (Printf.sprintf "task %d: volume must be positive" id))
+    else if F.sign weight <= 0 then
+      Error (Invalid (Printf.sprintf "task %d: weight must be positive" id))
     else if F.sign cap <= 0 then Error (Invalid (Printf.sprintf "task %d: cap must be positive" id))
     else begin
-      let ts =
-        {
-          ts_volume = volume;
-          ts_weight = weight;
-          ts_cap = cap;
-          ts_submitted_at = t.now;
-          ts_remaining = volume;
-          ts_share = F.zero;
-          ts_segments = [];
-          ts_share_changes = 0;
-        }
-      in
-      Hashtbl.replace t.alive id ts;
-      t.alive_entries <- insert_sorted id ts t.alive_entries;
+      let slot = alloc_slot t in
+      t.c_volume.(slot) <- volume;
+      t.c_weight.(slot) <- weight;
+      t.c_cap.(slot) <- cap;
+      t.c_submitted.(slot) <- t.now_cell.(0);
+      t.c_remaining.(slot) <- volume;
+      t.c_share.(slot) <- F.zero;
+      t.c_new_share.(slot) <- F.zero;
+      t.c_changes.(slot) <- 0;
+      t.c_segments.(slot) <- [];
+      t.c_id.(slot) <- id;
+      Hashtbl.replace t.slot_of_id id slot;
+      insert_by_id t slot id;
+      (match t.kinetic with Some k -> k.k_add ~slot ~id ~weight ~cap | None -> ());
       t.dirty <- true;
       t.metrics.M.submitted <- t.metrics.M.submitted + 1;
       Ok ()
     end
 
   let cancel t id : (unit, error) result =
-    match Hashtbl.find_opt t.alive id with
+    match Hashtbl.find_opt t.slot_of_id id with
     | None -> Error (Unknown_task id)
-    | Some ts ->
-      close t id ts Cancelled;
+    | Some slot ->
+      close t slot Cancelled;
       Ok ()
 
   (** Apply one input event; the returned notifications are the
@@ -392,7 +731,11 @@ module Make (F : Mwct_field.Field.S) = struct
       | Cancel id -> Result.map (fun () -> []) (cancel t id)
       | Advance dt ->
         if F.sign dt < 0 then Error (Invalid "advance: negative dt")
-        else advance_to t (F.add t.now dt)
+        else begin
+          match float_ops with
+          | Some ops when not t.record_segments -> ops.f_advance_rel t dt
+          | _ -> advance_to_generic t (F.add (now t) dt)
+        end
       | Drain -> drain t
     in
     (match r with Ok _ -> t.metrics.M.events <- t.metrics.M.events + 1 | Error _ -> ());

@@ -17,6 +17,15 @@ module Make (F : Mwct_field.Field.S) = struct
     mutable alloc_changes : int;  (** individual per-task share changes *)
     mutable weighted_completion : F.t;  (** [Σ w_i C_i] over completed tasks *)
     mutable weighted_flow : F.t;  (** [Σ w_i (C_i − submit_i)] over completed tasks *)
+    (* Snapshot memo, keyed on the event counter plus the remaining
+       counters (the direct engine API can mutate state between event
+       bumps): polling [to_json] on an idle engine costs a string
+       reuse, not a rebuild. [snap_state = None] means "no snapshot
+       cached". *)
+    mutable snap_state : t option;
+    mutable snap_alive : int;
+    mutable snap_now : F.t;
+    mutable snap : string;
   }
 
   let create () =
@@ -29,9 +38,14 @@ module Make (F : Mwct_field.Field.S) = struct
       alloc_changes = 0;
       weighted_completion = F.zero;
       weighted_flow = F.zero;
+      snap_state = None;
+      snap_alive = 0;
+      snap_now = F.zero;
+      snap = "";
     }
 
-  let copy (m : t) = { m with events = m.events }
+  (* Copies drop the memo so snapshot chains never retain each other. *)
+  let copy (m : t) = { m with snap_state = None; snap = "" }
 
   let equal (a : t) (b : t) =
     a.events = b.events && a.submitted = b.submitted && a.completed = b.completed
@@ -56,6 +70,17 @@ module Make (F : Mwct_field.Field.S) = struct
       are gauges owned by the engine; [events_per_sec] is wall-clock
       derived and only included when the caller measured it. *)
   let to_json ?events_per_sec ~alive ~now (m : t) : string =
+    (* Wall-clock gauges bypass the memo (they vary at a fixed counter
+       state); everything else in the snapshot is a pure function of
+       the counters and the [alive]/[now] gauges compared here. *)
+    let memo_valid =
+      events_per_sec = None
+      && (match m.snap_state with
+         | Some s -> equal m s && alive = m.snap_alive && F.equal now m.snap_now
+         | None -> false)
+    in
+    if memo_valid then m.snap
+    else begin
     let fields =
       [
         ("type", "\"metrics\"");
@@ -75,5 +100,15 @@ module Make (F : Mwct_field.Field.S) = struct
       ]
       @ (match events_per_sec with None -> [] | Some r -> [ ("events_per_sec", json_num r) ])
     in
-    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
+    let s =
+      "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
+    in
+    if events_per_sec = None then begin
+      m.snap_state <- Some (copy m);
+      m.snap_alive <- alive;
+      m.snap_now <- now;
+      m.snap <- s
+    end;
+    s
+    end
 end

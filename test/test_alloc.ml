@@ -1,0 +1,185 @@
+(* Allocation budget for the engine's float hot path, and differential
+   tests for the incremental (kinetic) WDEQ frontier: a persistent
+   [Policy.Incremental] state driven through random add/remove streams
+   with engine-style slot reuse must reproduce the one-shot list kernel
+   and the core reference fixpoint after every mutation, on both
+   fields. *)
+
+module Rng = Mwct_util.Rng
+module FF = Mwct_field.Field.Float_field
+module QF = Mwct_rational.Rational.Rat_field
+module Q = Mwct_rational.Rational
+
+(* ---------- zero-allocation steady-state Advance (float) ---------- *)
+
+module En = Mwct_runtime.Engine.Make (FF)
+module PF = Mwct_ncv.Policy.Make (FF)
+
+(* In steady state (no completions, no reshares pending) an [Advance]
+   on the float engine with [record_segments:false] must not allocate:
+   the sweep runs entirely on the struct-of-arrays columns. The window
+   is measured against an identically-shaped empty window so the float
+   boxes allocated by [Gc.minor_words] itself cancel out. *)
+let test_advance_zero_alloc () =
+  let eng =
+    En.create ~record_segments:false
+      ?kinetic:(PF.engine_kinetic PF.Wdeq)
+      ~capacity:64. ~policy:(PF.engine_policy PF.Wdeq) ()
+  in
+  for i = 0 to 49 do
+    match En.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2. with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (En.error_to_string e)
+  done;
+  let ev = En.Advance 0.25 in
+  let apply () =
+    match En.apply eng ev with
+    | Ok [] -> ()
+    | Ok _ -> Alcotest.fail "unexpected completion (volumes are effectively infinite)"
+    | Error e -> Alcotest.fail (En.error_to_string e)
+  in
+  (* Warm up: the first advance commits the pending reshare. *)
+  for _ = 1 to 8 do
+    apply ()
+  done;
+  let iters = 1000 in
+  let b0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    ()
+  done;
+  let b1 = Gc.minor_words () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    apply ()
+  done;
+  let w1 = Gc.minor_words () in
+  let delta = w1 -. w0 -. (b1 -. b0) in
+  if delta >= float_of_int iters then
+    Alcotest.failf "steady-state Advance allocates: %.0f minor words over %d advances" delta iters
+
+(* ---------- incremental frontier vs list kernel vs reference ---------- *)
+
+module DH (F : Mwct_field.Field.S) = struct
+  module P = Mwct_ncv.Policy.Make (F)
+  module E = Mwct_core.Engine.Make (F)
+
+  (* Drive one persistent [Incremental.state] through [rounds] rounds
+     of random adds/removes (slots reused through a free list, exactly
+     as the engine does) and check the reshare after every round:
+     - [shares_into] output (order and values) = [P.shares] on the same
+       views in ascending-id order, bit-for-bit ([F.equal]);
+     - the one-shot [shares_incremental] wrapper agrees likewise;
+     - values match the core [shares_reference] fixpoint up to [eq]
+       (exact on rationals, 1e-9 on floats, as in test_kernels). *)
+  let check_stream ~eq ~use_weights ~seed ~rounds =
+    let pol = if use_weights then P.Wdeq else P.Deq in
+    let st = P.Incremental.create ~use_weights () in
+    let rng = Rng.create seed in
+    let capacity = F.of_q (1 + Rng.int rng 16) 1 in
+    let alive = ref [] (* (slot, view), unordered *)
+    and free = ref []
+    and used = ref 0
+    and next_id = ref 0 in
+    let ok = ref true in
+    let check () =
+      let by_id_views =
+        List.sort (fun (_, (a : P.view)) (_, b) -> Stdlib.compare a.P.id b.P.id) !alive
+      in
+      let views = List.map snd by_id_views in
+      let n = List.length views in
+      let by_id = Array.of_list (List.map fst by_id_views) in
+      (* [share] is slot-indexed (slots can exceed [n] once the free
+         list recycles); [order] is position-indexed. *)
+      let share = Array.make (Stdlib.max !used 1) F.zero in
+      let order = Array.make (Stdlib.max n 1) 0 in
+      P.Incremental.shares_into st ~capacity ~n ~by_id ~share ~order;
+      let id_of_slot s = (snd (List.find (fun (sl, _) -> sl = s) !alive)).P.id in
+      let got = List.init n (fun k -> (id_of_slot order.(k), share.(order.(k)))) in
+      let expected = P.shares pol ~capacity views in
+      let same_list a b =
+        List.length a = List.length b
+        && List.for_all2 (fun (i, x) (j, y) -> i = j && F.equal x y) a b
+      in
+      if not (same_list got expected) then ok := false;
+      (match P.shares_incremental pol ~capacity views with
+      | Some l -> if not (same_list l expected) then ok := false
+      | None -> ok := false);
+      let sorted = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) in
+      let reference =
+        sorted
+          (E.Wdeq.shares_reference ~p:capacity
+             (List.map
+                (fun (v : P.view) -> (v.P.id, (if use_weights then v.P.weight else F.one), v.P.cap))
+                views))
+      in
+      let got_sorted = sorted got in
+      if
+        not
+          (List.length got_sorted = List.length reference
+          && List.for_all2 (fun (i, x) (j, y) -> i = j && eq x y) got_sorted reference)
+      then ok := false
+    in
+    for _ = 1 to rounds do
+      for _ = 1 to 1 + Rng.int rng 3 do
+        let slot =
+          match !free with
+          | s :: rest ->
+            free := rest;
+            s
+          | [] ->
+            let s = !used in
+            incr used;
+            s
+        in
+        let v =
+          {
+            P.id = !next_id;
+            weight = F.of_q (1 + Rng.int rng 10) 2;
+            cap = F.of_q (1 + Rng.int rng 24) 4;
+          }
+        in
+        incr next_id;
+        P.Incremental.add st ~slot ~id:v.P.id ~weight:v.P.weight ~cap:v.P.cap;
+        alive := (slot, v) :: !alive
+      done;
+      if Rng.int rng 3 = 0 then begin
+        match !alive with
+        | [] -> ()
+        | l ->
+          let k = Rng.int rng (List.length l) in
+          let slot, _ = List.nth l k in
+          P.Incremental.remove st ~slot;
+          alive := List.filter (fun (s, _) -> s <> slot) l;
+          free := slot :: !free
+      end;
+      check ()
+    done;
+    !ok
+end
+
+module DF = DH (FF)
+module DQ = DH (QF)
+
+let prop_incremental_float =
+  QCheck2.Test.make ~count:100 ~name:"incremental WDEQ/DEQ = list kernel = reference (float)"
+    ~print:string_of_int
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      DF.check_stream
+        ~eq:(fun a b -> Float.abs (a -. b) < 1e-9)
+        ~use_weights:(seed mod 2 = 0) ~seed ~rounds:25)
+
+let prop_incremental_exact =
+  QCheck2.Test.make ~count:40 ~name:"incremental WDEQ/DEQ = list kernel = reference (exact)"
+    ~print:string_of_int
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      DQ.check_stream ~eq:Q.Rat_field.equal ~use_weights:(seed mod 2 = 0) ~seed ~rounds:12)
+
+let () =
+  let p = QCheck_alcotest.to_alcotest in
+  Alcotest.run "alloc"
+    [
+      ("advance-budget", [ Alcotest.test_case "steady-state Advance is allocation-free" `Quick test_advance_zero_alloc ]);
+      ("incremental-frontier", [ p prop_incremental_float; p prop_incremental_exact ]);
+    ]

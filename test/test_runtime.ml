@@ -14,7 +14,9 @@ module H (F : Mwct_field.Field.S) = struct
   module Sim = Mwct_ncv.Simulator.Make (F)
 
   let wdeq_policy = Sim.P.engine_policy Sim.P.Wdeq
-  let fresh (inst : E.Types.instance) = En.create ~capacity:inst.E.Types.procs ~policy:wdeq_policy ()
+
+  let fresh ?record_segments ?kinetic (inst : E.Types.instance) =
+    En.create ?record_segments ?kinetic ~capacity:inst.E.Types.procs ~policy:wdeq_policy ()
 
   let ok = function Ok x -> x | Error e -> Alcotest.fail (En.error_to_string e)
 
@@ -40,9 +42,9 @@ module H (F : Mwct_field.Field.S) = struct
      cancels, then a drain), journaling every applied event. Rejected
      events never enter the journal. Returns the entries and the final
      state fingerprint. *)
-  let random_stream ~seed (inst : E.Types.instance) =
+  let random_stream ?record_segments ?kinetic ~seed (inst : E.Types.instance) =
     let rng = Rng.create seed in
-    let eng = fresh inst in
+    let eng = fresh ?record_segments ?kinetic inst in
     let entries = ref [ J.Init { capacity = inst.E.Types.procs; policy = "wdeq" } ] in
     let push e = entries := e :: !entries in
     let apply ev =
@@ -92,6 +94,32 @@ module H (F : Mwct_field.Field.S) = struct
     match J.replay ~resolve reparsed with
     | Error msg -> Alcotest.failf "replay: %s" msg
     | Ok eng -> Alcotest.(check string) "replayed state identical" dump (En.dump eng)
+
+  let journal_lines entries = List.map (fun (seq, e) -> J.to_line ~seq e) entries
+
+  (* Kinetic (incremental WDEQ) engine vs the list-policy engine on the
+     same event stream: journal bytes and state fingerprints must be
+     identical — the incremental frontier is a pure representation
+     change. *)
+  let check_kinetic_identity ~seed inst =
+    let e1, d1 = random_stream ~seed inst in
+    let e2, d2 = random_stream ?kinetic:(Sim.P.engine_kinetic Sim.P.Wdeq) ~seed inst in
+    List.iter2
+      (fun a b -> Alcotest.(check string) "kinetic journal line" a b)
+      (journal_lines e1) (journal_lines e2);
+    Alcotest.(check string) "kinetic dump" d1 d2
+
+  (* [record_segments:false] (on the float field: the monomorphic
+     advance kernel) against the default generic path: decisions must
+     be byte-identical; only the closed-task histories differ. *)
+  let check_nosegments_identity ~seed inst =
+    let e1, _ = random_stream ~seed inst in
+    let e2, _ =
+      random_stream ~record_segments:false ?kinetic:(Sim.P.engine_kinetic Sim.P.Wdeq) ~seed inst
+    in
+    List.iter2
+      (fun a b -> Alcotest.(check string) "no-segments journal line" a b)
+      (journal_lines e1) (journal_lines e2)
 end
 
 module HF = H (Mwct_field.Field.Float_field)
@@ -157,6 +185,44 @@ let prop_replay_roundtrip_exact =
     (fun spec ->
       let inst = Support.qinst spec in
       HQ.check_roundtrip (HQ.random_stream ~seed:(Hashtbl.hash spec) inst);
+      true)
+
+(* ---------- cross-engine bit-identity (kinetic / fast path) ---------- *)
+
+let prop_kinetic_identity_float =
+  QCheck2.Test.make ~count:80 ~name:"kinetic engine = list engine (float)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:8 `Uniform)
+    (fun spec ->
+      let inst = Support.finst spec in
+      HF.check_kinetic_identity ~seed:(Hashtbl.hash spec) inst;
+      true)
+
+let prop_kinetic_identity_exact =
+  QCheck2.Test.make ~count:40 ~name:"kinetic engine = list engine (exact)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:5 `Mixed)
+    (fun spec ->
+      let inst = Support.qinst spec in
+      HQ.check_kinetic_identity ~seed:(Hashtbl.hash spec) inst;
+      true)
+
+let prop_nosegments_identity_float =
+  QCheck2.Test.make ~count:80 ~name:"no-segments fast path = generic path (float)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:8 `Uniform)
+    (fun spec ->
+      let inst = Support.finst spec in
+      HF.check_nosegments_identity ~seed:(Hashtbl.hash spec) inst;
+      true)
+
+let prop_nosegments_identity_exact =
+  QCheck2.Test.make ~count:30 ~name:"no-segments path = generic path (exact)"
+    ~print:Support.print_spec
+    (Support.gen_spec ~max_n:5 `Mixed)
+    (fun spec ->
+      let inst = Support.qinst spec in
+      HQ.check_nosegments_identity ~seed:(Hashtbl.hash spec) inst;
       true)
 
 (* ---------- errors ---------- *)
@@ -231,6 +297,13 @@ let () =
           p prop_replay_roundtrip_float;
           p prop_replay_roundtrip_exact;
           Alcotest.test_case "replay rejects corruption" `Quick test_replay_rejects_corruption;
+        ] );
+      ( "bit-identity",
+        [
+          p prop_kinetic_identity_float;
+          p prop_kinetic_identity_exact;
+          p prop_nosegments_identity_float;
+          p prop_nosegments_identity_exact;
         ] );
       ( "errors",
         [
