@@ -18,6 +18,10 @@
    simulate wall time at n=5000, serve event throughput, and minor
    words allocated per steady-state Advance (BENCH_4.json).
 
+   Part 5 prices the generalized rate model: batch WDEQ on the same
+   linear workload through the float fast path and through the generic
+   concave path (identity speedup curves), BENCH_5.json.
+
    `--quick` is the CI smoke mode: experiments are skipped, the
    bechamel quota is cut, and the throughput run is shortened — every
    BENCH_*.json is still produced. `--min-events-per-sec F` turns the
@@ -420,6 +424,7 @@ let engine_throughput ~rounds ~alive_target =
            volume = 0.5 +. (float_of_int (Rng.int_in rng 0 64) /. 16.);
            weight = float_of_int (1 + Rng.int_in rng 0 10);
            cap = float_of_int (1 + Rng.int_in rng 0 4);
+           speedup = None;
          })
   in
   while EnF.alive_count eng < alive_target do
@@ -517,7 +522,7 @@ let advance_minor_words () =
       ~policy:(PF.engine_policy PF.Wdeq) ()
   in
   for i = 0 to 49 do
-    match EnF.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2. with
+    match EnF.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2. () with
     | Ok () -> ()
     | Error e -> failwith (EnF.error_to_string e)
   done;
@@ -569,6 +574,67 @@ let run_data_plane ~events_per_sec =
   close_out oc;
   Printf.printf "\nWrote data-plane results to BENCH_4.json\n"
 
+(* ---------- part 5: generalized rate model (BENCH_5.json) ---------- *)
+
+(* The same linear workload twice through batch WDEQ: once as plain
+   linear tasks (dispatching to the monomorphic float kernel) and once
+   with every task wearing the identity speedup curve s(a) = a as a
+   single breakpoint (delta, delta) — the same rate law semantically,
+   but [has_curves] routes it through the generic concave reference
+   path. The ratio prices the generality seam, and the fast-path row
+   doubles as a regression guard: the pre-refactor kernel numbers must
+   survive the rate-model generalization. *)
+let identity_curved (inst : EF.Types.instance) : EF.Types.instance =
+  {
+    inst with
+    EF.Types.tasks =
+      Array.map
+        (fun (t : EF.Types.task) ->
+          {
+            t with
+            EF.Types.speedup =
+              EF.Types.Curve { bx = [| t.EF.Types.delta |]; by = [| t.EF.Types.delta |] };
+          })
+        inst.EF.Types.tasks;
+  }
+
+let run_speedup_bench ~quick =
+  let n = if quick then 500 else 2000 in
+  let inst = instance_of_size n in
+  let curved = identity_curved inst in
+  let time f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let fast_s = time (fun () -> EF.Wdeq.wdeq inst) in
+  let generic_s = time (fun () -> EF.Wdeq.wdeq curved) in
+  let ratio = if fast_s > 0. then generic_s /. fast_s else nan in
+  print_endline "================================================================";
+  print_endline " Generalized rate model: generic concave path vs fast path (BENCH_5.json)";
+  print_endline "================================================================";
+  Printf.printf
+    "  wdeq n=%d linear law: fast path %.4fs, identity-curve generic path %.4fs (x%.2f)\n" n
+    fast_s generic_s ratio;
+  let oc = open_out "BENCH_5.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"generalized rate model: WDEQ on the linear law, float fast path vs identity-curve generic path\",\n\
+    \  \"tasks\": %d,\n\
+    \  \"fast_path_s\": %.6f,\n\
+    \  \"generic_path_s\": %.6f,\n\
+    \  \"generic_over_fast\": %.3f\n\
+     }\n"
+    n fast_s generic_s ratio;
+  close_out oc;
+  Printf.printf "\nWrote rate-model results to BENCH_5.json\n"
+
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
@@ -587,6 +653,7 @@ let () =
   emit_json "BENCH_2.json" registry_rows;
   let events_per_sec = run_throughput ~quick in
   run_data_plane ~events_per_sec;
+  run_speedup_bench ~quick;
   match floor with
   | Some f when events_per_sec < f ->
     Printf.eprintf "FAIL: engine throughput %.0f events/s is below the floor %.0f events/s\n"

@@ -90,6 +90,18 @@ struct
         Printf.eprintf "error: unknown algorithm %S\n" algo;
         exit exit_bad_input
     in
+    if not (Dr.supports solver inst) then begin
+      Printf.eprintf
+        "error: algorithm %S supports only the linear rate model; this instance has speedup \
+         curves (try one of: %s)\n"
+        algo
+        (String.concat ", "
+           (List.filter_map
+              (fun (i : Solver.info) ->
+                if Solver.info_has_cap Solver.General_speedup i then Some i.Solver.name else None)
+              Solver.infos));
+      exit exit_bad_input
+    end;
     let r = Dr.run ~exact:D.exact_check solver inst in
     if json then print_string (Dr.to_json ~engine:D.engine r)
     else begin
@@ -221,7 +233,9 @@ let bounds_cmd =
     Printf.printf "height bound H(I)  = %.6f\n" (E.Lower_bounds.height_bound inst);
     Printf.printf "optimal makespan   = %.6f\n" (E.Makespan.optimal inst);
     let n = Spec.num_tasks spec in
-    if n <= 7 then begin
+    if E.Instance.has_curves inst then
+      print_string "optimal sum w.C    = (skipped: LP enumeration is linear-rate-model only)\n"
+    else if n <= 7 then begin
       let opt = Solver.Float.objective "optimal" inst in
       Printf.printf "optimal sum w.C    = %.6f\n" opt
     end
@@ -239,6 +253,14 @@ let render_cmd =
   let run file algo svg =
     let spec = load_spec file in
     let inst = E.Instance.of_spec spec in
+    if E.Instance.has_curves inst then begin
+      (* normalize/integerize assume rate = allocation; the Gantt wrap
+         is meaningless under a speedup curve *)
+      Printf.eprintf
+        "error: render requires the linear rate model (the WF normal form and the McNaughton \
+         wrap assume rate = allocation); this instance has speedup curves\n";
+      exit exit_bad_input
+    end;
     let schedule = fst (Solver.Float.solve_exn algo inst) in
     let normal = E.Water_filling.normalize schedule in
     print_string (E.Render.columns_to_ascii normal);
@@ -453,10 +475,35 @@ struct
       match parts with
       | [] -> ()
       | cmd :: _ when String.length cmd > 0 && cmd.[0] = '#' -> ()
-      | [ "submit"; id; v; w; c ] -> (
-        match (int_of_string_opt id, num v, num w, num c) with
-        | Some id, Some volume, Some weight, Some cap ->
-          handle_event (En.Submit { id; volume; weight; cap })
+      | "submit" :: id :: v :: w :: c :: bps -> (
+        (* Optional trailing breakpoints "x1:y1 x2:y2 ..." select the
+           concave speedup law; none means linear (rate = share). *)
+        let speedup =
+          if bps = [] then Ok None
+          else
+            let parse_bp p =
+              match String.index_opt p ':' with
+              | None -> None
+              | Some i -> (
+                match
+                  ( num (String.sub p 0 i),
+                    num (String.sub p (i + 1) (String.length p - i - 1)) )
+                with
+                | Some x, Some y -> Some (x, y)
+                | _ -> None)
+            in
+            match List.map parse_bp bps with
+            | pairs when List.for_all Option.is_some pairs ->
+              let pairs = List.filter_map Fun.id pairs in
+              Ok
+                (Some
+                   ( Array.of_list (List.map fst pairs),
+                     Array.of_list (List.map snd pairs) ))
+            | _ -> Error ()
+        in
+        match (int_of_string_opt id, num v, num w, num c, speedup) with
+        | Some id, Some volume, Some weight, Some cap, Ok speedup ->
+          handle_event (En.Submit { id; volume; weight; cap; speedup })
         | _ -> print_endline (error_json ("submit: bad arguments: " ^ line)))
       | [ "cancel"; id ] -> (
         match int_of_string_opt id with

@@ -94,6 +94,7 @@ let () =
              volume = inst.E.Types.tasks.(i).E.Types.volume;
              weight = inst.E.Types.tasks.(i).E.Types.weight;
              cap = E.Instance.effective_delta inst i;
+             speedup = E.Instance.speedup_arrays inst i;
            }))
     releases;
   apply En.Drain;

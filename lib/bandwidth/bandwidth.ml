@@ -28,7 +28,13 @@ module Make (F : Mwct_field.Field.S) = struct
       E.Types.procs = sc.server_capacity;
       E.Types.tasks =
         Array.map
-          (fun wk -> { E.Types.volume = wk.code_size; E.Types.weight = wk.rate; E.Types.delta = wk.bandwidth })
+          (fun wk ->
+            {
+              E.Types.volume = wk.code_size;
+              E.Types.weight = wk.rate;
+              E.Types.delta = wk.bandwidth;
+              E.Types.speedup = E.Types.Linear_delta;
+            })
           sc.workers;
     }
 

@@ -16,9 +16,14 @@ type family =
   | Delta_full
   | Near_tie
   | Tiny_den
+  | Concave_curves
+  | Capacity_tight
 
 let all_families =
-  [ Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den ]
+  [
+    Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den;
+    Concave_curves; Capacity_tight;
+  ]
 
 let family_name = function
   | Uniform -> "uniform"
@@ -30,10 +35,35 @@ let family_name = function
   | Delta_full -> "delta-full"
   | Near_tie -> "near-tie"
   | Tiny_den -> "tiny-den"
+  | Concave_curves -> "concave-curves"
+  | Capacity_tight -> "capacity-tight"
 
 let family_of_string s = List.find_opt (fun f -> family_name f = s) all_families
 
 type draw = int -> int -> int
+
+(* A random valid concave speedup for a task of parallelism [delta]:
+   strictly increasing integer allocations ending at [delta], per-piece
+   slopes drawn as non-increasing sixteenths with the first in
+   [(0, 1]] — every {!Spec} curve constraint (positivity, monotone
+   non-decreasing rate, concavity, first slope <= 1, last breakpoint at
+   delta) holds by construction. *)
+let curve (draw : draw) ~delta =
+  let sden = 16 in
+  let xs =
+    if delta <= 1 then [ delta ]
+    else begin
+      let cuts = List.init (draw 0 2) (fun _ -> draw 1 (delta - 1)) in
+      List.sort_uniq compare (delta :: cuts)
+    end
+  in
+  let rec go px yd slope acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let yd = yd + (slope * (x - px)) in
+      go x yd (draw 0 slope) ((Spec.rat x 1, Spec.rat yd sden) :: acc) rest
+  in
+  go 0 0 (draw 1 sden) [] xs
 
 let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
   let p = max 1 procs in
@@ -76,6 +106,20 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
         ~weight:(Spec.rat (draw 1 4) (draw 1 4))
         ~delta:(draw 1 p)
         ()
+    | Concave_curves ->
+      (* Mostly curved tasks (2/3), the rest linear — mixed-model
+         instances stress the generic/fast-path dispatch seams. *)
+      let delta = draw 2 (max 2 p) in
+      let speedup = if draw 0 2 > 0 then curve draw ~delta else [] in
+      Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~speedup ~delta ()
+    | Capacity_tight ->
+      (* Per-task capacities at or below delta, so the clamp binds;
+         half the tasks also carry a curve, exercising breakpoint
+         truncation in [Instance.of_spec]. *)
+      let delta = draw 2 (max 2 p) in
+      let capacity = draw 1 delta in
+      let speedup = if draw 0 1 = 1 then curve draw ~delta else [] in
+      Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~speedup ~capacity ~delta ()
   in
   Spec.make ~procs:p (List.init (max 1 n) (fun _ -> task ()))
 
@@ -123,15 +167,29 @@ let shrink (s : Spec.t) : Spec.t Seq.t =
            List.to_seq (f (List.nth tasks i))
            |> Seq.map (fun t -> mk (List.mapi (fun j tj -> if j = i then t else tj) tasks))))
   in
-  let deltas =
+  (* Rate-model simplifications run before the numeric ones: a curved
+     counterexample that survives linearization is a linear bug wearing
+     a costume, and dropping the capacity clause is the analogous move
+     for the clamp. *)
+  let linearize =
+    per_task (fun t -> if t.Spec.speedup = [] then [] else [ { t with Spec.speedup = [] } ])
+  in
+  let uncap =
     per_task (fun t ->
-        if t.Spec.delta > 2 then [ { t with Spec.delta = 1 }; { t with Spec.delta = t.Spec.delta / 2 } ]
+        match t.Spec.capacity with None -> [] | Some _ -> [ { t with Spec.capacity = None } ])
+  in
+  let deltas =
+    (* The last curve breakpoint must sit at delta, so delta shrinking
+       applies to linear tasks only (linearize runs first). *)
+    per_task (fun t ->
+        if t.Spec.speedup <> [] then []
+        else if t.Spec.delta > 2 then [ { t with Spec.delta = 1 }; { t with Spec.delta = t.Spec.delta / 2 } ]
         else if t.Spec.delta = 2 then [ { t with Spec.delta = 1 } ]
         else [])
   in
   let volumes = per_task (fun t -> List.map (fun v -> { t with Spec.volume = v }) (rat_candidates t.Spec.volume)) in
   let weights = per_task (fun t -> List.map (fun w -> { t with Spec.weight = w }) (rat_candidates t.Spec.weight)) in
-  Seq.concat (List.to_seq [ remove; procs_smaller; deltas; volumes; weights ])
+  Seq.concat (List.to_seq [ remove; linearize; uncap; procs_smaller; deltas; volumes; weights ])
 
 let minimize ?(max_steps = 400) ~failing (spec : Spec.t) : Spec.t =
   let rec first_failing seq =

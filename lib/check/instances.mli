@@ -26,6 +26,14 @@ type family =
   | Tiny_den  (** volumes/weights with denominators in [[1, 4]] — not
                   dyadic, so the float engine rounds (cross-field
                   stress) *)
+  | Concave_curves
+      (** generalized rate model: most tasks carry a random valid
+          concave speedup curve (non-increasing sixteenth slopes),
+          the rest stay linear *)
+  | Capacity_tight
+      (** per-task [capacity] clauses at or below [δ] (the clamp
+          binds), half the tasks also curved — exercises breakpoint
+          truncation in [Instance.of_spec] *)
 
 val all_families : family list
 
@@ -48,8 +56,10 @@ val sample_sized : draw -> procs:int -> n:int -> ?den:int -> family -> Spec.t
 val sample : draw -> ?max_procs:int -> ?max_n:int -> ?den:int -> family -> Spec.t
 
 (** Structural shrink candidates of a spec, most aggressive first:
-    remove one task (never below one), halve or decrement [procs],
-    lower a task's [δ] (to 1, or halved), and round a volume or weight
+    remove one task (never below one), replace a curve by the linear
+    law, drop a [capacity] clause, halve or decrement [procs], lower a
+    task's [δ] (to 1, or halved — linear tasks only, since a curve's
+    last breakpoint is pinned to [δ]), and round a volume or weight
     toward [1] (first to the nearest integer, then to [1] itself).
     Every candidate is strictly smaller under a fixed measure, so
     repeated shrinking terminates. *)

@@ -108,6 +108,16 @@ struct
      fuzzed spec in the same differential run. *)
   let counting_skip = Skip "sharp counting bound checked on the exact engine (float ties drift)"
 
+  (* Theorems 3/4/9/10/11 and Lemma 3 are stated for the paper's linear
+     rate law; their pipelines (normalize, integerize, the Lemma-2
+     volume split, the LP) assume rate = allocation. Model-independent
+     oracles (coherence, bounds) run on curved instances unchanged —
+     the generalized validity checker and the A(I)/H(I) bounds hold for
+     any concave speedup with first slope <= 1. *)
+  let curved sv = E.Instance.has_curves sv.inst
+
+  let curved_skip = Skip "linear-rate-model theorem (instance has speedup curves)"
+
   (* Comparisons with a relative slack on the float engine, strict on
      the exact one — the same convention as the historical suites. *)
   let tol = if C.exact then F.zero else F.of_q 1 1_000_000
@@ -160,7 +170,8 @@ struct
     { info = thm3_info;
       check =
         (fun sv ->
-          if fragile_float sv then fragile_skip
+          if curved sv then curved_skip
+          else if fragile_float sv then fragile_skip
           else begin
           let is, wrap = E.Integerize.of_columns sv.schedule in
           match E.Integerize.check_floor_ceil sv.schedule is with
@@ -204,7 +215,8 @@ struct
     { info = lemma3_info;
       check =
         (fun sv ->
-          if fragile_float sv then fragile_skip
+          if curved sv then curved_skip
+          else if fragile_float sv then fragile_skip
           else begin
           let s = normal_form sv in
           let heights = E.Water_filling.column_heights s in
@@ -240,7 +252,8 @@ struct
     { info = thm9_info;
       check =
         (fun sv ->
-          if not C.exact then counting_skip
+          if curved sv then curved_skip
+          else if not C.exact then counting_skip
           else if List.mem Slv.Non_clairvoyant sv.solver.S.info.Slv.caps then
             Skip "n-change bound applies to offline completion-time vectors"
           else begin
@@ -267,7 +280,8 @@ struct
     { info = thm10_info;
       check =
         (fun sv ->
-          if not C.exact then counting_skip
+          if curved sv then curved_skip
+          else if not C.exact then counting_skip
           else if List.mem Slv.Non_clairvoyant sv.solver.S.info.Slv.caps then
             Skip "3n bound applies to offline completion-time vectors"
           else begin
@@ -297,6 +311,7 @@ struct
       check =
         (fun sv ->
           if name_of sv <> "wdeq" then Skip "WDEQ-only oracle"
+          else if curved sv then curved_skip
           else begin
             match sv.meta.S.wdeq_diagnostics with
             | None -> Skip "solver reported no WDEQ diagnostics"
@@ -339,6 +354,7 @@ struct
       check =
         (fun sv ->
           if name_of sv <> "best-greedy" then Skip "best-greedy-only oracle"
+          else if curved sv then curved_skip
           else begin
             let tasks = sv.inst.E.Types.tasks in
             let homogeneous =

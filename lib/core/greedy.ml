@@ -23,14 +23,19 @@ module Make (F : Mwct_field.Field.S) = struct
 
   let initial_profile (inst : instance) : profile = [ (F.zero, inst.procs) ]
 
-  (* Rate of one task piecewise over the profile, and its completion
-     time. Returns the rate segments [(t0, t1, rate)] with positive
-     rate and the completion time. *)
-  let place (profile : profile) ~delta ~volume =
+  (* Allocation of one task piecewise over the profile, and its
+     completion time. Returns the allocation segments [(t0, t1, alloc)]
+     with positive allocation and the completion time. [?speedup] is
+     the task's rate law: progress accrues at [s(alloc)] — the
+     allocation itself under the linear law ([None]), so the linear
+     arithmetic is the historical one bit-for-bit. *)
+  let place ?speedup (profile : profile) ~delta ~volume =
+    let rate_of alloc = match speedup with None -> alloc | Some c -> I.curve_rate c alloc in
     let rec go acc remaining = function
       | [] -> invalid_arg "Greedy.place: profile exhausted (broken invariant)"
       | (t0, avail) :: rest ->
-        let rate = F.min delta avail in
+        let alloc = F.min delta avail in
+        let rate = rate_of alloc in
         let seg_end = match rest with (t1, _) :: _ -> Some t1 | [] -> None in
         let finish_here =
           (* Time to finish the remaining volume at [rate], if it fits
@@ -45,12 +50,12 @@ module Make (F : Mwct_field.Field.S) = struct
         in
         match finish_here with
         | Some t_fin ->
-          let acc = if F.sign rate > 0 then (t0, t_fin, rate) :: acc else acc in
+          let acc = if F.sign alloc > 0 then (t0, t_fin, alloc) :: acc else acc in
           (List.rev acc, t_fin)
         | None ->
           let t1 = match seg_end with Some t1 -> t1 | None -> assert false in
           let processed = F.mul rate (F.sub t1 t0) in
-          let acc = if F.sign rate > 0 then (t0, t1, rate) :: acc else acc in
+          let acc = if F.sign alloc > 0 then (t0, t1, alloc) :: acc else acc in
           go acc (F.sub remaining processed) rest
     in
     go [] volume profile
@@ -109,7 +114,7 @@ module Make (F : Mwct_field.Field.S) = struct
       (fun i ->
         let delta = I.effective_delta inst i in
         let volume = inst.tasks.(i).volume in
-        let segs, fin = place !profile ~delta ~volume in
+        let segs, fin = place ?speedup:(I.speedup_arrays inst i) !profile ~delta ~volume in
         task_segs.(i) <- segs;
         completion.(i) <- fin;
         profile := consume !profile segs)

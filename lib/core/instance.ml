@@ -7,7 +7,58 @@ module Make (F : Mwct_field.Field.S) = struct
 
   let of_rat (r : Spec.rat) = F.of_q r.Spec.num r.Spec.den
 
-  (** Convert a field-neutral spec into a field instance. *)
+  (* Evaluate a raw breakpoint curve (through the origin, constant
+     beyond the last breakpoint) at allocation [a]. Linear scan:
+     curves have a handful of pieces. *)
+  let eval_curve (bx : num array) (by : num array) (a : num) : num =
+    let last = Array.length bx - 1 in
+    if F.sign a <= 0 then F.zero
+    else if F.compare a bx.(last) >= 0 then by.(last)
+    else begin
+      let j = ref 0 in
+      while F.compare a bx.(!j) > 0 do
+        incr j
+      done;
+      let j = !j in
+      let px = if j = 0 then F.zero else bx.(j - 1) in
+      let py = if j = 0 then F.zero else by.(j - 1) in
+      if F.compare a px = 0 then py
+      else F.add py (F.div (F.mul (F.sub a px) (F.sub by.(j) py)) (F.sub bx.(j) px))
+    end
+
+  (* Minimal allocation achieving rate [r] on the curve ([r] clamped to
+     the achievable range). Flat segments invert to their left
+     endpoint. *)
+  let invert_curve (bx : num array) (by : num array) (r : num) : num =
+    let last = Array.length bx - 1 in
+    if F.sign r <= 0 then F.zero
+    else if F.compare r by.(last) >= 0 then
+      (* minimal allocation for the saturated rate: scan back over any
+         flat tail *)
+      begin
+        let j = ref last in
+        while !j > 0 && F.compare by.(!j - 1) by.(last) >= 0 do
+          decr j
+        done;
+        bx.(!j)
+      end
+    else begin
+      let j = ref 0 in
+      while F.compare r by.(!j) > 0 do
+        incr j
+      done;
+      let j = !j in
+      let px = if j = 0 then F.zero else bx.(j - 1) in
+      let py = if j = 0 then F.zero else by.(j - 1) in
+      if F.compare r py <= 0 then px
+      else F.add px (F.div (F.mul (F.sub r py) (F.sub bx.(j) px)) (F.sub by.(j) py))
+    end
+
+  (** Convert a field-neutral spec into a field instance. Per-task
+      [capacity] clauses are folded into the rate model here: a linear
+      task's delta is clamped to the capacity; a curve is truncated at
+      the capacity (the new saturation allocation is the capacity, at
+      the curve's rate there). *)
   let of_spec (s : Spec.t) : instance =
     (match Spec.validate s with Ok () -> () | Error msg -> invalid_arg ("Instance.of_spec: " ^ msg));
     {
@@ -15,32 +66,106 @@ module Make (F : Mwct_field.Field.S) = struct
       tasks =
         Array.map
           (fun (tk : Spec.task) ->
-            { volume = of_rat tk.Spec.volume; weight = of_rat tk.Spec.weight; delta = F.of_int tk.Spec.delta })
+            let delta = F.of_int tk.Spec.delta in
+            let capped =
+              match tk.Spec.capacity with Some c -> F.min delta (F.of_int c) | None -> delta
+            in
+            let speedup =
+              match tk.Spec.speedup with
+              | [] -> Linear_delta
+              | pairs ->
+                let bx = Array.of_list (List.map (fun (x, _) -> of_rat x) pairs) in
+                let by = Array.of_list (List.map (fun (_, y) -> of_rat y) pairs) in
+                if F.compare capped bx.(Array.length bx - 1) >= 0 then Curve { bx; by }
+                else begin
+                  (* truncate at the capacity *)
+                  let keep = ref 0 in
+                  while F.compare bx.(!keep) capped < 0 do
+                    incr keep
+                  done;
+                  let k = !keep in
+                  let bx' = Array.append (Array.sub bx 0 k) [| capped |] in
+                  let by' = Array.append (Array.sub by 0 k) [| eval_curve bx by capped |] in
+                  Curve { bx = bx'; by = by' }
+                end
+            in
+            { volume = of_rat tk.Spec.volume; weight = of_rat tk.Spec.weight; delta = capped; speedup })
           s.Spec.tasks;
     }
 
   (** Build directly from field values (weights default to 1). *)
   let make ~procs tasks : instance = { procs; tasks = Array.of_list tasks }
 
-  let task ?weight ~volume ~delta () =
+  let task ?weight ?(speedup = Linear_delta) ~volume ~delta () =
     let weight = match weight with Some w -> w | None -> F.one in
-    { volume; weight; delta }
+    { volume; weight; delta; speedup }
 
   let num_tasks (i : instance) = Array.length i.tasks
 
+  (** True iff any task has a non-linear rate law. *)
+  let has_curves (i : instance) =
+    Array.exists (fun t -> match t.speedup with Linear_delta -> false | Curve _ -> true) i.tasks
+
   (** Structural validity over the field: everything strictly positive,
-      [δ_i >= 1]. Deltas above [P] are allowed (they behave as [P]). *)
+      [δ_i >= 1]. Deltas above [P] are allowed (they behave as [P]).
+      Speedup curves must satisfy the {!Types.Make.speedup} invariants
+      (including the last breakpoint sitting at [delta]). *)
   let validate (i : instance) =
     if F.sign i.procs <= 0 then Error "procs must be positive"
     else begin
       let bad = ref None in
+      let fail k msg = bad := Some (Printf.sprintf "task %d: %s" k msg) in
+      let check_curve k bx by delta =
+        let n = Array.length bx in
+        if n = 0 || Array.length by <> n then fail k "speedup breakpoint arrays must match and be non-empty"
+        else if F.compare bx.(n - 1) delta <> 0 then fail k "last speedup breakpoint must equal delta"
+        else begin
+          let px = ref F.zero and py = ref F.zero in
+          let pslope = ref None in
+          (try
+             for j = 0 to n - 1 do
+               if F.sign bx.(j) <= 0 || F.sign by.(j) <= 0 then begin
+                 fail k "speedup breakpoints must be positive";
+                 raise Exit
+               end;
+               if F.compare !px bx.(j) >= 0 then begin
+                 fail k "speedup allocations must be strictly increasing";
+                 raise Exit
+               end;
+               if F.compare !py by.(j) > 0 then begin
+                 fail k "speedup rate must be non-decreasing";
+                 raise Exit
+               end;
+               let dx = F.sub bx.(j) !px and dy = F.sub by.(j) !py in
+               (match !pslope with
+               | None ->
+                 if F.compare by.(j) bx.(j) > 0 then begin
+                   fail k "speedup rate cannot exceed allocation";
+                   raise Exit
+                 end
+               | Some (pdx, pdy) ->
+                 if F.compare (F.mul dy pdx) (F.mul pdy dx) > 0 then begin
+                   fail k "speedup must be concave";
+                   raise Exit
+                 end);
+               pslope := Some (dx, dy);
+               px := bx.(j);
+               py := by.(j)
+             done
+           with Exit -> ())
+        end
+      in
       Array.iteri
         (fun k t ->
           if Option.is_none !bad then
-            if F.sign t.volume <= 0 then bad := Some (Printf.sprintf "task %d: volume must be positive" k)
-            else if F.sign t.weight <= 0 then bad := Some (Printf.sprintf "task %d: weight must be positive" k)
-            else if F.compare t.delta F.one < 0 then
-              bad := Some (Printf.sprintf "task %d: delta must be >= 1" k))
+            if F.sign t.volume <= 0 then fail k "volume must be positive"
+            else if F.sign t.weight <= 0 then fail k "weight must be positive"
+            else if F.compare t.delta F.one < 0 then fail k "delta must be >= 1"
+            else begin
+              match t.speedup with
+              | Linear_delta -> ()
+              | Curve { bx; by } -> check_curve k bx by t.delta
+            end)
         i.tasks;
       match !bad with None -> Ok () | Some m -> Error m
     end
@@ -55,8 +180,36 @@ module Make (F : Mwct_field.Field.S) = struct
       than all processors. *)
   let effective_delta (i : instance) k = F.min i.tasks.(k).delta i.procs
 
-  (** The height [h_i = V_i / δ_i] of task [i] (Definition 6). *)
-  let height (i : instance) k = F.div i.tasks.(k).volume (effective_delta i k)
+  (** Progress rate of task [k] at allocation [a]. The linear law
+      returns [a] itself (allocations are clamped to
+      [effective_delta] by the schedulers); curves evaluate the
+      piecewise-linear speedup. *)
+  let rate_at (i : instance) k (a : num) : num =
+    match i.tasks.(k).speedup with Linear_delta -> a | Curve { bx; by } -> eval_curve bx by a
+
+  (** Minimal allocation giving task [k] rate [r] (clamped to the
+      achievable range). Inverse of {!rate_at}. *)
+  let inverse_rate (i : instance) k (r : num) : num =
+    match i.tasks.(k).speedup with Linear_delta -> r | Curve { bx; by } -> invert_curve bx by r
+
+  (** Highest rate task [k] can reach on this machine:
+      [rate_at (effective_delta k)]. Equals [effective_delta] under the
+      linear law. *)
+  let max_rate (i : instance) k = rate_at i k (effective_delta i k)
+
+  (** The speedup breakpoints of task [k] as arrays, or [None] for the
+      linear law — the runtime engine's submission format. *)
+  let speedup_arrays (i : instance) k : (num array * num array) option =
+    match i.tasks.(k).speedup with Linear_delta -> None | Curve { bx; by } -> Some (bx, by)
+
+  (** Evaluate a raw breakpoint curve (as returned by
+      {!speedup_arrays}) at allocation [a] — for code that carries the
+      arrays without the instance. *)
+  let curve_rate ((bx, by) : num array * num array) (a : num) : num = eval_curve bx by a
+
+  (** The height [h_i = V_i / s_i(min(δ_i, P))] of task [i]
+      (Definition 6; [V_i / min(δ_i, P)] under the linear law). *)
+  let height (i : instance) k = F.div i.tasks.(k).volume (max_rate i k)
 
   (** Smith ratio [V_i / w_i]; the squashed-area bound sorts by it. *)
   let smith_ratio (i : instance) k = F.div i.tasks.(k).volume i.tasks.(k).weight
@@ -72,7 +225,18 @@ module Make (F : Mwct_field.Field.S) = struct
   (** Render for logs. *)
   let to_string (i : instance) =
     let t_to_string t =
-      Printf.sprintf "(V=%s w=%s d=%s)" (F.to_string t.volume) (F.to_string t.weight) (F.to_string t.delta)
+      let s =
+        match t.speedup with
+        | Linear_delta -> ""
+        | Curve { bx; by } ->
+          " s="
+          ^ String.concat ","
+              (List.map2
+                 (fun x y -> F.to_string x ^ ":" ^ F.to_string y)
+                 (Array.to_list bx) (Array.to_list by))
+      in
+      Printf.sprintf "(V=%s w=%s d=%s%s)" (F.to_string t.volume) (F.to_string t.weight)
+        (F.to_string t.delta) s
     in
     Printf.sprintf "P=%s %s" (F.to_string i.procs)
       (String.concat " " (Array.to_list (Array.map t_to_string i.tasks)))

@@ -40,14 +40,18 @@ module Make (F : Mwct_field.Field.S) = struct
     in
     total
 
-  (** [H(I) = Σ_i w_i · V_i / δ_i]. *)
+  (** [H(I) = Σ_i w_i · h_i] with [h_i] the task's height
+      ({!Instance.Make.height}: [V_i / min(δ_i, P)] under the linear
+      law, [V_i / s_i(min(δ_i, P))] under a speedup curve) — every
+      task running alone still needs [h_i]. Routed through the one
+      accessor so the rate model has a single seam. *)
   let height_bound (inst : instance) =
     let n = I.num_tasks inst in
     let rec go acc i =
       if i >= n then acc
       else begin
         let t = inst.tasks.(i) in
-        go (F.add acc (F.mul t.weight (F.div t.volume (I.effective_delta inst i)))) (i + 1)
+        go (F.add acc (F.mul t.weight (I.height inst i))) (i + 1)
       end
     in
     go F.zero 0

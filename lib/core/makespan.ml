@@ -2,11 +2,20 @@
     (Table I row [Cmax]; Drozdowski's result, realized here through WF
     in [O(n log n)]).
 
-    With all release dates zero, the optimal makespan is the classical
-    lower bound [T* = max(Σ V_i / P, max_i V_i / δ_i)]: giving every
-    task the target completion time [T*] makes WF allocate each one a
-    constant [V_i / T*] processors, which is feasible precisely at
-    [T*]. *)
+    With all release dates zero and the linear rate law, the optimal
+    makespan is the classical lower bound
+    [T* = max(Σ V_i / P, max_i V_i / δ_i)]: giving every task the
+    target completion time [T*] makes WF allocate each one a constant
+    [V_i / T*] processors, which is feasible precisely at [T*].
+
+    Under concave speedup curves the same constant-allocation argument
+    holds (by concavity, a constant allocation dominates any
+    time-varying one with the same average), but the capacity condition
+    becomes [Σ_i s_i⁻¹(V_i / T) <= P]. The left side is a convex,
+    decreasing piecewise-linear function of [u = 1/T] in reverse — so
+    [T*] is found by a breakpoint sweep over
+    [g(u) = Σ_i s_i⁻¹(V_i · u)], whose kinks sit at [u = y_j / V_i]
+    for the curves' breakpoint rates [y_j]. *)
 
 module Make (F : Mwct_field.Field.S) = struct
   module T = Types.Make (F)
@@ -14,14 +23,83 @@ module Make (F : Mwct_field.Field.S) = struct
   module WF = Water_filling.Make (F)
   open T
 
-  (** The optimal makespan [T*]. *)
-  let optimal (inst : instance) : F.t =
+  (* Classical closed form: max(Σ V_i / P, max_i h_i). Exact for the
+     linear law. *)
+  let optimal_linear (inst : instance) : F.t =
     let n = I.num_tasks inst in
     let area = F.div (I.total_volume inst) inst.procs in
     let rec max_height acc i =
       if i >= n then acc else max_height (F.max acc (I.height inst i)) (i + 1)
     in
     max_height area 0
+
+  (* General concave case: solve [g(u) = Σ_i s_i⁻¹(V_i·u) = P] on
+     [u ∈ (0, 1/h_max]], where [h_max = max_i h_i] bounds the rate any
+     task can sustain. [g] is increasing, convex and piecewise linear
+     with kinks at [u = y_j / V_i], so a sweep over the sorted kink
+     candidates plus one linear interpolation is exact. *)
+  let optimal_curved (inst : instance) : F.t =
+    let n = I.num_tasks inst in
+    let rec max_height acc i =
+      if i >= n then acc else max_height (F.max acc (I.height inst i)) (i + 1)
+    in
+    let h_max = max_height F.zero 0 in
+    if F.sign h_max <= 0 then F.zero
+    else begin
+      let u_max = F.div F.one h_max in
+      let g u =
+        let rec go acc i =
+          if i >= n then acc
+          else begin
+            let v = inst.tasks.(i).volume in
+            let a = if F.sign v > 0 then I.inverse_rate inst i (F.mul v u) else F.zero in
+            go (F.add acc a) (i + 1)
+          end
+        in
+        go F.zero 0
+      in
+      if F.compare (g u_max) inst.procs <= 0 then h_max
+      else begin
+        (* Kink candidates of g strictly inside (0, u_max). *)
+        let cands = ref [] in
+        for i = 0 to n - 1 do
+          let v = inst.tasks.(i).volume in
+          if F.sign v > 0 then
+            match I.speedup_arrays inst i with
+            | None -> ()
+            | Some (_, by) ->
+              Array.iter
+                (fun y ->
+                  let u = F.div y v in
+                  if F.sign u > 0 && F.compare u u_max < 0 then cands := u :: !cands)
+                by
+        done;
+        let cands = List.sort_uniq F.compare (u_max :: !cands) in
+        (* Sweep: find the first candidate where g crosses P, then
+           interpolate on the (linear) stretch before it. *)
+        let rec sweep u_lo g_lo = function
+          | [] ->
+            (* g(u_max) > P was checked above, so a crossing exists. *)
+            assert false
+          | u_hi :: rest ->
+            let g_hi = g u_hi in
+            if F.compare g_hi inst.procs >= 0 then begin
+              let du = F.sub u_hi u_lo and dg = F.sub g_hi g_lo in
+              let u_star =
+                if F.sign dg <= 0 then u_hi
+                else F.add u_lo (F.div (F.mul (F.sub inst.procs g_lo) du) dg)
+              in
+              F.div F.one u_star
+            end
+            else sweep u_hi g_hi rest
+        in
+        sweep F.zero F.zero cands
+      end
+    end
+
+  (** The optimal makespan [T*]. *)
+  let optimal (inst : instance) : F.t =
+    if I.has_curves inst then optimal_curved inst else optimal_linear inst
 
   (** A schedule achieving [T*]: WF with every completion at [T*]. *)
   let schedule (inst : instance) : column_schedule =

@@ -1,6 +1,9 @@
-(** Optimal makespan (Table I row [Cmax]): with zero release dates,
+(** Optimal makespan (Table I row [Cmax]): with zero release dates and
+    the linear rate law,
     [T* = max(Σ V_i / P, max_i V_i / min(δ_i, P))], achieved by WF with
-    all completion times at [T*]. *)
+    all completion times at [T*]. Under concave speedup curves the
+    capacity condition becomes [Σ_i s_i⁻¹(V_i/T) <= P], solved exactly
+    by a breakpoint sweep. *)
 
 module Make (F : Mwct_field.Field.S) : sig
   (** The optimal makespan [T*]. *)

@@ -168,10 +168,13 @@ module Make (F : Mwct_field.Field.S) = struct
     let n = num_columns s in
     if n = 0 then F.zero else s.finish.(n - 1)
 
-  (** Volume processed for task [i] (should equal [V_i]). Scans every
+  (** Volume processed for task [i] (should equal [V_i]): columns store
+      allocations, so each contributes [s_i(d_{i,j})·l_j] — under the
+      linear law the allocation itself times the length. Scans every
       column; to total all tasks at once use {!processed_volumes}. *)
   let processed_volume (s : column_schedule) i =
-    O.sum_up_to (num_columns s) (fun j -> F.mul (alloc s i j) (column_length s j))
+    O.sum_up_to (num_columns s) (fun j ->
+        F.mul (I.rate_at s.instance i (alloc s i j)) (column_length s j))
 
   (** All processed volumes in one pass over the sparse columns. *)
   let processed_volumes (s : column_schedule) : num array =
@@ -179,12 +182,15 @@ module Make (F : Mwct_field.Field.S) = struct
     let v = Array.make n F.zero in
     for j = 0 to n - 1 do
       let len = column_length s j in
-      List.iter (fun (i, a) -> v.(i) <- F.add v.(i) (F.mul a len)) s.columns.(j)
+      List.iter
+        (fun (i, a) -> v.(i) <- F.add v.(i) (F.mul (I.rate_at s.instance i a) len))
+        s.columns.(j)
     done;
     v
 
   (** Total allocated area [Σ_i Σ_j d_{i,j}·l_j] (equals [Σ V_i] in a
-      valid schedule). *)
+      valid linear-law schedule; an upper bound on it under concave
+      speedup curves). *)
   let total_area (s : column_schedule) =
     O.sum_up_to (num_columns s) (fun j ->
         let len = column_length s j in
@@ -258,7 +264,9 @@ module Make (F : Mwct_field.Field.S) = struct
             if j > positions.(i) && F.sign a > 0 && not (eq a F.zero) then
               raise (Bad (Late_alloc (i, j)));
             col_total := F.add !col_total a;
-            volumes.(i) <- F.add volumes.(i) (F.mul a len))
+            (* Progress accrues at the task's rate law; under the
+               linear model the rate is the allocation itself. *)
+            volumes.(i) <- F.add volumes.(i) (F.mul (I.rate_at s.instance i a) len))
           s.columns.(j);
         (* A zero-length column carries no work; its allocations are
            irrelevant but we still bound them for hygiene. *)

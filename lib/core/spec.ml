@@ -1,6 +1,13 @@
 type rat = { num : int; den : int }
 
-type task = { volume : rat; weight : rat; delta : int }
+type task = {
+  volume : rat;
+  weight : rat;
+  delta : int;
+  speedup : (rat * rat) list;
+  capacity : int option;
+}
+
 type t = { procs : int; tasks : task array }
 
 let rat num den =
@@ -8,9 +15,55 @@ let rat num den =
   { num; den }
 
 let rat_of_int n = { num = n; den = 1 }
-let task ?(weight = rat_of_int 1) ~volume ~delta () = { volume; weight; delta }
+
+let task ?(weight = rat_of_int 1) ?(speedup = []) ?capacity ~volume ~delta () =
+  { volume; weight; delta; speedup; capacity }
+
 let make ~procs tasks = { procs; tasks = Array.of_list tasks }
 let num_tasks t = Array.length t.tasks
+let has_curves t = Array.exists (fun tk -> tk.speedup <> []) t.tasks
+
+(* Exact comparisons on small rationals (denominators are positive by
+   construction, so cross-multiplication preserves order). *)
+let rat_cmp a b = compare (a.num * b.den) (b.num * a.den)
+let rat_sub a b = { num = (a.num * b.den) - (b.num * a.den); den = a.den * b.den }
+let rat_mul a b = { num = a.num * b.num; den = a.den * b.den }
+
+(* A speedup breakpoint list is well-formed iff the allocations are
+   positive and strictly increasing, the rates positive and
+   non-decreasing, the segment slopes (with an implicit origin)
+   non-increasing, the first slope at most 1, and the last allocation
+   equals [delta] — so the curve's saturation point stays the task's
+   parallelism cap. *)
+let validate_speedup i ~delta pairs =
+  let fail msg = Error (Printf.sprintf "task %d: %s" i msg) in
+  let zero = rat_of_int 0 in
+  (* [prev] is the previous breakpoint (starting at the implicit
+     origin), [pslope] the previous segment's (dx, dy) when there is
+     one. *)
+  let rec go (px, py) pslope = function
+    | [] ->
+      if rat_cmp px (rat_of_int delta) <> 0 then fail "last speedup breakpoint must equal delta"
+      else Ok ()
+    | (x, y) :: rest ->
+      if x.den <= 0 || y.den <= 0 || rat_cmp x zero <= 0 || rat_cmp y zero <= 0 then
+        fail "speedup breakpoints must be positive"
+      else if rat_cmp px x >= 0 then fail "speedup allocations must be strictly increasing"
+      else if rat_cmp py y > 0 then fail "speedup rate must be non-decreasing"
+      else begin
+        let dx = rat_sub x px and dy = rat_sub y py in
+        match pslope with
+        | None ->
+          (* first segment leaves the origin: slope y/x must be <= 1 *)
+          if rat_cmp y x > 0 then fail "speedup rate cannot exceed allocation"
+          else go (x, y) (Some (dx, dy)) rest
+        | Some (pdx, pdy) ->
+          (* dy/dx <= pdy/pdx  <=>  dy·pdx <= pdy·dx  (dx, pdx > 0) *)
+          if rat_cmp (rat_mul dy pdx) (rat_mul pdy dx) > 0 then fail "speedup must be concave"
+          else go (x, y) (Some (dx, dy)) rest
+      end
+  in
+  match pairs with [] -> Ok () | _ -> go (zero, zero) None pairs
 
 let validate t =
   if t.procs < 1 then Error "procs must be >= 1"
@@ -20,7 +73,11 @@ let validate t =
       else if tk.weight.num <= 0 || tk.weight.den <= 0 then
         Error (Printf.sprintf "task %d: weight must be positive" i)
       else if tk.delta < 1 then Error (Printf.sprintf "task %d: delta must be >= 1" i)
-      else Ok ()
+      else begin
+        match tk.capacity with
+        | Some c when c < 1 -> Error (Printf.sprintf "task %d: capacity must be >= 1" i)
+        | _ -> validate_speedup i ~delta:tk.delta tk.speedup
+      end
     in
     let rec go i =
       if i >= Array.length t.tasks then Ok ()
@@ -35,7 +92,17 @@ let rat_to_string r = if r.den = 1 then string_of_int r.num else Printf.sprintf 
 
 let to_string t =
   let task_to_string tk =
-    Printf.sprintf "(V=%s w=%s d=%d)" (rat_to_string tk.volume) (rat_to_string tk.weight) tk.delta
+    let base =
+      Printf.sprintf "(V=%s w=%s d=%d" (rat_to_string tk.volume) (rat_to_string tk.weight) tk.delta
+    in
+    let speedup =
+      match tk.speedup with
+      | [] -> ""
+      | ps ->
+        " s=" ^ String.concat "," (List.map (fun (x, y) -> rat_to_string x ^ ":" ^ rat_to_string y) ps)
+    in
+    let cap = match tk.capacity with None -> "" | Some c -> Printf.sprintf " c=%d" c in
+    base ^ speedup ^ cap ^ ")"
   in
   Printf.sprintf "P=%d %s" t.procs (String.concat " " (Array.to_list (Array.map task_to_string t.tasks)))
 

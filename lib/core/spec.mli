@@ -13,6 +13,14 @@ type task = {
   volume : rat;  (** total work [V_i > 0] *)
   weight : rat;  (** objective weight [w_i > 0] *)
   delta : int;  (** parallelism cap [δ_i >= 1], in processors *)
+  speedup : (rat * rat) list;
+      (** concave piecewise-linear speedup breakpoints
+          [(allocation, rate)]; [[]] means the paper's linear law
+          [s(a) = a]. When non-empty the last allocation must equal
+          [delta] (the saturation point). *)
+  capacity : int option;
+      (** optional per-task allocation bound (machine capacity);
+          folded into the rate model by {!Instance.Make.of_spec}. *)
 }
 
 type t = {
@@ -23,15 +31,24 @@ type t = {
 val rat : int -> int -> rat
 val rat_of_int : int -> rat
 
-(** [task ~volume ~weight ~delta] with [weight] defaulting to [1]. *)
-val task : ?weight:rat -> volume:rat -> delta:int -> unit -> task
+(** [task ~volume ~weight ~delta] with [weight] defaulting to [1],
+    [speedup] to the linear law, and [capacity] to unbounded. *)
+val task : ?weight:rat -> ?speedup:(rat * rat) list -> ?capacity:int -> volume:rat -> delta:int -> unit -> task
 
 val make : procs:int -> task list -> t
 val num_tasks : t -> int
 
-(** Structural sanity: positive volumes, weights, deltas, procs.
+(** True iff any task carries a non-linear speedup curve. *)
+val has_curves : t -> bool
+
+(** Structural sanity: positive volumes, weights, deltas, procs;
+    well-formed speedup curves (positive, strictly increasing
+    allocations, non-decreasing rates, concave, first slope <= 1,
+    last breakpoint at [delta]) and capacities >= 1.
     Returns an error message for the first violation. *)
 val validate : t -> (unit, string) result
+
+val rat_to_string : rat -> string
 
 (** One-line rendering, e.g. for experiment logs. *)
 val to_string : t -> string

@@ -7,10 +7,16 @@
     task 6 3 4        # volume weight delta
     task 1/2 1 1      # rationals as p/q
     task 5/4 2/3 2
+    speedup 1:1 2:3/2 # concave speedup curve of the preceding task
+    capacity 2        # allocation bound of the preceding task
     v}
 
     Volumes and weights are rationals ([p] or [p/q]); [procs] and
-    [delta] are integers. *)
+    [delta] are integers. A [speedup] line lists [allocation:rate]
+    breakpoints (rationals) of a concave piecewise-linear speedup
+    curve for the task declared just above it; a [capacity] line
+    bounds that task's allocation. Both are optional and at most one
+    of each may follow a task. *)
 
 let parse_rat s : (Spec.rat, string) result =
   match String.index_opt s '/' with
@@ -23,6 +29,16 @@ let parse_rat s : (Spec.rat, string) result =
     match (int_of_string_opt num, int_of_string_opt den) with
     | Some n, Some d when d > 0 -> Ok (Spec.rat n d)
     | _ -> Error (Printf.sprintf "not a rational: %S" s))
+
+(** Parse one [allocation:rate] breakpoint token. *)
+let parse_breakpoint s : (Spec.rat * Spec.rat, string) result =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "not a breakpoint (expected x:y): %S" s)
+  | Some i -> (
+    let x = String.sub s 0 i and y = String.sub s (i + 1) (String.length s - i - 1) in
+    match (parse_rat x, parse_rat y) with
+    | Ok x, Ok y -> Ok (x, y)
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
 
 let strip_comment line = match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
 
@@ -39,6 +55,12 @@ let of_string (text : string) : (Spec.t, string) result =
     (fun lineno line ->
       if Option.is_none !error then begin
         let fail msg = error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+        (* Attach a clause to the task declared most recently. *)
+        let with_last_task what f =
+          match !tasks with
+          | [] -> fail (Printf.sprintf "%s before any task" what)
+          | t :: rest -> ( match f t with Ok t' -> tasks := t' :: rest | Error msg -> fail msg)
+        in
         match tokens line with
         | [] -> ()
         | [ "procs"; p ] -> (
@@ -51,6 +73,27 @@ let of_string (text : string) : (Spec.t, string) result =
             tasks := Spec.task ~volume ~weight ~delta () :: !tasks
           | Error e, _, _ | _, Error e, _ -> fail e
           | _ -> fail "task expects: volume weight delta (delta a positive integer)")
+        | "speedup" :: bps -> (
+          if bps = [] then fail "speedup expects breakpoints: x1:y1 x2:y2 ..."
+          else
+            let rec parse acc = function
+              | [] -> Ok (List.rev acc)
+              | b :: rest -> (
+                match parse_breakpoint b with Ok p -> parse (p :: acc) rest | Error _ as e -> e)
+            in
+            match parse [] bps with
+            | Error e -> fail e
+            | Ok pairs ->
+              with_last_task "speedup" (fun (t : Spec.task) ->
+                  if t.Spec.speedup <> [] then Error "duplicate speedup for task"
+                  else Ok { t with Spec.speedup = pairs }))
+        | [ "capacity"; c ] -> (
+          match int_of_string_opt c with
+          | Some c when c >= 1 ->
+            with_last_task "capacity" (fun (t : Spec.task) ->
+                if t.Spec.capacity <> None then Error "duplicate capacity for task"
+                else Ok { t with Spec.capacity = Some c })
+          | _ -> fail "capacity expects a positive integer")
         | t :: _ -> fail (Printf.sprintf "unknown directive %S" t)
       end)
     lines;
@@ -67,8 +110,17 @@ let to_string (s : Spec.t) : string =
   Buffer.add_string buf (Printf.sprintf "procs %d\n" s.Spec.procs);
   Array.iter
     (fun (t : Spec.task) ->
-      let rat (r : Spec.rat) = if r.Spec.den = 1 then string_of_int r.Spec.num else Printf.sprintf "%d/%d" r.Spec.num r.Spec.den in
-      Buffer.add_string buf (Printf.sprintf "task %s %s %d\n" (rat t.Spec.volume) (rat t.Spec.weight) t.Spec.delta))
+      let rat = Spec.rat_to_string in
+      Buffer.add_string buf (Printf.sprintf "task %s %s %d\n" (rat t.Spec.volume) (rat t.Spec.weight) t.Spec.delta);
+      (match t.Spec.speedup with
+      | [] -> ()
+      | ps ->
+        Buffer.add_string buf
+          (Printf.sprintf "speedup %s\n"
+             (String.concat " " (List.map (fun (x, y) -> rat x ^ ":" ^ rat y) ps))));
+      match t.Spec.capacity with
+      | None -> ()
+      | Some c -> Buffer.add_string buf (Printf.sprintf "capacity %d\n" c))
     s.Spec.tasks;
   Buffer.contents buf
 

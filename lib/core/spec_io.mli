@@ -5,13 +5,20 @@
     procs 4
     task 6 3 4        # volume weight delta
     task 1/2 1 1      # rationals as p/q
+    speedup 1:1 2:3/2 # concave speedup curve of the preceding task
+    capacity 2        # allocation bound of the preceding task
     v}
 
     Volumes and weights are rationals ([p] or [p/q]); [procs] and
-    [delta] are positive integers. *)
+    [delta] are positive integers. [speedup] and [capacity] lines
+    attach to the task declared just above them (at most one of
+    each). *)
 
 (** Parse one rational token. *)
 val parse_rat : string -> (Spec.rat, string) result
+
+(** Parse one [allocation:rate] speedup breakpoint token. *)
+val parse_breakpoint : string -> (Spec.rat * Spec.rat, string) result
 
 (** Parse a full instance description; the error carries the offending
     line. The result is validated ({!Spec.validate}). *)

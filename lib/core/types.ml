@@ -11,11 +11,31 @@
 module Make (F : Mwct_field.Field.S) = struct
   type num = F.t
 
+  (** Rate model of a task: how an allocation of processors translates
+      into a progress rate.
+
+      [Linear_delta] is the paper's law — a task on [a] processors
+      progresses at rate [a] (allocations are already clamped to
+      [min δ_i P] by the schedulers), so rate and allocation coincide.
+
+      [Curve] is a concave piecewise-linear speedup function
+      [s : allocation -> rate] through the origin: breakpoints
+      [(bx.(j), by.(j))] with [bx] strictly increasing and positive,
+      [by] positive and non-decreasing, segment slopes non-increasing
+      (concavity) and the first slope at most [1] (a processor-second
+      yields at most one unit of work, which keeps the squashed-area
+      bound valid). Beyond the last breakpoint the rate stays constant
+      at [by.(last)]. Invariant: the task's [delta] equals [bx.(last)]
+      — the saturation allocation — so [Instance.effective_delta]
+      remains the single allocation-cap seam for both models. *)
+  type speedup = Linear_delta | Curve of { bx : num array; by : num array }
+
   (** A malleable work-preserving task: volume [V_i], weight [w_i] and
       parallelism cap [δ_i] (Definition 1 of the paper). [delta] is an
       integer number of processors but is stored in the field because
-      the algorithms compare it with fractional allocations. *)
-  type task = { volume : num; weight : num; delta : num }
+      the algorithms compare it with fractional allocations. [speedup]
+      generalizes the rate law; [Linear_delta] is the paper's model. *)
+  type task = { volume : num; weight : num; delta : num; speedup : speedup }
 
   (** Problem instance [I = (P, (w_i), (V_i), (δ_i))]. *)
   type instance = { procs : num; tasks : task array }

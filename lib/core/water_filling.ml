@@ -21,23 +21,58 @@ module Make (F : Mwct_field.Field.S) = struct
   open T
 
   (** Water level for one task: minimal [h <= cap] such that
-      [Σ l_k · clamp(h − h_k, 0, delta) >= v], or [None] when even
+      [Σ l_k · s(clamp(h − h_k, 0, delta)) >= v], or [None] when even
       [h = cap] is not enough (up to the field's tolerance, in which
-      case [cap] is returned). Only the first [ncols] columns are
-      considered; zero-length columns are ignored. *)
-  let water_level ~heights ~lengths ~ncols ~delta ~cap v =
+      case [cap] is returned). [s] is the task's rate law:
+      [?speedup:None] is the linear law [s(a) = a] (the historical
+      event construction, byte-for-byte); [Some (bx, by)] a concave
+      breakpoint curve, which only adds slope-change events at the
+      curve's breakpoints — the sweep itself is model-independent.
+      Only the first [ncols] columns are considered; zero-length
+      columns are ignored. *)
+  let water_level ?speedup ~heights ~lengths ~ncols ~delta ~cap v =
     if F.sign v <= 0 then Some F.zero
     else begin
-      (* Events: at level h_k the column k starts filling (+l_k); at
-         h_k + delta it saturates (-l_k). Levels beyond [cap] are cut. *)
+      (* Events: at level h_k the column k starts filling at the
+         curve's first slope; the slope changes at [h_k + x_j] for each
+         curve breakpoint and drops to zero at [h_k + delta]
+         (saturation). Under the linear law that is (+l_k) at [h_k] and
+         (-l_k) at [h_k + delta]. Levels beyond [cap] are cut. *)
       let events = ref [] in
+      (* Slopes (m_1 .. m_J) of the curve's segments, with the implicit
+         origin; [None] for the linear law (single slope 1). *)
+      let curve_slopes =
+        match speedup with
+        | None -> None
+        | Some (bx, by) ->
+          let nj = Array.length bx in
+          Some
+            ( bx,
+              Array.init nj (fun j ->
+                  let px = if j = 0 then F.zero else bx.(j - 1) in
+                  let py = if j = 0 then F.zero else by.(j - 1) in
+                  F.div (F.sub by.(j) py) (F.sub bx.(j) px)) )
+      in
       for k = 0 to ncols - 1 do
         if F.sign lengths.(k) > 0 then begin
           let h = heights.(k) in
           if F.compare h cap < 0 then begin
-            events := (h, lengths.(k)) :: !events;
-            let top = F.add h delta in
-            if F.compare top cap < 0 then events := (top, F.neg lengths.(k)) :: !events
+            match curve_slopes with
+            | None ->
+              events := (h, lengths.(k)) :: !events;
+              let top = F.add h delta in
+              if F.compare top cap < 0 then events := (top, F.neg lengths.(k)) :: !events
+            | Some (bx, slopes) ->
+              let nj = Array.length bx in
+              events := (h, F.mul slopes.(0) lengths.(k)) :: !events;
+              for j = 1 to nj - 1 do
+                let at = F.add h bx.(j - 1) in
+                if F.compare at cap < 0 then
+                  events := (at, F.mul (F.sub slopes.(j) slopes.(j - 1)) lengths.(k)) :: !events
+              done;
+              let top = F.add h bx.(nj - 1) in
+              if F.compare top cap < 0 then
+                events := (top, F.neg (F.mul slopes.(nj - 1) lengths.(k))) :: !events
           end
         end
       done;
@@ -91,7 +126,11 @@ module Make (F : Mwct_field.Field.S) = struct
         let task_idx = order.(j) in
         let delta = I.effective_delta inst task_idx in
         let v = inst.tasks.(task_idx).volume in
-        match water_level ~heights ~lengths ~ncols:(j + 1) ~delta ~cap:inst.procs v with
+        match
+          water_level
+            ?speedup:(I.speedup_arrays inst task_idx)
+            ~heights ~lengths ~ncols:(j + 1) ~delta ~cap:inst.procs v
+        with
         | None -> raise (Fail task_idx)
         | Some level ->
           for k = 0 to j do

@@ -8,10 +8,14 @@
 
 module Make (F : Mwct_field.Field.S) : sig
   (** Water level for one task: minimal [h <= cap] with
-      [Σ_k l_k·clamp(h − h_k, 0, delta) >= v], or [None] when even
-      [h = cap] is insufficient (beyond the field tolerance). Exposed
-      for white-box tests. *)
+      [Σ_k l_k·s(clamp(h − h_k, 0, delta)) >= v], or [None] when even
+      [h = cap] is insufficient (beyond the field tolerance).
+      [?speedup] selects the rate law [s]: [None] is linear
+      ([s(a) = a], the historical events byte-for-byte), [Some] a
+      concave breakpoint curve, which only adds slope-change events at
+      the curve's breakpoints. Exposed for white-box tests. *)
   val water_level :
+    ?speedup:F.t array * F.t array ->
     heights:F.t array ->
     lengths:F.t array ->
     ncols:int ->

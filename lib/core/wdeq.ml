@@ -158,6 +158,10 @@ module Make (F : Mwct_field.Field.S) = struct
     let pd = Array.make (n + 1) F.zero and pw = Array.make (n + 1) F.zero in
     let out = Array.make n F.zero in
     let share = Array.make n F.zero in
+    (* Progress rate of each alive task at its current share; equals
+       the share itself under the linear law, so every linear-instance
+       value below is the historical one bit-for-bit. *)
+    let rate = Array.make n F.zero in
     let t_now = ref F.zero in
     let col = ref 0 in
     let m = ref n in
@@ -175,8 +179,9 @@ module Make (F : Mwct_field.Field.S) = struct
       for k = 0 to m0 - 1 do
         let i = by_ratio.(k) in
         share.(i) <- out.(k);
-        if F.sign out.(k) > 0 then begin
-          let ti = F.div remaining.(i) out.(k) in
+        rate.(i) <- I.rate_at inst i out.(k);
+        if F.sign rate.(i) > 0 then begin
+          let ti = F.div remaining.(i) rate.(i) in
           if (not !seen) || F.compare ti !t_best < 0 then begin
             t_best := ti;
             seen := true
@@ -192,7 +197,7 @@ module Make (F : Mwct_field.Field.S) = struct
       for k = 0 to m0 - 1 do
         let i = by_ratio.(k) in
         let s = out.(k) in
-        let processed = F.mul s dt in
+        let processed = F.mul rate.(i) dt in
         remaining.(i) <- F.sub remaining.(i) processed;
         let saturated = F.equal_approx s delta.(i) in
         if saturated then full_volume.(i) <- F.add full_volume.(i) processed
@@ -398,12 +403,14 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (** Simulate a dynamic-equipartition run. [use_weights = false] gives
       plain DEQ (Deng et al.), the unweighted special case. On the
-      float field this runs the monomorphic kernel (bit-identical to
-      {!simulate_reference}, several times faster at scale). *)
+      float field with the linear rate law this runs the monomorphic
+      kernel (bit-identical to {!simulate_reference}, several times
+      faster at scale); speedup-curve instances take the generic
+      path. *)
   let simulate ?(use_weights = true) (inst : instance) : column_schedule * diagnostics =
     match simulate_float_opt with
-    | Some f -> f ~use_weights inst
-    | None -> simulate_reference ~use_weights inst
+    | Some f when not (I.has_curves inst) -> f ~use_weights inst
+    | _ -> simulate_reference ~use_weights inst
 
   (** WDEQ schedule of an instance. *)
   let wdeq inst = simulate ~use_weights:true inst

@@ -75,8 +75,10 @@ module Make (F : Mwct_field.Field.S) = struct
         | i :: rest when F.compare releases.(i) (En.now eng) <= 0 ->
           pending := rest;
           (match
-             En.submit eng ~id:i ~volume:inst.T.tasks.(i).T.volume
-               ~weight:inst.T.tasks.(i).T.weight ~cap:(I.effective_delta inst i)
+             En.submit eng
+               ?speedup:(I.speedup_arrays inst i)
+               ~id:i ~volume:inst.T.tasks.(i).T.volume ~weight:inst.T.tasks.(i).T.weight
+               ~cap:(I.effective_delta inst i) ()
            with
           | Ok () -> ()
           | Error e -> fail e);
@@ -132,11 +134,16 @@ module Make (F : Mwct_field.Field.S) = struct
   let makespan (tr : trace) : F.t =
     Array.fold_left (fun acc r -> F.max acc r.completion) F.zero tr.records
 
-  (** Processed volume per task (should equal the instance volumes). *)
+  (** Processed volume per task (should equal the instance volumes).
+      Segments record allocations; the volume drained is the task's
+      {e rate} at that allocation times the duration — the allocation
+      itself under the linear law. *)
   let processed_volume (tr : trace) : F.t array =
-    Array.map
-      (fun r ->
-        List.fold_left (fun acc (a, b, s) -> F.add acc (F.mul s (F.sub b a))) F.zero r.segments)
+    Array.mapi
+      (fun i r ->
+        List.fold_left
+          (fun acc (a, b, s) -> F.add acc (F.mul (I.rate_at tr.instance i s) (F.sub b a)))
+          F.zero r.segments)
       tr.records
 
   (** Validity of a trace: shares within caps, capacity respected at

@@ -55,9 +55,21 @@ module Make (F : Mwct_field.Field.S) = struct
     k_shares : capacity:F.t -> n:int -> by_id:int array -> share:F.t array -> order:int array -> unit;
   }
 
-  (** Input events, the journal's vocabulary. *)
+  (** Input events, the journal's vocabulary. [speedup], when present,
+      is the task's concave piecewise-linear rate law as parallel
+      breakpoint arrays [(bx, by)] (allocations / rates, strictly
+      increasing [bx], non-decreasing concave [by] through the origin);
+      [None] is the linear law (rate = share), the paper's model.
+      Breakpoints may extend beyond [cap]: shares never exceed the cap,
+      so the tail is simply unused. *)
   type event =
-    | Submit of { id : int; volume : F.t; weight : F.t; cap : F.t }
+    | Submit of {
+        id : int;
+        volume : F.t;
+        weight : F.t;
+        cap : F.t;
+        speedup : (F.t array * F.t array) option;
+      }
     | Cancel of int
     | Advance of F.t  (** relative: advance virtual time by [dt >= 0] *)
     | Drain  (** run the alive set to completion *)
@@ -115,6 +127,8 @@ module Make (F : Mwct_field.Field.S) = struct
     mutable c_new_share : F.t array;  (* reshare staging, compared against c_share *)
     mutable c_changes : int array;
     mutable c_segments : (F.t * F.t * F.t) list array;  (* reverse chronological *)
+    mutable c_curve : (F.t array * F.t array) option array;  (* speedup breakpoints; None = linear *)
+    mutable ncurved : int;  (* alive tasks with a curve; 0 keeps the float fast path *)
     mutable c_id : int array;  (* external id of the slot's task *)
     mutable used : int;  (* slots ever handed out (high-water mark) *)
     mutable free : int array;  (* recycled-slot stack *)
@@ -162,6 +176,8 @@ module Make (F : Mwct_field.Field.S) = struct
       c_new_share = Array.make n F.zero;
       c_changes = Array.make n 0;
       c_segments = Array.make n [];
+      c_curve = Array.make n None;
+      ncurved = 0;
       c_id = Array.make n 0;
       used = 0;
       free = Array.make n 0;
@@ -194,6 +210,7 @@ module Make (F : Mwct_field.Field.S) = struct
     t.c_new_share <- g F.zero t.c_new_share;
     t.c_changes <- g 0 t.c_changes;
     t.c_segments <- g [] t.c_segments;
+    t.c_curve <- g None t.c_curve;
     t.c_id <- g 0 t.c_id;
     t.free <- g 0 t.free;
     t.by_id <- g 0 t.by_id;
@@ -249,6 +266,79 @@ module Make (F : Mwct_field.Field.S) = struct
     Array.blit t.by_id (pos + 1) t.by_id pos (t.nalive - 1 - pos);
     t.nalive <- t.nalive - 1
 
+  (* ---------- speedup curves ---------- *)
+
+  (* lib/runtime deliberately does not depend on mwct_core (the engine
+     is the lower layer), so the concave curve evaluator is duplicated
+     here. [Mwct_core.Instance.Make.eval_curve] is the reference copy;
+     the cross-layer test pins the two to identical results. *)
+  let eval_curve (bx : F.t array) (by : F.t array) (a : F.t) : F.t =
+    let last = Array.length bx - 1 in
+    if F.sign a <= 0 then F.zero
+    else if F.compare a bx.(last) >= 0 then by.(last)
+    else begin
+      let j = ref 0 in
+      while F.compare a bx.(!j) > 0 do
+        incr j
+      done;
+      let j = !j in
+      let px = if j = 0 then F.zero else bx.(j - 1) in
+      let py = if j = 0 then F.zero else by.(j - 1) in
+      if F.compare a px = 0 then py
+      else F.add py (F.div (F.mul (F.sub a px) (F.sub by.(j) py)) (F.sub bx.(j) px))
+    end
+
+  (* Progress rate of the task in [slot] at share [s]: the share itself
+     under the linear law — the match keeps the linear arithmetic
+     byte-identical to the pre-curve engine. *)
+  let slot_rate t slot s =
+    match t.c_curve.(slot) with None -> s | Some (bx, by) -> eval_curve bx by s
+
+  (* Structural validation of a submitted curve, mirroring
+     [Mwct_core.Instance.Make.validate] (same error strings, prefixed
+     with the task id). *)
+  let check_curve id (bx : F.t array) (by : F.t array) : string option =
+    let n = Array.length bx in
+    let fail msg = Some (Printf.sprintf "task %d: %s" id msg) in
+    if n = 0 || Array.length by <> n then fail "speedup breakpoint arrays must match and be non-empty"
+    else begin
+      let bad = ref None in
+      let px = ref F.zero and py = ref F.zero in
+      let pslope = ref None in
+      (try
+         for j = 0 to n - 1 do
+           if F.sign bx.(j) <= 0 || F.sign by.(j) <= 0 then begin
+             bad := fail "speedup breakpoints must be positive";
+             raise Exit
+           end;
+           if F.compare !px bx.(j) >= 0 then begin
+             bad := fail "speedup allocations must be strictly increasing";
+             raise Exit
+           end;
+           if F.compare !py by.(j) > 0 then begin
+             bad := fail "speedup rate must be non-decreasing";
+             raise Exit
+           end;
+           let dx = F.sub bx.(j) !px and dy = F.sub by.(j) !py in
+           (match !pslope with
+           | None ->
+             if F.compare by.(j) bx.(j) > 0 then begin
+               bad := fail "speedup rate cannot exceed allocation";
+               raise Exit
+             end
+           | Some (pdx, pdy) ->
+             if F.compare (F.mul dy pdx) (F.mul pdy dx) > 0 then begin
+               bad := fail "speedup must be concave";
+               raise Exit
+             end);
+           pslope := Some (dx, dy);
+           px := bx.(j);
+           py := by.(j)
+         done
+       with Exit -> ());
+      !bad
+    end
+
   (* ---------- accessors ---------- *)
 
   let now t = t.now_cell.(0)
@@ -294,10 +384,22 @@ module Make (F : Mwct_field.Field.S) = struct
     Buffer.add_string b (Printf.sprintf "now=%s capacity=%s\n" (F.repr (now t)) (F.repr t.capacity));
     for i = 0 to t.nalive - 1 do
       let s = t.by_id.(i) in
+      (* curved tasks carry their breakpoints; linear lines are
+         byte-identical to the pre-curve engine *)
+      let curve =
+        match t.c_curve.(s) with
+        | None -> ""
+        | Some (bx, by) ->
+          " s="
+          ^ String.concat ","
+              (List.map2
+                 (fun x y -> F.repr x ^ ":" ^ F.repr y)
+                 (Array.to_list bx) (Array.to_list by))
+      in
       Buffer.add_string b
-        (Printf.sprintf "alive id=%d rem=%s w=%s cap=%s submitted=%s changes=%d\n" t.c_id.(s)
+        (Printf.sprintf "alive id=%d rem=%s w=%s cap=%s submitted=%s changes=%d%s\n" t.c_id.(s)
            (F.repr t.c_remaining.(s)) (F.repr t.c_weight.(s)) (F.repr t.c_cap.(s))
-           (F.repr t.c_submitted.(s)) t.c_changes.(s))
+           (F.repr t.c_submitted.(s)) t.c_changes.(s) curve)
     done;
     List.iter
       (fun (id, c) ->
@@ -382,6 +484,11 @@ module Make (F : Mwct_field.Field.S) = struct
     remove_by_id t id;
     Hashtbl.remove t.slot_of_id id;
     (match t.kinetic with Some k -> k.k_remove ~slot | None -> ());
+    (match t.c_curve.(slot) with
+    | Some _ ->
+      t.c_curve.(slot) <- None;
+      t.ncurved <- t.ncurved - 1
+    | None -> ());
     t.c_segments.(slot) <- [];
     t.free.(t.nfree) <- slot;
     t.nfree <- t.nfree + 1;
@@ -409,7 +516,10 @@ module Make (F : Mwct_field.Field.S) = struct
   (* Earliest absolute completion estimate over the cached shares —
      first-min over the policy's output order, exactly like the batch
      loop (the min value is order-independent; fold order only matters
-     for which task the estimate belongs to, which we never use). *)
+     for which task the estimate belongs to, which we never use).
+     Estimates divide by the task's {e rate} at its share — the share
+     itself under the linear law, so linear instances compute the
+     pre-curve values bit for bit. *)
   let next_completion t =
     let nowv = t.now_cell.(0) in
     let best = ref None in
@@ -417,10 +527,13 @@ module Make (F : Mwct_field.Field.S) = struct
       let slot = t.order.(i) in
       let s = t.c_share.(slot) in
       if F.sign s > 0 then begin
-        let eta = F.add_div nowv t.c_remaining.(slot) s in
-        match !best with
-        | Some b when F.compare b eta <= 0 -> ()
-        | _ -> best := Some eta
+        let r = slot_rate t slot s in
+        if F.sign r > 0 then begin
+          let eta = F.add_div nowv t.c_remaining.(slot) r in
+          match !best with
+          | Some b when F.compare b eta <= 0 -> ()
+          | _ -> best := Some eta
+        end
       end
     done;
     !best
@@ -437,8 +550,10 @@ module Make (F : Mwct_field.Field.S) = struct
         let slot = t.order.(i) in
         let s = t.c_share.(slot) in
         if F.sign s > 0 then begin
+          (* segments record allocations (shares); volume drains at the
+             task's rate — identical under the linear law *)
           if t.record_segments then push_segment t slot nowv t_next s;
-          t.c_remaining.(slot) <- F.sub_mul t.c_remaining.(slot) s dt
+          t.c_remaining.(slot) <- F.sub_mul t.c_remaining.(slot) (slot_rate t slot s) dt
         end
       done;
     t.now_cell.(0) <- t_next;
@@ -673,7 +788,7 @@ module Make (F : Mwct_field.Field.S) = struct
       reproduces the batch simulator's arithmetic bit for bit). *)
   let advance_to t target : (notification list, error) result =
     match float_ops with
-    | Some ops when not t.record_segments -> ops.f_advance_abs t target
+    | Some ops when (not t.record_segments) && t.ncurved = 0 -> ops.f_advance_abs t target
     | _ -> advance_to_generic t target
 
   (** Run the alive set to completion. Fails with [Invalid "deadlock"]
@@ -681,19 +796,24 @@ module Make (F : Mwct_field.Field.S) = struct
       that starves everything). *)
   let drain t : (notification list, error) result =
     match float_ops with
-    | Some ops when not t.record_segments -> ops.f_drain t
+    | Some ops when (not t.record_segments) && t.ncurved = 0 -> ops.f_drain t
     | _ -> drain_generic t
 
   (* ---------- input events ---------- *)
 
-  let submit t ~id ~volume ~weight ~cap : (unit, error) result =
+  let submit t ?speedup ~id ~volume ~weight ~cap () : (unit, error) result =
     if Hashtbl.mem t.slot_of_id id || Hashtbl.mem t.closed_tbl id then Error (Duplicate_task id)
     else if F.sign volume <= 0 then
       Error (Invalid (Printf.sprintf "task %d: volume must be positive" id))
     else if F.sign weight <= 0 then
       Error (Invalid (Printf.sprintf "task %d: weight must be positive" id))
     else if F.sign cap <= 0 then Error (Invalid (Printf.sprintf "task %d: cap must be positive" id))
-    else begin
+    else
+      match
+        match speedup with None -> None | Some (bx, by) -> check_curve id bx by
+      with
+      | Some msg -> Error (Invalid msg)
+      | None -> begin
       let slot = alloc_slot t in
       t.c_volume.(slot) <- volume;
       t.c_weight.(slot) <- weight;
@@ -704,6 +824,8 @@ module Make (F : Mwct_field.Field.S) = struct
       t.c_new_share.(slot) <- F.zero;
       t.c_changes.(slot) <- 0;
       t.c_segments.(slot) <- [];
+      t.c_curve.(slot) <- speedup;
+      (match speedup with Some _ -> t.ncurved <- t.ncurved + 1 | None -> ());
       t.c_id.(slot) <- id;
       Hashtbl.replace t.slot_of_id id slot;
       insert_by_id t slot id;
@@ -726,14 +848,14 @@ module Make (F : Mwct_field.Field.S) = struct
   let apply t (e : event) : (notification list, error) result =
     let r =
       match e with
-      | Submit { id; volume; weight; cap } ->
-        Result.map (fun () -> []) (submit t ~id ~volume ~weight ~cap)
+      | Submit { id; volume; weight; cap; speedup } ->
+        Result.map (fun () -> []) (submit t ?speedup ~id ~volume ~weight ~cap ())
       | Cancel id -> Result.map (fun () -> []) (cancel t id)
       | Advance dt ->
         if F.sign dt < 0 then Error (Invalid "advance: negative dt")
         else begin
           match float_ops with
-          | Some ops when not t.record_segments -> ops.f_advance_rel t dt
+          | Some ops when (not t.record_segments) && t.ncurved = 0 -> ops.f_advance_rel t dt
           | _ -> advance_to_generic t (F.add (now t) dt)
         end
       | Drain -> drain t

@@ -60,10 +60,31 @@ module Make (F : Mwct_field.Field.S) = struct
         ([ seq_field; ("type", "\"init\"") ]
         @ num_fields "capacity" capacity
         @ [ ("policy", Printf.sprintf "\"%s\"" (escape policy)) ])
-    | Input (En.Submit { id; volume; weight; cap }) ->
+    | Input (En.Submit { id; volume; weight; cap; speedup }) ->
+      (* The curve is rendered as a string of space-separated "x:y"
+         breakpoints — the flat-object parser has no arrays — with the
+         usual dual decimal / [_repr] convention. Linear submits carry
+         no speedup fields, keeping their lines byte-identical to
+         pre-curve journals. *)
+      let speedup_fields =
+        match speedup with
+        | None -> []
+        | Some (bx, by) ->
+          let render f =
+            String.concat " "
+              (List.map2
+                 (fun x y -> f x ^ ":" ^ f y)
+                 (Array.to_list bx) (Array.to_list by))
+          in
+          [
+            ("speedup", Printf.sprintf "\"%s\"" (escape (render (fun x -> Printf.sprintf "%.12g" (F.to_float x)))));
+            ("speedup_repr", Printf.sprintf "\"%s\"" (escape (render F.repr)));
+          ]
+      in
       obj
         ([ seq_field; ("type", "\"submit\""); ("id", string_of_int id) ]
-        @ num_fields "volume" volume @ num_fields "weight" weight @ num_fields "cap" cap)
+        @ num_fields "volume" volume @ num_fields "weight" weight @ num_fields "cap" cap
+        @ speedup_fields)
     | Input (En.Cancel id) -> obj [ seq_field; ("type", "\"cancel\""); ("id", string_of_int id) ]
     | Input (En.Advance dt) -> obj ([ seq_field; ("type", "\"advance\"") ] @ num_fields "dt" dt)
     | Input En.Drain -> obj [ seq_field; ("type", "\"drain\"") ]
@@ -175,6 +196,38 @@ module Make (F : Mwct_field.Field.S) = struct
         match get "type" with
         | "init" -> Init { capacity = get_num "capacity"; policy = get "policy" }
         | "submit" ->
+          (* Optional speedup: the exact [_repr] rendering wins, the
+             decimal field is the hand-written-journal fallback. *)
+          let speedup =
+            let raw =
+              match List.assoc_opt "speedup_repr" fields with
+              | Some r -> Some r
+              | None -> List.assoc_opt "speedup" fields
+            in
+            match raw with
+            | None -> None
+            | Some s ->
+              let parse_num what r =
+                match F.of_repr r with
+                | Some x -> x
+                | None -> raise (Parse (Printf.sprintf "speedup %s: unparseable number %S" what r))
+              in
+              let pairs =
+                String.split_on_char ' ' s
+                |> List.filter (fun p -> p <> "")
+                |> List.map (fun p ->
+                       match String.index_opt p ':' with
+                       | None -> raise (Parse (Printf.sprintf "speedup: not a breakpoint %S" p))
+                       | Some i ->
+                         ( parse_num "allocation" (String.sub p 0 i),
+                           parse_num "rate" (String.sub p (i + 1) (String.length p - i - 1)) ))
+              in
+              if pairs = [] then raise (Parse "speedup: empty breakpoint list")
+              else
+                Some
+                  ( Array.of_list (List.map fst pairs),
+                    Array.of_list (List.map snd pairs) )
+          in
           Input
             (En.Submit
                {
@@ -182,6 +235,7 @@ module Make (F : Mwct_field.Field.S) = struct
                  volume = get_num "volume";
                  weight = get_num "weight";
                  cap = get_num "cap";
+                 speedup;
                })
         | "cancel" -> Input (En.Cancel (get_int "id"))
         | "advance" -> Input (En.Advance (get_num "dt"))

@@ -29,14 +29,19 @@
     - [Non_clairvoyant]: never reads volumes except to locate the next
       completion event — an online policy in the paper's sense.
     - [Enumerative]: exponential in [n] (order enumeration); callers
-      must keep [n] small (the LP enumeration guard is 8). *)
-type cap = Needs_lp | Exact_recommended | Non_clairvoyant | Enumerative
+      must keep [n] small (the LP enumeration guard is 8).
+    - [General_speedup]: handles the generalized rate model (per-task
+      concave speedup curves); solvers without it are restricted to
+      the paper's linear law and {!Driver.Make.run} refuses curved
+      instances for them. *)
+type cap = Needs_lp | Exact_recommended | Non_clairvoyant | Enumerative | General_speedup
 
 let cap_to_string = function
   | Needs_lp -> "needs-lp"
   | Exact_recommended -> "exact-recommended"
   | Non_clairvoyant -> "non-clairvoyant"
   | Enumerative -> "enumerative"
+  | General_speedup -> "general-speedup"
 
 (** Field-neutral identity of a registered solver. *)
 type info = { name : string; doc : string; caps : cap list }
@@ -71,35 +76,37 @@ module Make (F : Mwct_field.Field.S) = struct
 
   let wdeq =
     make ~name:"wdeq" ~doc:"Weighted Dynamic EQuipartition (Algorithm 1), the 2-approximation"
-      ~caps:[ Non_clairvoyant ] (fun inst ->
+      ~caps:[ Non_clairvoyant; General_speedup ] (fun inst ->
         let s, d = E.Wdeq.wdeq inst in
         (s, { no_meta with wdeq_diagnostics = Some d }))
 
   let deq =
-    make ~name:"deq" ~doc:"unweighted Dynamic EQuipartition (Deng et al.)" ~caps:[ Non_clairvoyant ]
+    make ~name:"deq" ~doc:"unweighted Dynamic EQuipartition (Deng et al.)"
+      ~caps:[ Non_clairvoyant; General_speedup ]
       (fun inst ->
         let s, d = E.Wdeq.deq inst in
         (s, { no_meta with wdeq_diagnostics = Some d }))
 
   let greedy_smith =
     of_greedy_order ~name:"greedy-smith" ~doc:"Greedy (Algorithm 3) in Smith/LRF order (largest w/V first)"
-      E.Orderings.smith
+      ~caps:[ General_speedup ] E.Orderings.smith
 
   let greedy_identity =
-    of_greedy_order ~name:"greedy" ~doc:"Greedy (Algorithm 3) in input order" (fun inst ->
-        E.Orderings.identity (Array.length inst.E.Types.tasks))
+    of_greedy_order ~name:"greedy" ~doc:"Greedy (Algorithm 3) in input order" ~caps:[ General_speedup ]
+      (fun inst -> E.Orderings.identity (Array.length inst.E.Types.tasks))
 
   let greedy_height =
     of_greedy_order ~name:"greedy-height" ~doc:"Greedy in non-decreasing height V/min(delta,P) order"
-      E.Orderings.shortest_height
+      ~caps:[ General_speedup ] E.Orderings.shortest_height
 
   let greedy_ldf =
-    of_greedy_order ~name:"greedy-ldf" ~doc:"Greedy in largest-delta-first order" E.Orderings.largest_delta
+    of_greedy_order ~name:"greedy-ldf" ~doc:"Greedy in largest-delta-first order"
+      ~caps:[ General_speedup ] E.Orderings.largest_delta
 
   let wf_cmax =
     make ~name:"wf-cmax"
-      ~doc:"Water-Filling schedule at the optimal makespan T* (minimizes Cmax, not sum w.C)" (fun inst ->
-        (E.Makespan.schedule inst, no_meta))
+      ~doc:"Water-Filling schedule at the optimal makespan T* (minimizes Cmax, not sum w.C)"
+      ~caps:[ General_speedup ] (fun inst -> (E.Makespan.schedule inst, no_meta))
 
   let best_greedy =
     make ~name:"best-greedy" ~doc:"best Greedy over all n! insertion orders (Section V-A quantity)"

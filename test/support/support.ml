@@ -30,6 +30,8 @@ let family_of_kind = function
   | `Delta_full -> Instances.Delta_full
   | `Near_tie -> Instances.Near_tie
   | `Tiny_den -> Instances.Tiny_den
+  | `Concave_curves -> Instances.Concave_curves
+  | `Capacity_tight -> Instances.Capacity_tight
 
 (* QCheck generators of specs, built structurally from lib/check's
    instance families. Structural generation (rather than drawing a PRNG

@@ -27,7 +27,7 @@ let test_advance_zero_alloc () =
       ~capacity:64. ~policy:(PF.engine_policy PF.Wdeq) ()
   in
   for i = 0 to 49 do
-    match En.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2. with
+    match En.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2. () with
     | Ok () -> ()
     | Error e -> Alcotest.fail (En.error_to_string e)
   done;

@@ -29,6 +29,7 @@ module H (F : Mwct_field.Field.S) = struct
            volume = t.E.Types.volume;
            weight = t.E.Types.weight;
            cap = E.Instance.effective_delta inst i;
+           speedup = E.Instance.speedup_arrays inst i;
          })
 
   (* Submit everything at t=0 and run to completion. *)
@@ -68,6 +69,7 @@ module H (F : Mwct_field.Field.S) = struct
                volume = inst.E.Types.tasks.(i).E.Types.volume;
                weight = inst.E.Types.tasks.(i).E.Types.weight;
                cap = E.Instance.effective_delta inst i;
+               speedup = E.Instance.speedup_arrays inst i;
              }))
       inst.E.Types.tasks;
     apply En.Drain;
@@ -258,7 +260,9 @@ let test_bad_events () =
   (match HF.En.apply eng (HF.En.Advance (-1.0)) with
   | Error (HF.En.Invalid _) -> ()
   | _ -> Alcotest.fail "negative advance not rejected");
-  (match HF.En.apply eng (HF.En.Submit { id = 5; volume = 0.; weight = 1.; cap = 1. }) with
+  (match
+     HF.En.apply eng (HF.En.Submit { id = 5; volume = 0.; weight = 1.; cap = 1.; speedup = None })
+   with
   | Error (HF.En.Invalid _) -> ()
   | _ -> Alcotest.fail "zero volume not rejected")
 

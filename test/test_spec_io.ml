@@ -35,6 +35,37 @@ let test_semantic_validation () =
   check_error "negative volume" "procs 2\ntask -1 1 1\n" "task 0: volume must be positive";
   check_error "negative weight" "procs 2\ntask 1 -2/3 1\n" "task 0: weight must be positive"
 
+let test_bad_speedup () =
+  check_error "speedup before any task" "procs 2\nspeedup 1:1\n" "line 2: speedup before any task";
+  check_error "empty speedup" "procs 2\ntask 1 1 2\nspeedup\n"
+    "line 3: speedup expects breakpoints: x1:y1 x2:y2 ...";
+  check_error "not a breakpoint" "procs 2\ntask 1 1 2\nspeedup 1;1\n"
+    "line 3: not a breakpoint (expected x:y): \"1;1\"";
+  check_error "duplicate speedup" "procs 2\ntask 1 1 2\nspeedup 2:1\nspeedup 2:1\n"
+    "line 4: duplicate speedup for task";
+  (* parses fine, rejected by Spec.validate *)
+  check_error "non-monotone allocations" "procs 4\ntask 1 1 3\nspeedup 2:1 1:1/2 3:3/2\n"
+    "task 0: speedup allocations must be strictly increasing";
+  check_error "decreasing rate" "procs 4\ntask 1 1 3\nspeedup 1:1 3:1/2\n"
+    "task 0: speedup rate must be non-decreasing";
+  check_error "non-concave curve" "procs 4\ntask 1 1 3\nspeedup 1:1/2 3:3\n"
+    "task 0: speedup must be concave";
+  check_error "superlinear first piece" "procs 4\ntask 1 1 2\nspeedup 1:2 2:3\n"
+    "task 0: speedup rate cannot exceed allocation";
+  check_error "last breakpoint off delta" "procs 4\ntask 1 1 3\nspeedup 1:1 2:3/2\n"
+    "task 0: last speedup breakpoint must equal delta";
+  check_error "non-positive breakpoint" "procs 4\ntask 1 1 2\nspeedup 1:0 2:1\n"
+    "task 0: speedup breakpoints must be positive"
+
+let test_bad_capacity () =
+  check_error "capacity before any task" "procs 2\ncapacity 1\n" "line 2: capacity before any task";
+  check_error "zero capacity" "procs 2\ntask 1 1 2\ncapacity 0\n"
+    "line 3: capacity expects a positive integer";
+  check_error "garbage capacity" "procs 2\ntask 1 1 2\ncapacity x\n"
+    "line 3: capacity expects a positive integer";
+  check_error "duplicate capacity" "procs 2\ntask 1 1 2\ncapacity 1\ncapacity 1\n"
+    "line 4: duplicate capacity for task"
+
 let test_unknown_directive () =
   check_error "unknown directive" "procs 2\nfrobnicate 3\n" "line 2: unknown directive \"frobnicate\""
 
@@ -57,6 +88,28 @@ let test_roundtrip () =
   | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
   | Ok spec' -> Alcotest.(check string) "to_string . of_string = id" (Spec.to_string spec) (Spec.to_string spec')
 
+let test_roundtrip_speedup () =
+  let spec =
+    Spec.make ~procs:6
+      [
+        Spec.task ~volume:(Spec.rat 7 3) ~weight:(Spec.rat 2 1)
+          ~speedup:[ (Spec.rat 1 1, Spec.rat 3 4); (Spec.rat 2 1, Spec.rat 5 4); (Spec.rat 4 1, Spec.rat 3 2) ]
+          ~delta:4 ();
+        Spec.task ~volume:(Spec.rat 1 2) ~capacity:2 ~delta:3 ();
+        Spec.task ~volume:(Spec.rat 1 1) ~delta:1 ();
+      ]
+  in
+  (match Spec_io.of_string (Spec_io.to_string spec) with
+  | Error e -> Alcotest.fail ("speedup roundtrip failed: " ^ e)
+  | Ok spec' ->
+    Alcotest.(check string) "to_string . of_string = id" (Spec.to_string spec) (Spec.to_string spec');
+    Alcotest.(check bool) "curves survive" true (Spec.has_curves spec'));
+  (* a parsed speedup/capacity spec re-renders identically *)
+  let text = "procs 6\ntask 7/3 2 4\nspeedup 1:3/4 2:5/4 4:3/2\ntask 1/2 1 3\ncapacity 2\n" in
+  match Spec_io.of_string text with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok s -> Alcotest.(check string) "parse . print = id" text (Spec_io.to_string s)
+
 let test_load_missing_file () =
   match Spec_io.load "/no/such/file.txt" with
   | Error _ -> ()
@@ -72,12 +125,15 @@ let () =
           Alcotest.test_case "short task line" `Quick test_short_task_line;
           Alcotest.test_case "bad numbers" `Quick test_bad_numbers;
           Alcotest.test_case "semantic validation" `Quick test_semantic_validation;
+          Alcotest.test_case "bad speedup" `Quick test_bad_speedup;
+          Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
           Alcotest.test_case "unknown directive" `Quick test_unknown_directive;
         ] );
       ( "io",
         [
           Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip with speedup" `Quick test_roundtrip_speedup;
           Alcotest.test_case "missing file" `Quick test_load_missing_file;
         ] );
     ]
