@@ -538,7 +538,7 @@ let advance_minor_words () =
   let w1 = Gc.minor_words () in
   (w1 -. w0 -. (b1 -. b0)) /. float_of_int iters
 
-let run_data_plane ~events_per_sec =
+let run_data_plane ~events_per_sec ~nshards ~sharded_eps ~scaling ~lat ~ingest =
   (* The "before" column is the pre-data-plane baseline: B14b from the
      PR-3 CI run of BENCH_1.json (4.66 s), the PR-4 CI run of
      BENCH_3.json (12.7k events/s), and minor words per input event
@@ -554,25 +554,215 @@ let run_data_plane ~events_per_sec =
   Printf.printf "  serve throughput                      %.0f events/s (before %.0f)\n"
     events_per_sec serve_before;
   Printf.printf "  minor words / steady-state Advance    %.2f (before %.0f)\n" words words_before;
+  let scaling_json =
+    String.concat ",\n"
+      (List.map
+         (fun (s, eps) ->
+           Printf.sprintf "    { \"shards\": %d, \"events_per_sec\": %.1f }" s eps)
+         scaling)
+  in
+  let p50, p90, p99, p999 = lat in
+  let ingest_before, ingest_after = ingest in
   let oc = open_out "BENCH_4.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"benchmark\": \"engine data plane: SoA task store + kinetic share frontier\",\n\
+    \  \"benchmark\": \"engine data plane: SoA task store + kinetic share frontier + sharded serve\",\n\
     \  \"gc_tuning\": \"simulate row only: minor_heap_size=64M words, space_overhead=800, compact + one warm-up run, best of 3; pass is checked on process CPU time (wall on shared 1-vCPU containers includes paging/scheduling noise)\",\n\
     \  \"wdeq_simulate_n5000\": { \"before_s\": %.2f, \"after_wall_s\": %.6f, \"after_cpu_s\": %.6f,\n\
     \                           \"target_s\": 1.0, \"pass\": %b },\n\
     \  \"serve_throughput\": { \"before_events_per_sec\": %.1f, \"after_events_per_sec\": %.1f,\n\
     \                        \"target_events_per_sec\": 38100.0, \"pass\": %b },\n\
     \  \"advance_minor_words\": { \"before_words_per_event\": %.1f, \"after_words_per_advance\": %.2f,\n\
-    \                           \"target_words\": 0.0, \"pass\": %b }\n\
+    \                           \"target_words\": 0.0, \"pass\": %b },\n\
+    \  \"sharded_serve\": { \"shards\": %d, \"events_per_sec\": %.1f,\n\
+    \                     \"target_events_per_sec\": 100000.0, \"pass\": %b },\n\
+    \  \"shard_scaling\": [\n%s\n  ],\n\
+    \  \"event_latency_us\": { \"shards\": %d, \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"p999\": %.1f },\n\
+    \  \"stdin_ingest\": { \"input_line_lines_per_sec\": %.1f, \"chunked_lines_per_sec\": %.1f,\n\
+    \                    \"speedup\": %.3f }\n\
      }\n"
     sim_before sim_wall sim_cpu
     (sim_cpu < 1.0)
     serve_before events_per_sec
     (events_per_sec >= 38100.0)
-    words_before words (words < 1.0);
+    words_before words (words < 1.0)
+    nshards sharded_eps
+    (sharded_eps >= 100000.0)
+    scaling_json nshards p50 p90 p99 p999 ingest_before ingest_after
+    (ingest_after /. ingest_before);
   close_out oc;
   Printf.printf "\nWrote data-plane results to BENCH_4.json\n"
+
+(* ---------- part 6: sharded serve (rows into BENCH_4.json) ---------- *)
+
+module StF = Mwct_runtime.Shard.Float
+module Ingest = Mwct_runtime.Ingest
+
+(* The part-3 churn stream through the sharded store: same seed, same
+   submit distribution, same cancel-4-oldest/refill/advance round, so
+   the events/s numbers are directly comparable to [engine_throughput].
+   Ids route with [Mod] (ids are dense, so tenants spread evenly). The
+   store has no [alive_ids]; the bench keeps its own submission queue
+   and skips ids that completed before their cancel came up. With
+   [latency:true] every event is timed into the store's histogram —
+   that run prices the gettimeofday pair per event, so the throughput
+   row is measured with it off. *)
+let sharded_throughput ?(latency = false) ~rounds ~alive_target ~nshards () =
+  let st =
+    StF.create ~record_segments:false ~nshards ~route:StF.Mod ~capacity:64.0
+      ~allocator:(PF.engine_policy PF.Wdeq)
+      ~policy:(PF.engine_policy PF.Wdeq)
+      ~kinetic:(fun () -> PF.engine_kinetic PF.Wdeq)
+      ~policy_label:"wdeq" ()
+  in
+  let rng = Rng.create 20120515 in
+  let next_id = ref 0 in
+  let events = ref 0 in
+  let completions = ref 0 in
+  let apply ev =
+    let t0 = if latency then Unix.gettimeofday () else 0. in
+    (match StF.apply st ev with
+    | Ok notes ->
+      incr events;
+      completions := !completions + List.length notes
+    | Error e -> failwith ("sharded_throughput: " ^ StF.En.error_to_string e));
+    if latency then StF.observe_latency st (Unix.gettimeofday () -. t0)
+  in
+  let oldest = Queue.create () in
+  let submit_one () =
+    let id = !next_id in
+    incr next_id;
+    Queue.push id oldest;
+    apply
+      (StF.En.Submit
+         {
+           id;
+           volume = 0.5 +. (float_of_int (Rng.int_in rng 0 64) /. 16.);
+           weight = float_of_int (1 + Rng.int_in rng 0 10);
+           cap = float_of_int (1 + Rng.int_in rng 0 4);
+           speedup = None;
+         })
+  in
+  while StF.alive_count st < alive_target do
+    submit_one ()
+  done;
+  apply (StF.En.Advance 0.0);
+  let t0 = Unix.gettimeofday () in
+  let e0 = !events and c0 = !completions in
+  for _ = 1 to rounds do
+    let cancelled = ref 0 in
+    while !cancelled < 4 && not (Queue.is_empty oldest) do
+      let id = Queue.pop oldest in
+      if StF.remaining st id <> None then begin
+        apply (StF.En.Cancel id);
+        incr cancelled
+      end
+    done;
+    while StF.alive_count st < alive_target do
+      submit_one ()
+    done;
+    apply (StF.En.Advance 0.25)
+  done;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let out = (!events - e0, !completions - c0, elapsed_s, st) in
+  out
+
+let run_sharded ~quick ~nshards =
+  let alive_target = 1000 in
+  let rounds = if quick then 300 else 2000 in
+  print_endline "================================================================";
+  print_endline " Sharded serve throughput (rows into BENCH_4.json)";
+  print_endline "================================================================";
+  (* Scaling sweep: the single-engine row (shards=1 goes through the
+     store's transparent shim) up to the requested width. On one core
+     the win is algorithmic — per-tick budgets confine each
+     completion's reshare to its own shard, O(alive/S) instead of
+     O(alive) — so events/s climbs with S even without domains. *)
+  let widths =
+    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+    if List.mem nshards base then base else base @ [ nshards ]
+  in
+  let scaling =
+    List.map
+      (fun s ->
+        let input_events, completions, elapsed_s, st =
+          sharded_throughput ~rounds ~alive_target ~nshards:s ()
+        in
+        StF.shutdown st;
+        let eps = float_of_int input_events /. elapsed_s in
+        Printf.printf
+          "  shards=%d input_events=%d completions=%d elapsed=%.3fs -> %.0f events/s\n" s
+          input_events completions elapsed_s eps;
+        (s, eps))
+      widths
+  in
+  let sharded_eps = List.assoc nshards scaling in
+  (* Tail-latency histogram: a shorter timed run (the gettimeofday pair
+     is part of the measured cost, so it stays out of the throughput
+     rows). Quantiles are log-bucket upper edges in microseconds. *)
+  let _, _, _, st =
+    sharded_throughput ~latency:true ~rounds:(max 50 (rounds / 4)) ~alive_target ~nshards ()
+  in
+  let q p = match StF.M.latency_quantile (StF.metrics st) p with Some us -> us | None -> nan in
+  let lat = (q 0.50, q 0.90, q 0.99, q 0.999) in
+  let p50, p90, p99, p999 = lat in
+  Printf.printf "  event latency (shards=%d): p50=%.1fus p90=%.1fus p99=%.1fus p999=%.1fus\n"
+    nshards p50 p90 p99 p999;
+  StF.shutdown st;
+  (sharded_eps, scaling, lat)
+
+(* Stdin ingestion: lines/s of the seed's per-line [input_line] loop vs
+   the 64 KiB chunked reader serve now uses, over the same temp file of
+   serve-sized JSONL lines. *)
+let run_ingest ~quick =
+  let lines = if quick then 100_000 else 1_000_000 in
+  let path = Filename.temp_file "mwct_bench_ingest" ".jsonl" in
+  let oc = open_out path in
+  for i = 0 to lines - 1 do
+    Printf.fprintf oc
+      "{\"event\":\"submit\",\"id\":%d,\"volume\":%d.5,\"weight\":%d,\"cap\":%d}\n" i
+      (1 + (i mod 7)) (1 + (i mod 10)) (1 + (i mod 4))
+  done;
+  close_out oc;
+  let time_lines read =
+    let ic = open_in path in
+    let t0 = Unix.gettimeofday () in
+    let n = read ic in
+    let dt = Unix.gettimeofday () -. t0 in
+    close_in ic;
+    assert (n = lines);
+    float_of_int n /. dt
+  in
+  let before_lps =
+    time_lines (fun ic ->
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (Sys.opaque_identity (input_line ic));
+             incr n
+           done
+         with End_of_file -> ());
+        !n)
+  in
+  let after_lps =
+    time_lines (fun ic ->
+        let r = Ingest.create ic in
+        let n = ref 0 in
+        let rec go () =
+          match Ingest.next_line r with
+          | Some l ->
+            ignore (Sys.opaque_identity l);
+            incr n;
+            go ()
+          | None -> ()
+        in
+        go ();
+        !n)
+  in
+  Sys.remove path;
+  Printf.printf "  stdin ingestion over %d lines: input_line %.0f lines/s, chunked %.0f lines/s (x%.2f)\n"
+    lines before_lps after_lps (after_lps /. before_lps);
+  (before_lps, after_lps)
 
 (* ---------- part 5: generalized rate model (BENCH_5.json) ---------- *)
 
@@ -638,13 +828,20 @@ let run_speedup_bench ~quick =
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
-  let floor =
+  let opt_arg name =
     let rec go = function
-      | "--min-events-per-sec" :: v :: _ -> Some (float_of_string v)
+      | key :: v :: _ when key = name -> Some v
       | _ :: rest -> go rest
       | [] -> None
     in
     go argv
+  in
+  let floor = Option.map float_of_string (opt_arg "--min-events-per-sec") in
+  let sharded_floor = Option.map float_of_string (opt_arg "--min-sharded-events-per-sec") in
+  let nshards =
+    match Option.map int_of_string (opt_arg "--shards") with
+    | Some s when s >= 1 -> s
+    | Some _ | None -> 4
   in
   if (not quick) && not (List.mem "--no-experiments" argv) then run_experiments ();
   let rows = benchmark ~quota:(if quick then 0.05 else 0.5) in
@@ -652,12 +849,17 @@ let () =
   emit_json "BENCH_1.json" kernel_rows;
   emit_json "BENCH_2.json" registry_rows;
   let events_per_sec = run_throughput ~quick in
-  run_data_plane ~events_per_sec;
+  let sharded_eps, scaling, lat = run_sharded ~quick ~nshards in
+  let ingest = run_ingest ~quick in
+  run_data_plane ~events_per_sec ~nshards ~sharded_eps ~scaling ~lat ~ingest;
   run_speedup_bench ~quick;
-  match floor with
-  | Some f when events_per_sec < f ->
-    Printf.eprintf "FAIL: engine throughput %.0f events/s is below the floor %.0f events/s\n"
-      events_per_sec f;
-    exit 1
-  | Some f -> Printf.printf "Throughput floor satisfied: %.0f >= %.0f events/s\n" events_per_sec f
-  | None -> ()
+  let check what floor measured =
+    match floor with
+    | Some f when measured < f ->
+      Printf.eprintf "FAIL: %s %.0f events/s is below the floor %.0f events/s\n" what measured f;
+      exit 1
+    | Some f -> Printf.printf "%s floor satisfied: %.0f >= %.0f events/s\n" what measured f
+    | None -> ()
+  in
+  check "engine throughput" floor events_per_sec;
+  check "sharded throughput" sharded_floor sharded_eps

@@ -336,14 +336,19 @@ let simulate_cmd =
 
 (* ---------- serve ---------- *)
 
-(* Long-lived online front end over the incremental runtime engine:
-   events come in as line-delimited commands (text grammar or journal
-   JSONL, auto-detected per line), decisions and metrics go out as
-   JSONL. The policy argument is gated through the solver registry's
-   capability flags: a registry algorithm may drive the engine only if
-   it is Non_clairvoyant; policy-only names (equi, priority-weight)
-   pass through. Deterministic output — wall-clock gauges are never
-   printed — so the golden CLI tests can diff it byte for byte.
+(* Long-lived online front end over the sharded runtime store: events
+   come in as line-delimited commands (text grammar or journal JSONL,
+   auto-detected per line), decisions and metrics go out as JSONL.
+   With --shards 1 (the default) the store is a transparent shim over
+   a single engine — output bytes are identical to driving the engine
+   directly; --shards N partitions tasks by --tenant-key across N
+   engine shards re-budgeted each tick by a cross-shard WDEQ allocator
+   (DESIGN.md §14). The policy argument is gated through the solver
+   registry's capability flags: a registry algorithm may drive the
+   engine only if it is Non_clairvoyant; policy-only names (equi,
+   priority-weight) pass through. Deterministic output — wall-clock
+   gauges are never printed (--latency only feeds the metrics
+   histogram) — so the golden CLI tests can diff it byte for byte.
 
    Text grammar (one command per line; '#' starts a comment):
      submit ID VOLUME WEIGHT CAP
@@ -356,9 +361,11 @@ module Serve_runner (D : sig
   module F : Mwct_field.Field.S
 end) =
 struct
-  module En = Mwct_runtime.Engine.Make (D.F)
-  module J = Mwct_runtime.Journal.Make (D.F)
+  module St = Mwct_runtime.Shard.Make (D.F)
+  module En = St.En
+  module J = St.J
   module P = Mwct_ncv.Policy.Make (D.F)
+  module Ingest = Mwct_runtime.Ingest
 
   let policy_names = String.concat ", " (List.map P.name P.all)
 
@@ -390,10 +397,26 @@ struct
     | Ok (Some p) -> Ok p
     | Ok None -> Error (Printf.sprintf "unknown policy %S; known: %s" name policy_names)
 
-  let run ~policy_name ~procs_str ~input ~record_path ~no_segments : int =
+  let run ~policy_name ~procs_str ~input ~record_path ~no_segments ~nshards ~tenant_key
+      ~shard_cap_str ~latency : int =
     let fail_input msg =
       Printf.eprintf "error: %s\n" msg;
       exit exit_bad_input
+    in
+    if nshards < 1 then fail_input (Printf.sprintf "bad --shards value %d (need >= 1)" nshards);
+    let route =
+      match tenant_key with
+      | "hash" -> St.Hash
+      | "mod" -> St.Mod
+      | other -> fail_input (Printf.sprintf "bad --tenant-key value %S (hash or mod)" other)
+    in
+    let shard_cap =
+      match shard_cap_str with
+      | None -> None
+      | Some s -> (
+        match D.F.of_repr s with
+        | Some c when D.F.sign c > 0 -> Some c
+        | _ -> fail_input (Printf.sprintf "bad --shard-cap value %S" s))
     in
     let default_policy =
       match resolve_policy policy_name with Ok p -> p | Error msg -> fail_input msg
@@ -413,61 +436,66 @@ struct
       | None -> None
       | Some p -> ( try Some (open_out p) with Sys_error msg -> fail_input msg)
     in
-    (* One monotonic sequence counter shared by the journal file and
-       the decision lines on stdout. *)
-    let seq = ref 0 in
-    let record_entry entry =
-      let s = !seq in
-      incr seq;
-      (match record_oc with
-      | Some oc ->
-        output_string oc (J.to_line ~seq:s entry);
-        output_char oc '\n';
-        flush oc
-      | None -> ());
-      s
-    in
-    let eng = ref None in
-    let init_engine ~capacity ~policy ~policy_label =
+    (* Per-shard journal files (PATH.<k>) only exist for a sharded run:
+       with one shard the merged journal IS the engine journal. *)
+    let shard_ocs = ref [||] in
+    let store = ref None in
+    let init_store ~capacity ~policy ~policy_label =
       (* [--no-segments] drops per-task rate histories (unbounded on
          long-lived processes) and, on the float engine, enables the
          allocation-free advance kernel. Decision and metrics output is
          unchanged — histories only surface in closed-task records. *)
-      let e =
-        En.create ~record_segments:(not no_segments)
-          ?kinetic:(P.engine_kinetic policy) ~capacity ~policy:(P.engine_policy policy) ()
+      let line_sink oc line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
       in
-      ignore (record_entry (J.Init { capacity; policy = policy_label }));
-      eng := Some e;
-      e
+      let shard_sink =
+        match record_path with
+        | Some p when nshards > 1 ->
+          let ocs =
+            Array.init nshards (fun k ->
+                try open_out (Printf.sprintf "%s.%d" p k)
+                with Sys_error msg -> fail_input msg)
+          in
+          shard_ocs := ocs;
+          Some (fun k line -> line_sink ocs.(k) line)
+        | _ -> None
+      in
+      let s =
+        St.create ~record_segments:(not no_segments) ?shard_cap
+          ?merged_sink:(Option.map line_sink record_oc)
+          ~decision_sink:print_endline ?shard_sink ~nshards ~route ~capacity
+          ~allocator:(P.engine_policy P.Wdeq) ~policy:(P.engine_policy policy)
+          ~kinetic:(fun () -> P.engine_kinetic policy)
+          ~policy_label ()
+      in
+      store := Some s;
+      s
     in
-    let get_engine () =
-      match !eng with
-      | Some e -> e
+    let get_store () =
+      match !store with
+      | Some s -> s
       | None ->
-        init_engine ~capacity:default_procs ~policy:default_policy ~policy_label:policy_name
+        init_store ~capacity:default_procs ~policy:default_policy ~policy_label:policy_name
     in
     let handle_event ev =
-      let e = get_engine () in
-      match En.apply e ev with
-      | Ok notes ->
-        ignore (record_entry (J.Input ev));
-        List.iter
-          (fun (nt : En.notification) ->
-            let entry = J.Output { id = nt.En.id; at = nt.En.at } in
-            let s = record_entry entry in
-            print_endline (J.to_line ~seq:s entry))
-          notes
-      | Error err -> print_endline (error_json (En.error_to_string err))
+      let s = get_store () in
+      let t0 = if latency then Unix.gettimeofday () else 0. in
+      (* decision lines reach stdout through the store's decision sink *)
+      (match St.apply s ev with
+      | Ok _ -> ()
+      | Error err -> print_endline (error_json (En.error_to_string err)));
+      if latency then St.observe_latency s (Unix.gettimeofday () -. t0)
     in
     let handle_init ~capacity ~policy_label =
-      if !eng <> None then print_endline (error_json "init after events; line ignored")
+      if !store <> None then print_endline (error_json "init after events; line ignored")
       else
         match resolve_policy policy_label with
         | Error msg -> print_endline (error_json msg)
         | Ok p ->
           if D.F.sign capacity <= 0 then print_endline (error_json "init: capacity must be positive")
-          else ignore (init_engine ~capacity ~policy:p ~policy_label)
+          else ignore (init_store ~capacity ~policy:p ~policy_label)
     in
     let num s = D.F.of_repr s in
     let handle_text_line line =
@@ -514,7 +542,7 @@ struct
         | Some dt -> handle_event (En.Advance dt)
         | None -> print_endline (error_json ("advance: bad duration: " ^ line)))
       | [ "drain" ] -> handle_event En.Drain
-      | [ "metrics" ] -> print_endline (En.metrics_json (get_engine ()))
+      | [ "metrics" ] -> print_endline (St.metrics_json (get_store ()))
       | _ -> print_endline (error_json ("unknown command: " ^ line))
     in
     let handle_json_line line =
@@ -522,23 +550,33 @@ struct
       | Error msg -> print_endline (error_json ("bad journal line: " ^ msg))
       | Ok (_, J.Init { capacity; policy }) -> handle_init ~capacity ~policy_label:policy
       | Ok (_, J.Input ev) -> handle_event ev
-      | Ok (_, J.Output _) -> ()
-      (* out lines are the recorded run's decisions; this run recomputes
-         its own (Journal.replay is the strict verifier) *)
+      | Ok (_, (J.Output _ | J.Budget _)) -> ()
+      (* out lines are the recorded run's decisions and budget lines its
+         per-tick shard allocations; this run recomputes its own
+         (Journal.replay is the strict verifier) *)
     in
+    (* 64KiB-chunked reader (Ingest): input_line's per-character channel
+       reads are measurable at serve's event rates. Same line semantics,
+       including a final unterminated line. *)
+    let reader = Ingest.create ic in
     let quit = ref false in
-    (try
-       while not !quit do
-         let line = input_line ic in
-         let trimmed = String.trim line in
-         if trimmed = "quit" || trimmed = "exit" then quit := true
-         else if String.length trimmed > 0 && trimmed.[0] = '{' then handle_json_line trimmed
-         else handle_text_line trimmed
-       done
-     with End_of_file -> ());
-    (* Final metrics line: the state the process ends on. *)
-    print_endline (En.metrics_json (get_engine ()));
+    let eof = ref false in
+    while not (!quit || !eof) do
+      match Ingest.next_line reader with
+      | None -> eof := true
+      | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "quit" || trimmed = "exit" then quit := true
+        else if String.length trimmed > 0 && trimmed.[0] = '{' then handle_json_line trimmed
+        else handle_text_line trimmed
+    done;
+    (* Final metrics line: the state the process ends on. An empty
+       input stream still initializes the store, so the line (and exit
+       0) is emitted even when no event ever arrived. *)
+    print_endline (St.metrics_json (get_store ()));
+    (match !store with Some s -> St.shutdown s | None -> ());
     (match record_oc with Some oc -> close_out oc | None -> ());
+    Array.iter close_out !shard_ocs;
     if ic != stdin then close_in ic;
     0
 end
@@ -582,21 +620,51 @@ let serve_cmd =
                 the float engine this also enables the allocation-free advance fast path. \
                 Decisions, metrics and journals are byte-identical either way.")
   in
-  let run policy procs exact journal record no_segments =
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:
+               "Partition tasks across N engine shards re-budgeted each tick by a cross-shard \
+                WDEQ allocator (domain-parallel on OCaml 5). N=1 is byte-identical to the \
+                unsharded engine.")
+  in
+  let tenant_key =
+    Arg.(value & opt string "hash"
+         & info [ "tenant-key" ] ~docv:"KEY"
+             ~doc:
+               "Shard routing: $(b,hash) (splitmix64 of the task id — spreads clustered tenant \
+                ids) or $(b,mod) (id mod N).")
+  in
+  let shard_cap =
+    Arg.(value & opt (some string) None
+         & info [ "shard-cap" ] ~docv:"C"
+             ~doc:"Per-shard budget ceiling (default: the full --procs capacity).")
+  in
+  let latency =
+    Arg.(value & flag
+         & info [ "latency" ]
+             ~doc:
+               "Record per-event service latency into the metrics histogram (lat_p50_us..p999). \
+                Only the histogram is affected; decision output stays deterministic.")
+  in
+  let run policy procs exact journal record no_segments shards tenant_key shard_cap latency =
     exit
       (if exact then
          Serve_exact.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record
-           ~no_segments
+           ~no_segments ~nshards:shards ~tenant_key ~shard_cap_str:shard_cap ~latency
        else
          Serve_float.run ~policy_name:policy ~procs_str:procs ~input:journal ~record_path:record
-           ~no_segments)
+           ~no_segments ~nshards:shards ~tenant_key ~shard_cap_str:shard_cap ~latency)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the online scheduling engine as a long-lived process: events in (stdin or --journal), \
-          decision/metrics JSONL out; --record writes a replayable journal.")
-    Term.(const run $ policy $ procs $ exact $ journal $ record $ no_segments)
+          decision/metrics JSONL out; --record writes a replayable journal (plus per-shard \
+          journals PATH.N when sharded).")
+    Term.(
+      const run $ policy $ procs $ exact $ journal $ record $ no_segments $ shards $ tenant_key
+      $ shard_cap $ latency)
 
 (* ---------- fuzz ---------- *)
 

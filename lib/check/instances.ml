@@ -18,11 +18,12 @@ type family =
   | Tiny_den
   | Concave_curves
   | Capacity_tight
+  | Multi_tenant
 
 let all_families =
   [
     Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den;
-    Concave_curves; Capacity_tight;
+    Concave_curves; Capacity_tight; Multi_tenant;
   ]
 
 let family_name = function
@@ -37,6 +38,7 @@ let family_name = function
   | Tiny_den -> "tiny-den"
   | Concave_curves -> "concave-curves"
   | Capacity_tight -> "capacity-tight"
+  | Multi_tenant -> "multi-tenant"
 
 let family_of_string s = List.find_opt (fun f -> family_name f = s) all_families
 
@@ -69,6 +71,15 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
   let p = max 1 procs in
   let dyadic () = Spec.rat (draw 1 den) den in
   let one = Spec.rat 1 1 in
+  (* Multi_tenant draws its per-tenant weight bases up front (gated so
+     other families' draw streams are untouched): tasks of one tenant
+     share a weight, so weight mass arrives in clusters — the shape the
+     sharded store's routing and cross-shard allocator see in serve. *)
+  let tenant_bases =
+    match family with
+    | Multi_tenant -> Array.init 4 (fun _ -> dyadic ())
+    | _ -> [||]
+  in
   let task () =
     match family with
     | Uniform ->
@@ -120,6 +131,12 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
       let capacity = draw 1 delta in
       let speedup = if draw 0 1 = 1 then curve draw ~delta else [] in
       Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~speedup ~capacity ~delta ()
+    | Multi_tenant ->
+      (* Tenant-clustered weights: each task joins one of four tenants
+         and inherits its weight base; volumes and widths stay
+         individual. *)
+      let tenant = draw 0 (Array.length tenant_bases - 1) in
+      Spec.task ~volume:(dyadic ()) ~weight:tenant_bases.(tenant) ~delta:(draw 1 p) ()
   in
   Spec.make ~procs:p (List.init (max 1 n) (fun _ -> task ()))
 

@@ -34,6 +34,11 @@ type family =
       (** per-task [capacity] clauses at or below [δ] (the clamp
           binds), half the tasks also curved — exercises breakpoint
           truncation in [Instance.of_spec] *)
+  | Multi_tenant
+      (** tenant-clustered weights: each task inherits one of four
+          shared weight bases, so weight mass arrives in clusters —
+          the shape the sharded store's routing and cross-shard
+          allocator see ({!Shard_check}) *)
 
 val all_families : family list
 

@@ -1,0 +1,272 @@
+(** Replay oracles for the sharded store (DESIGN.md §14).
+
+    The sharded store's share profile is hierarchical (per-tick WDEQ
+    budgets over shards, WDEQ again inside each shard), which is {e
+    not} the flat single-engine profile — so correctness is pinned as
+    determinism and replayability rather than objective equality:
+
+    - {!check_single_identity} — with one shard the store must be a
+      transparent shim: journal bytes and dump fingerprint identical to
+      driving a plain engine by hand.
+    - {!check_shard_replay} — each per-shard journal (init / budget /
+      absolute advances / submits / out lines) must replay on a plain
+      single engine via {!Mwct_runtime.Journal.Make.replay} into the
+      exact live shard state (dump equality, objective equality, and
+      the shard objectives must sum to the store objective).
+    - {!check_merged_determinism} — the merged journal's input lines,
+      fed back through a fresh store, must reproduce every journal byte
+      (merged and per-shard).
+    - {!check_flat_agreement} — on a drained stream the completion
+      {e set} (not times) must match a flat single engine's: sharding
+      reorders work, it must never lose or invent a task.
+
+    Streams come from {!gen_stream}: tenant-clustered random traffic
+    (submit / cancel / advance) with ids dense per tenant, ending in a
+    drain. Everything is driven by an {!Instances.draw}, so the fuzz
+    harness and the unit tests share the generator. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module St = Mwct_runtime.Shard.Make (F)
+  module En = St.En
+  module J = St.J
+  module P = Mwct_ncv.Policy.Make (F)
+
+  let policy () = P.engine_policy P.Wdeq
+  let kinetic () = P.engine_kinetic P.Wdeq
+  let resolve name = if name = "wdeq" then Some (policy ()) else None
+
+  (* ---------- stream generation ---------- *)
+
+  (** A tenant-clustered event stream: [len] random events (weighted
+      toward submits, with cancels of live tasks and small advances)
+      followed by [Drain]. Task ids are allocated densely, so tenant =
+      id mod [tenants] — routing with [St.Mod] and [nshards = tenants]
+      gives one shard per tenant; [St.Hash] scatters them. Weights are
+      per-tenant bases (clustered mass), volumes and caps individual. *)
+  let gen_stream (draw : Instances.draw) ?(tenants = 4) ~len () : En.event list =
+    let bases = Array.init tenants (fun _ -> draw 1 8) in
+    let next = ref 0 in
+    (* Cancels target only tasks submitted since the last advance:
+       volumes are positive and submit/cancel move no time, so those
+       tasks provably haven't completed yet — the stream applies
+       cleanly to any engine without simulating completions here. *)
+    let fresh = ref [] in
+    let nfresh = ref 0 in
+    let submit () =
+      let id = !next in
+      incr next;
+      fresh := id :: !fresh;
+      incr nfresh;
+      En.Submit
+        {
+          id;
+          volume = F.of_q (draw 1 32) 4;
+          weight = F.of_int bases.(id mod tenants);
+          cap = F.of_int (draw 1 4);
+          speedup = None;
+        }
+    in
+    let events =
+      List.init len (fun _ ->
+          match draw 0 9 with
+          | 0 | 1 | 2 | 3 | 4 -> submit ()
+          | 5 | 6 when !nfresh > 0 ->
+            let k = draw 0 (!nfresh - 1) in
+            let id = List.nth !fresh k in
+            fresh := List.filter (fun i -> i <> id) !fresh;
+            decr nfresh;
+            En.Cancel id
+          | 5 | 6 -> submit ()
+          | _ ->
+            fresh := [];
+            nfresh := 0;
+            En.Advance (F.of_q (draw 0 8) 4))
+    in
+    events @ [ En.Drain ]
+
+  (* ---------- store / engine drivers ---------- *)
+
+  type capture = {
+    store : St.t;
+    merged : string list;  (* chronological *)
+    shards : string list array;  (* chronological, per shard *)
+  }
+
+  (** Run a stream through a sharded store, capturing every journal
+      line. Engine errors are reported — generated streams must apply
+      cleanly. *)
+  let run_store ?(record_segments = true) ~nshards ~route ~capacity (stream : En.event list) :
+      (capture, string) result =
+    let merged = ref [] in
+    let shards = Array.make nshards [] in
+    let store =
+      St.create ~record_segments ~nshards ~route ~capacity
+        ~merged_sink:(fun l -> merged := l :: !merged)
+        ~shard_sink:(fun k l -> shards.(k) <- l :: shards.(k))
+        ~allocator:(policy ()) ~policy:(policy ()) ~kinetic ~policy_label:"wdeq" ()
+    in
+    let err = ref None in
+    List.iteri
+      (fun i ev ->
+        if !err = None then
+          match St.apply store ev with
+          | Ok _ -> ()
+          | Error e -> err := Some (Printf.sprintf "event %d: %s" i (En.error_to_string e)))
+      stream;
+    St.shutdown store;
+    match !err with
+    | Some msg -> Error msg
+    | None ->
+      Ok { store; merged = List.rev !merged; shards = Array.map List.rev shards }
+
+  (** Drive a plain engine by hand, producing the same journal a
+      single-shard store (or the pre-shard serve loop) would: init
+      first, an input line per applied event, an out line per decision,
+      one shared sequence counter. *)
+  let run_plain ?(record_segments = true) ~capacity (stream : En.event list) :
+      (En.t * string list, string) result =
+    let eng = En.create ~record_segments ?kinetic:(kinetic ()) ~capacity ~policy:(policy ()) () in
+    let lines = ref [] in
+    let seq = ref 0 in
+    let emit e =
+      lines := J.to_line ~seq:!seq e :: !lines;
+      incr seq
+    in
+    emit (J.Init { capacity; policy = "wdeq" });
+    let err = ref None in
+    List.iteri
+      (fun i ev ->
+        if !err = None then
+          match En.apply eng ev with
+          | Ok notes ->
+            emit (J.Input ev);
+            List.iter (fun (n : En.notification) -> emit (J.Output { id = n.En.id; at = n.En.at })) notes
+          | Error e -> err := Some (Printf.sprintf "event %d: %s" i (En.error_to_string e)))
+      stream;
+    match !err with Some msg -> Error msg | None -> Ok (eng, List.rev !lines)
+
+  let ( let* ) = Result.bind
+
+  let diff_lines what a b =
+    if a = b then Ok ()
+    else begin
+      let rec first i a b =
+        match (a, b) with
+        | [], [] -> Printf.sprintf "%s: length mismatch" what
+        | x :: _, [] | [], x :: _ -> Printf.sprintf "%s: line %d only on one side: %s" what i x
+        | x :: xs, y :: ys ->
+          if x = y then first (i + 1) xs ys
+          else Printf.sprintf "%s: line %d differs:\n  %s\n  %s" what i x y
+      in
+      Error (first 0 a b)
+    end
+
+  (* ---------- the oracles ---------- *)
+
+  (** A one-shard store must be byte-identical to the plain engine:
+      same journal lines, same dump fingerprint, same objective. *)
+  let check_single_identity (draw : Instances.draw) ~len : (unit, string) result =
+    let stream = gen_stream draw ~len () in
+    let capacity = F.of_int 4 in
+    let* c = run_store ~nshards:1 ~route:St.Mod ~capacity stream in
+    let* eng, plain_lines = run_plain ~capacity stream in
+    let* () = diff_lines "single-shard journal" c.merged plain_lines in
+    if St.dump c.store <> En.dump eng then Error "single-shard dump differs from plain engine"
+    else if not (F.equal (St.weighted_completion c.store) (En.weighted_completion eng)) then
+      Error "single-shard objective differs from plain engine"
+    else Ok ()
+
+  (** Every per-shard journal must replay on a plain single engine into
+      the exact live shard state, and the shard objectives must sum to
+      the store objective ([F.equal] — the sum is in ascending shard
+      order, the order {!Mwct_runtime.Shard.Make.metrics_json}
+      aggregates in). *)
+  let check_shard_replay (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
+    let stream = gen_stream draw ~len () in
+    let capacity = F.of_int 4 in
+    let* c = run_store ~nshards ~route ~capacity stream in
+    let engines = St.engines c.store in
+    let rec shard k acc_obj =
+      if k = nshards then
+        if F.equal acc_obj (St.weighted_completion c.store) then Ok ()
+        else Error "shard objectives do not sum to the store objective"
+      else begin
+        let* entries =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              match J.of_line line with
+              | Ok e -> Ok (e :: acc)
+              | Error msg -> Error (Printf.sprintf "shard %d journal: %s" k msg))
+            (Ok []) c.shards.(k)
+          |> Result.map List.rev
+        in
+        let* replayed =
+          Result.map_error (fun msg -> Printf.sprintf "shard %d replay: %s" k msg)
+            (J.replay ~resolve entries)
+        in
+        if En.dump replayed <> En.dump engines.(k) then
+          Error (Printf.sprintf "shard %d: replayed dump differs from live shard" k)
+        else shard (k + 1) (F.add acc_obj (En.weighted_completion replayed))
+      end
+    in
+    shard 0 F.zero
+
+  (** Feeding the merged journal's input lines through a fresh store
+      must reproduce every journal byte — merged and per-shard. *)
+  let check_merged_determinism (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result
+      =
+    let stream = gen_stream draw ~len () in
+    let capacity = F.of_int 4 in
+    let* c = run_store ~nshards ~route ~capacity stream in
+    let* inputs =
+      List.fold_left
+        (fun acc line ->
+          let* acc = acc in
+          match J.of_line line with
+          | Ok (_, J.Input ev) -> Ok (ev :: acc)
+          | Ok (_, (J.Init _ | J.Output _ | J.Budget _)) -> Ok acc
+          | Error msg -> Error (Printf.sprintf "merged journal: %s" msg))
+        (Ok []) c.merged
+      |> Result.map List.rev
+    in
+    let* c2 = run_store ~nshards ~route ~capacity inputs in
+    let* () = diff_lines "merged journal (re-run)" c.merged c2.merged in
+    let rec shards k =
+      if k = nshards then Ok ()
+      else
+        let* () = diff_lines (Printf.sprintf "shard %d journal (re-run)" k) c.shards.(k) c2.shards.(k) in
+        shards (k + 1)
+    in
+    shards 0
+
+  (** On a drained stream the sharded completion set must equal the
+      flat single engine's — same completed task ids, none lost to
+      routing, none double-completed (times differ: hierarchical
+      budgets are not the flat profile). *)
+  let check_flat_agreement (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
+    let stream = gen_stream draw ~len () in
+    let capacity = F.of_int 4 in
+    let* c = run_store ~nshards ~route ~capacity stream in
+    let* eng, _ = run_plain ~capacity stream in
+    let completed_ids lines =
+      List.filter_map
+        (fun line -> match J.of_line line with Ok (_, J.Output { id; _ }) -> Some id | _ -> None)
+        lines
+      |> List.sort_uniq compare
+    in
+    let sharded = completed_ids c.merged in
+    let flat = List.map fst (En.completions eng) in
+    if sharded = flat then
+      if St.alive_count c.store = 0 then Ok ()
+      else Error "store not drained: alive tasks remain after Drain"
+    else
+      Error
+        (Printf.sprintf "completion sets differ: %d sharded vs %d flat" (List.length sharded)
+           (List.length flat))
+end
+
+(** Pre-applied checkers. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

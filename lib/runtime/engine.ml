@@ -72,6 +72,11 @@ module Make (F : Mwct_field.Field.S) = struct
       }
     | Cancel of int
     | Advance of F.t  (** relative: advance virtual time by [dt >= 0] *)
+    | Advance_to of F.t
+        (** absolute: advance to a target time [>= now]. The engine
+            lands exactly on the target (assigned, not accumulated) —
+            the sharded store drives every shard with the same absolute
+            targets so their clocks stay bit-identical. *)
     | Drain  (** run the alive set to completion *)
 
   type error =
@@ -112,7 +117,7 @@ module Make (F : Mwct_field.Field.S) = struct
      makes every read/write in the monomorphic kernel an unboxed array
      access instead of a boxed record field. *)
   type t = {
-    capacity : F.t;
+    mutable capacity : F.t;  (* mutable: the sharded store re-budgets it each tick *)
     policy : policy;
     kinetic : kinetic option;
     record_segments : bool;
@@ -343,6 +348,21 @@ module Make (F : Mwct_field.Field.S) = struct
 
   let now t = t.now_cell.(0)
   let capacity t = t.capacity
+
+  (** [set_capacity t c] — re-budget the engine to capacity [c >= 0]
+      (zero is legal here, unlike [create]: a sharded store may starve
+      a shard for a tick). Returns whether the capacity actually
+      changed; only a change invalidates the share cache, so re-setting
+      the same budget keeps steady-state [Advance] allocation-free. *)
+  let set_capacity t c : bool =
+    if F.sign c < 0 then invalid_arg "Engine.set_capacity: capacity must be non-negative";
+    if F.equal t.capacity c then false
+    else begin
+      t.capacity <- c;
+      t.dirty <- true;
+      true
+    end
+
   let alive_count t = t.nalive
   let completed_count t = t.metrics.M.completed
   let cancelled_count t = t.metrics.M.cancelled
@@ -537,6 +557,15 @@ module Make (F : Mwct_field.Field.S) = struct
       end
     done;
     !best
+
+  (** Earliest absolute completion estimate under the current shares
+      (recomputing them if stale), [None] when nothing is running. The
+      sharded store peeks every shard to find the global next event;
+      the arithmetic is the advance loop's own ([add_div] first-min),
+      so the peeked time is exactly where the next step will land. *)
+  let next_eta t : F.t option =
+    recompute_if_dirty t;
+    next_completion t
 
   (* Advance every positively-shared task to absolute time [t_next],
      recording segments; then sweep the share list for completions
@@ -858,6 +887,7 @@ module Make (F : Mwct_field.Field.S) = struct
           | Some ops when (not t.record_segments) && t.ncurved = 0 -> ops.f_advance_rel t dt
           | _ -> advance_to_generic t (F.add (now t) dt)
         end
+      | Advance_to target -> advance_to t target
       | Drain -> drain t
     in
     (match r with Ok _ -> t.metrics.M.events <- t.metrics.M.events + 1 | Error _ -> ());

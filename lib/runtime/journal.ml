@@ -1,11 +1,19 @@
 (** JSONL event journal for the online engine.
 
     One JSON object per line, each carrying a monotonically increasing
-    [seq] number. Three line kinds:
+    [seq] number. Four line kinds:
 
-    - [init] — engine parameters (capacity, policy name); always first.
-    - [in]   — an input event ([submit] / [cancel] / [advance] / [drain]).
-    - [out]  — an emitted decision: task [id] completed at time [t].
+    - [init]   — engine parameters (capacity, policy name); always first.
+    - [in]     — an input event ([submit] / [cancel] / [advance] /
+                 [advance_to] / [drain]).
+    - [out]    — an emitted decision: task [id] completed at time [t].
+    - [budget] — a mid-stream capacity re-assignment (the sharded
+                 store's per-tick processor budget for this shard).
+
+    Lines of a sharded store's merged journal additionally carry a
+    [shard] field naming the owning shard ({!to_line}'s [?shard];
+    {!of_line_tagged} surfaces it). Untagged lines are byte-identical
+    to single-engine journals.
 
     Numeric payloads follow the library's dual-rendering convention: a
     decimal [float] field for tooling plus an exact [_repr] string
@@ -27,6 +35,11 @@ module Make (F : Mwct_field.Field.S) = struct
     | Init of { capacity : F.t; policy : string }
     | Input of En.event
     | Output of { id : int; at : F.t }
+    | Budget of F.t
+        (** capacity re-assignment mid-stream ({!Engine.set_capacity}):
+            the sharded store records each shard's per-tick processor
+            budget so a per-shard journal replays on a plain single
+            engine. *)
 
   (* ---------- encoding ---------- *)
 
@@ -51,13 +64,21 @@ module Make (F : Mwct_field.Field.S) = struct
   let obj fields =
     "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
 
-  (** One journal line (no trailing newline). *)
-  let to_line ~seq (e : entry) : string =
+  (** One journal line (no trailing newline). [shard], when given, tags
+      the line with the owning shard of a sharded store's merged
+      journal; untagged lines are byte-identical to single-engine
+      journals. *)
+  let to_line ?shard ~seq (e : entry) : string =
     let seq_field = ("seq", string_of_int seq) in
+    let seq_field =
+      match shard with
+      | None -> [ seq_field ]
+      | Some k -> [ seq_field; ("shard", string_of_int k) ]
+    in
     match e with
     | Init { capacity; policy } ->
       obj
-        ([ seq_field; ("type", "\"init\"") ]
+        (seq_field @ [ ("type", "\"init\"") ]
         @ num_fields "capacity" capacity
         @ [ ("policy", Printf.sprintf "\"%s\"" (escape policy)) ])
     | Input (En.Submit { id; volume; weight; cap; speedup }) ->
@@ -82,14 +103,16 @@ module Make (F : Mwct_field.Field.S) = struct
           ]
       in
       obj
-        ([ seq_field; ("type", "\"submit\""); ("id", string_of_int id) ]
+        (seq_field @ [ ("type", "\"submit\""); ("id", string_of_int id) ]
         @ num_fields "volume" volume @ num_fields "weight" weight @ num_fields "cap" cap
         @ speedup_fields)
-    | Input (En.Cancel id) -> obj [ seq_field; ("type", "\"cancel\""); ("id", string_of_int id) ]
-    | Input (En.Advance dt) -> obj ([ seq_field; ("type", "\"advance\"") ] @ num_fields "dt" dt)
-    | Input En.Drain -> obj [ seq_field; ("type", "\"drain\"") ]
+    | Input (En.Cancel id) -> obj (seq_field @ [ ("type", "\"cancel\""); ("id", string_of_int id) ])
+    | Input (En.Advance dt) -> obj (seq_field @ [ ("type", "\"advance\"") ] @ num_fields "dt" dt)
+    | Input (En.Advance_to at) -> obj (seq_field @ [ ("type", "\"advance_to\"") ] @ num_fields "t" at)
+    | Input En.Drain -> obj (seq_field @ [ ("type", "\"drain\"") ])
     | Output { id; at } ->
-      obj ([ seq_field; ("type", "\"complete\""); ("id", string_of_int id) ] @ num_fields "t" at)
+      obj (seq_field @ [ ("type", "\"complete\""); ("id", string_of_int id) ] @ num_fields "t" at)
+    | Budget c -> obj (seq_field @ [ ("type", "\"budget\"") ] @ num_fields "capacity" c)
 
   (* ---------- flat-object JSON parsing ---------- *)
 
@@ -170,7 +193,9 @@ module Make (F : Mwct_field.Field.S) = struct
     end;
     List.rev !fields
 
-  let of_line (line : string) : (int * entry, string) result =
+  (** Parse one line, surfacing the optional shard tag of a merged
+      sharded journal. *)
+  let of_line_tagged (line : string) : (int * int option * entry, string) result =
     try
       let fields = parse_object line in
       let get k =
@@ -239,12 +264,27 @@ module Make (F : Mwct_field.Field.S) = struct
                })
         | "cancel" -> Input (En.Cancel (get_int "id"))
         | "advance" -> Input (En.Advance (get_num "dt"))
+        | "advance_to" -> Input (En.Advance_to (get_num "t"))
         | "drain" -> Input En.Drain
         | "complete" -> Output { id = get_int "id"; at = get_num "t" }
+        | "budget" -> Budget (get_num "capacity")
         | ty -> raise (Parse (Printf.sprintf "unknown line type %S" ty))
       in
-      Ok (seq, entry)
+      let shard =
+        match List.assoc_opt "shard" fields with
+        | None -> None
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some k -> Some k
+          | None -> raise (Parse "field \"shard\": not an integer"))
+      in
+      Ok (seq, shard, entry)
     with Parse msg -> Error msg
+
+  let of_line (line : string) : (int * entry, string) result =
+    match of_line_tagged line with
+    | Ok (seq, _, entry) -> Ok (seq, entry)
+    | Error msg -> Error msg
 
   (* ---------- writer ---------- *)
 
@@ -317,6 +357,12 @@ module Make (F : Mwct_field.Field.S) = struct
           last_seq := seq;
           match entry with
           | Init _ -> raise (Fail (Printf.sprintf "seq %d: duplicate init line" seq))
+          | Budget c ->
+            (* the recorded per-tick budget of a sharded run's shard:
+               re-apply it so the plain engine reproduces the shard's
+               completions exactly *)
+            if F.sign c < 0 then raise (Fail (Printf.sprintf "seq %d: negative budget" seq))
+            else ignore (En.set_capacity eng c)
           | Input e -> (
             match En.apply eng e with
             | Ok notes -> pending := !pending @ notes

@@ -17,6 +17,11 @@ module Make (F : Mwct_field.Field.S) = struct
     mutable alloc_changes : int;  (** individual per-task share changes *)
     mutable weighted_completion : F.t;  (** [Σ w_i C_i] over completed tasks *)
     mutable weighted_flow : F.t;  (** [Σ w_i (C_i − submit_i)] over completed tasks *)
+    (* Log-bucketed service-time histogram: bucket [i] counts
+       observations in [2^i, 2^(i+1)) nanoseconds. Observations only
+       ever accumulate, so [lat_count] alone keys memo validity. *)
+    lat : int array;
+    mutable lat_count : int;
     (* Snapshot memo, keyed on the event counter plus the remaining
        counters (the direct engine API can mutate state between event
        bumps): polling [to_json] on an idle engine costs a string
@@ -28,6 +33,8 @@ module Make (F : Mwct_field.Field.S) = struct
     mutable snap : string;
   }
 
+  let lat_buckets = 64
+
   let create () =
     {
       events = 0;
@@ -38,20 +45,63 @@ module Make (F : Mwct_field.Field.S) = struct
       alloc_changes = 0;
       weighted_completion = F.zero;
       weighted_flow = F.zero;
+      lat = Array.make lat_buckets 0;
+      lat_count = 0;
       snap_state = None;
       snap_alive = 0;
       snap_now = F.zero;
       snap = "";
     }
 
-  (* Copies drop the memo so snapshot chains never retain each other. *)
+  (* Copies drop the memo so snapshot chains never retain each other.
+     The histogram array is shared — memo validity compares only
+     [lat_count], which pins the (append-only) bucket contents. *)
   let copy (m : t) = { m with snap_state = None; snap = "" }
 
   let equal (a : t) (b : t) =
     a.events = b.events && a.submitted = b.submitted && a.completed = b.completed
     && a.cancelled = b.cancelled && a.reshares = b.reshares && a.alloc_changes = b.alloc_changes
+    && a.lat_count = b.lat_count
     && F.equal a.weighted_completion b.weighted_completion
     && F.equal a.weighted_flow b.weighted_flow
+
+  (* ---------- tail-latency histogram ---------- *)
+
+  (* [observe_latency m secs] files one per-event service time (seconds,
+     wall clock) into the log-bucketed histogram. Sub-nanosecond and
+     non-finite observations land in bucket 0; anything beyond ~2^63 ns
+     in the last. *)
+  let observe_latency (m : t) (secs : float) : unit =
+    let ns = secs *. 1e9 in
+    let b =
+      if not (ns >= 1.) then 0
+      else begin
+        let i = int_of_float (Float.log2 ns) in
+        if i < 0 then 0 else if i >= lat_buckets then lat_buckets - 1 else i
+      end
+    in
+    m.lat.(b) <- m.lat.(b) + 1;
+    m.lat_count <- m.lat_count + 1
+
+  (** [latency_quantile m q] — upper edge (microseconds) of the bucket
+      holding the [q]-quantile observation, [None] while the histogram
+      is empty. Log bucketing means the value is exact to within a
+      factor of 2 — the right resolution for a tail-latency gauge. *)
+  let latency_quantile (m : t) (q : float) : float option =
+    if m.lat_count = 0 then None
+    else begin
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int m.lat_count)) in
+        if r < 1 then 1 else if r > m.lat_count then m.lat_count else r
+      in
+      let acc = ref 0 and b = ref 0 in
+      while !acc < rank && !b < lat_buckets do
+        acc := !acc + m.lat.(!b);
+        incr b
+      done;
+      (* bucket !b - 1 covers [2^(b-1), 2^b) ns; report the upper edge in µs *)
+      Some (Float.pow 2. (float_of_int !b) /. 1e3)
+    end
 
   let json_escape s =
     let buf = Buffer.create (String.length s) in
@@ -98,6 +148,21 @@ module Make (F : Mwct_field.Field.S) = struct
         ("sum_wflow", json_num (F.to_float m.weighted_flow));
         ("sum_wflow_repr", Printf.sprintf "\"%s\"" (json_escape (F.repr m.weighted_flow)));
       ]
+      @ (if m.lat_count = 0 then []
+         (* Latency fields appear only once something was observed, so
+            runs that never time events keep pre-histogram snapshot
+            bytes. The quantiles are pure functions of the (append-only)
+            histogram, hence memo-safe. *)
+         else begin
+           let q name p =
+             match latency_quantile m p with
+             | Some us -> [ (name, json_num us) ]
+             | None -> []
+           in
+           [ ("lat_events", string_of_int m.lat_count) ]
+           @ q "lat_p50_us" 0.50 @ q "lat_p90_us" 0.90 @ q "lat_p99_us" 0.99
+           @ q "lat_p999_us" 0.999
+         end)
       @ (match events_per_sec with None -> [] | Some r -> [ ("events_per_sec", json_num r) ])
     in
     let s =

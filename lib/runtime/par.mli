@@ -1,0 +1,29 @@
+(** N-way fork-join for the sharded store.
+
+    [run pool f] executes [f 0 .. f (n-1)] — each index must touch
+    disjoint mutable state — and returns only when all have finished.
+    On OCaml 5 the pool spawns [min (n-1) (cores-1)] long-lived worker
+    domains at [create] time (a domain per [run] call would cost more
+    than a shard tick) and distributes indices round-robin, the caller
+    taking part; on OCaml 4.14 (or a single-core box) it degenerates to
+    a plain sequential loop. Both implementations produce identical
+    results for disjoint-state bodies — the build selects
+    [par.domains.ml-src] or [par.seq.ml-src] via a versioned dune rule,
+    and the sequential CI leg pins the equivalence. *)
+
+type t
+
+val parallel : bool
+(** Whether this build can actually run bodies concurrently. *)
+
+val create : int -> t
+(** [create n] — a pool for [n]-way runs ([n >= 1]). *)
+
+val run : t -> (int -> unit) -> unit
+(** Barrier semantics: every [f i] has returned when [run] does. An
+    exception in any body is re-raised (first one wins) after the
+    barrier; the pool remains usable. *)
+
+val shutdown : t -> unit
+(** Join the worker domains (no-op on the sequential build). Idempotent;
+    [run] after [shutdown] falls back to the sequential loop. *)

@@ -1,0 +1,527 @@
+(** Sharded multi-tenant store: domain-parallel engine shards under a
+    cross-shard WDEQ capacity allocator (DESIGN.md §14).
+
+    Tasks are partitioned across [nshards] inner engines by a routing
+    function of the task id ({!route}); each shard is a complete PR 6
+    engine (SoA columns, kinetic frontier, zero-alloc advance) and never
+    sees the other shards' tasks. Once per input tick — [Advance],
+    [Advance_to], or each round of [Drain] — the {e allocator} (any
+    {!Engine.Make.policy}, canonically the WDEQ kernel itself) splits
+    the total capacity across the {e shards}, viewing shard [k] as a
+    pseudo-task with weight [Σ weight] and cap [min (Σ cap) shard_cap]
+    over its alive set. The budgets are applied through
+    {!Engine.Make.set_capacity} and stay {e fixed for the whole tick}:
+    shards advance to the same absolute target time independently (in
+    parallel on OCaml 5 via {!Par}), so a completion's reshare and
+    sweep cost O(n/S) inside its own shard instead of O(n) globally —
+    that, not the domains, is also the sequential win.
+
+    Budgets are per-tick, not per-completion, so the share profile is
+    {e not} the flat single-engine WDEQ profile (hierarchical max-min
+    differs from flat max-min whenever a shard's internal caps bind).
+    Determinism is what the store promises instead, and the journals
+    carry it:
+
+    - the {e merged} journal tags every line with its owning shard
+      ([init] and input-tick lines are untagged/global) and orders a
+      tick as input line, changed budgets in ascending shard order,
+      completions merged by (time, shard); re-running the input stream
+      reproduces it byte for byte;
+    - each {e per-shard} journal is a plain single-engine journal —
+      init, [budget] re-assignments, absolute [advance_to] ticks, its
+      own submits/cancels and [out] lines — and replays on an ordinary
+      engine via {!Journal.replay} with no allocator logic at all.
+      That replay is the sharding oracle: the replayed engine must
+      reproduce the live shard's dump and objective exactly.
+
+    With [nshards = 1] the store degenerates to a thin recording shim
+    over a single engine: no allocator, no budget lines, no shard tags
+    — journal bytes and dump fingerprints are bit-identical to driving
+    the PR 6 engine directly.
+
+    Absolute targets are assigned, not accumulated ({!Engine.Make}'s
+    [Advance_to]), so every shard's clock — including empty shards,
+    which still receive each tick's [advance_to] to keep [submitted_at]
+    correct — holds the {e same float bits} as a single engine fed the
+    same stream. A tick that fails (engine error in any shard) records
+    nothing and leaves the store poisoned, matching the engine's own
+    error contract. *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module En = Engine.Make (F)
+  module J = Journal.Make (F)
+  module M = Metrics.Make (F)
+
+  (** How a task id picks its shard. [Hash] runs the id through a
+      splitmix64 finalizer (good spread for clustered tenant ids);
+      [Mod] is plain [id mod nshards] (deterministic round-robin when
+      ids are dense — the bench and the tests use it for legibility).
+      Cancels route identically to submits: same id, same shard. *)
+  type route = Hash | Mod
+
+  (* splitmix64 finalizer — full-avalanche bijection on 64 bits. *)
+  let mix64 (z : int64) : int64 =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let route_shard (r : route) (nshards : int) (id : int) : int =
+    match r with
+    | Mod -> (id mod nshards + nshards) mod nshards
+    | Hash -> Int64.to_int (mix64 (Int64.of_int id)) land max_int mod nshards
+
+  type t = {
+    nshards : int;
+    route : route;
+    capacity : F.t;  (* total, what the allocator splits *)
+    shard_cap : F.t;  (* per-shard budget ceiling *)
+    allocator : En.policy;
+    policy_label : string;  (* init-line policy name *)
+    engines : En.t array;
+    (* per-shard alive membership (id -> weight, cap): the allocator's
+       summary sums are maintained incrementally from it, and it is the
+       resync source when float drift trips the sign guard *)
+    tasks : (int, F.t * F.t) Hashtbl.t array;
+    w_sum : F.t array;
+    d_sum : F.t array;
+    mutable now : F.t;
+    mutable merged_seq : int;
+    shard_seq : int array;
+    merged_sink : (string -> unit) option;
+    decision_sink : (string -> unit) option;
+    shard_sink : (int -> string -> unit) option;
+    pool : Par.t;
+    results : (En.notification list, En.error) result array;  (* Par scratch *)
+    agg : M.t;  (* aggregated metrics + the serve latency histogram *)
+    mutable events : int;  (* store-level input events *)
+    single : bool;  (* nshards = 1: plain-engine delegation mode *)
+  }
+
+  (* ---------- journal emission ---------- *)
+
+  (* Sequence counters always advance, sinks or not: the numbering is
+     part of the deterministic output, so attaching a journal to a
+     fresh run of the same stream reproduces the same bytes. *)
+
+  let memit t ?shard (e : J.entry) : unit =
+    let seq = t.merged_seq in
+    t.merged_seq <- seq + 1;
+    if t.merged_sink <> None || t.decision_sink <> None then begin
+      let line = J.to_line ?shard ~seq e in
+      (match t.merged_sink with Some f -> f line | None -> ());
+      match (e, t.decision_sink) with
+      | J.Output _, Some f -> f line
+      | _ -> ()
+    end
+
+  let semit t k (e : J.entry) : unit =
+    let seq = t.shard_seq.(k) in
+    t.shard_seq.(k) <- seq + 1;
+    match t.shard_sink with Some f -> f k (J.to_line ~seq e) | None -> ()
+
+  (* A tick's lines are buffered and flushed only on success: a failed
+     tick records nothing (the engine error already left the store
+     inconsistent; the journals at least stay replayable up to it). *)
+  type pend = {
+    mutable pm : (int option * J.entry) list;  (* merged, reverse *)
+    ps : J.entry list array;  (* per shard, reverse *)
+  }
+
+  let pend_create nshards = { pm = []; ps = Array.make nshards [] }
+  let push_m p shard e = p.pm <- (shard, e) :: p.pm
+  let push_s p k e = p.ps.(k) <- e :: p.ps.(k)
+
+  let flush t p =
+    List.iter (fun (shard, e) -> memit t ?shard e) (List.rev p.pm);
+    for k = 0 to t.nshards - 1 do
+      List.iter (fun e -> semit t k e) (List.rev p.ps.(k))
+    done
+
+  (* ---------- construction ---------- *)
+
+  (** [create ~nshards ~route ~capacity ~allocator ~policy ~kinetic
+      ~policy_label ()].
+
+      [allocator] splits the total capacity across shard views each
+      tick; [policy] (plus a fresh [kinetic ()] per shard — the
+      incremental rule is stateful, so it is a factory) runs inside
+      each engine. [shard_cap] (default: the total capacity) caps any
+      single shard's budget. [merged_sink] receives every merged
+      journal line; [decision_sink] only the [out] lines (same bytes
+      and sequence numbers — serve points it at stdout); [shard_sink k]
+      the per-shard journal lines. *)
+  let create ?(record_segments = true) ?shard_cap ?merged_sink ?decision_sink ?shard_sink
+      ~nshards ~route ~capacity ~allocator ~policy ~kinetic ~policy_label () : t =
+    if nshards < 1 then invalid_arg "Shard.create: nshards must be >= 1";
+    if F.sign capacity <= 0 then invalid_arg "Shard.create: capacity must be positive";
+    let shard_cap = match shard_cap with Some c -> c | None -> capacity in
+    if F.sign shard_cap <= 0 then invalid_arg "Shard.create: shard_cap must be positive";
+    let engines =
+      Array.init nshards (fun _ ->
+          En.create ~record_segments ?kinetic:(kinetic ()) ~capacity ~policy ())
+    in
+    let t =
+      {
+        nshards;
+        route;
+        capacity;
+        shard_cap;
+        allocator;
+        policy_label;
+        engines;
+        tasks = Array.init nshards (fun _ -> Hashtbl.create 64);
+        w_sum = Array.make nshards F.zero;
+        d_sum = Array.make nshards F.zero;
+        now = F.zero;
+        merged_seq = 0;
+        shard_seq = Array.make nshards 0;
+        merged_sink;
+        decision_sink;
+        shard_sink;
+        pool = Par.create nshards;
+        results = Array.make nshards (Ok []);
+        agg = M.create ();
+        events = 0;
+        single = nshards = 1;
+      }
+    in
+    (* Every journal opens with the same init line: total capacity and
+       the policy label (shard budgets are re-assigned before any work
+       runs, so the initial capacity only needs to be replayable). *)
+    memit t (J.Init { capacity; policy = policy_label });
+    for k = 0 to nshards - 1 do
+      semit t k (J.Init { capacity; policy = policy_label })
+    done;
+    t
+
+  (* ---------- accessors ---------- *)
+
+  let nshards t = t.nshards
+  let now t = if t.single then En.now t.engines.(0) else t.now
+  let capacity t = t.capacity
+  let engines t = t.engines
+  let shard_of t id = if t.single then 0 else route_shard t.route t.nshards id
+
+  let alive_count t =
+    let n = ref 0 in
+    for k = 0 to t.nshards - 1 do
+      n := !n + En.alive_count t.engines.(k)
+    done;
+    !n
+
+  let remaining t id = En.remaining t.engines.(shard_of t id) id
+  let find_closed t id = En.find_closed t.engines.(shard_of t id) id
+
+  (** The store's metrics record: in sharded mode the persistent
+      aggregate (refreshed by {!metrics_json}), holding the serve
+      latency histogram; with one shard, the engine's own record. *)
+  let metrics t = if t.single then En.metrics t.engines.(0) else t.agg
+
+  (** Record one observed per-event service latency (seconds) into the
+      store's histogram ({!Metrics.Make.observe_latency}). *)
+  let observe_latency t secs = M.observe_latency (metrics t) secs
+
+  let refresh_agg t =
+    let m = t.agg in
+    let sub = ref 0 and comp = ref 0 and canc = ref 0 in
+    let resh = ref 0 and ac = ref 0 in
+    let wc = ref F.zero and wf = ref F.zero in
+    for k = 0 to t.nshards - 1 do
+      let em = En.metrics t.engines.(k) in
+      sub := !sub + em.M.submitted;
+      comp := !comp + em.M.completed;
+      canc := !canc + em.M.cancelled;
+      resh := !resh + em.M.reshares;
+      ac := !ac + em.M.alloc_changes;
+      wc := F.add !wc em.M.weighted_completion;
+      wf := F.add !wf em.M.weighted_flow
+    done;
+    m.M.events <- t.events;
+    m.M.submitted <- !sub;
+    m.M.completed <- !comp;
+    m.M.cancelled <- !canc;
+    m.M.reshares <- !resh;
+    m.M.alloc_changes <- !ac;
+    m.M.weighted_completion <- !wc;
+    m.M.weighted_flow <- !wf
+
+  let weighted_completion t =
+    if t.single then En.weighted_completion t.engines.(0)
+    else begin
+      refresh_agg t;
+      t.agg.M.weighted_completion
+    end
+
+  let completed_count t =
+    let n = ref 0 in
+    for k = 0 to t.nshards - 1 do
+      n := !n + En.completed_count t.engines.(k)
+    done;
+    !n
+
+  let metrics_json ?events_per_sec t =
+    if t.single then En.metrics_json ?events_per_sec t.engines.(0)
+    else begin
+      refresh_agg t;
+      M.to_json ?events_per_sec ~alive:(alive_count t) ~now:t.now t.agg
+    end
+
+  (** Deterministic fingerprint: with one shard, exactly the engine's
+      {!Engine.Make.dump}; otherwise the per-shard dumps under
+      [-- shard k --] headers. *)
+  let dump t =
+    if t.single then En.dump t.engines.(0)
+    else begin
+      let b = Buffer.create 256 in
+      for k = 0 to t.nshards - 1 do
+        Buffer.add_string b (Printf.sprintf "-- shard %d --\n" k);
+        Buffer.add_string b (En.dump t.engines.(k))
+      done;
+      Buffer.contents b
+    end
+
+  (** Join the worker domains (no-op on sequential builds). *)
+  let shutdown t = Par.shutdown t.pool
+
+  (* ---------- summaries & allocation ---------- *)
+
+  (* A closed (completed or cancelled) task leaves the allocator's
+     summary sums. Exact on the rational field; on float the subtraction
+     leaves ulp residue, so an emptied shard snaps back to exact zero
+     and [reallocate]'s sign guard resyncs from the membership table if
+     drift ever makes a sum non-positive while tasks remain. *)
+  let forget_task t k id =
+    (match Hashtbl.find_opt t.tasks.(k) id with
+    | Some (w, c) ->
+      Hashtbl.remove t.tasks.(k) id;
+      t.w_sum.(k) <- F.sub t.w_sum.(k) w;
+      t.d_sum.(k) <- F.sub t.d_sum.(k) c
+    | None -> ());
+    if En.alive_count t.engines.(k) = 0 then begin
+      t.w_sum.(k) <- F.zero;
+      t.d_sum.(k) <- F.zero
+    end
+
+  (* Split the total capacity across the nonempty shards and apply the
+     budgets. Only an actual change dirties a shard (set_capacity is a
+     no-op on equal budgets), so a quiet stretch of ticks keeps every
+     shard on its allocation-free advance path. Changed budgets are
+     recorded in ascending shard order. *)
+  let reallocate t p =
+    for k = 0 to t.nshards - 1 do
+      if
+        En.alive_count t.engines.(k) > 0
+        && (F.sign t.w_sum.(k) <= 0 || F.sign t.d_sum.(k) <= 0)
+      then begin
+        let w = ref F.zero and d = ref F.zero in
+        Hashtbl.iter
+          (fun _ (wt, cp) ->
+            w := F.add !w wt;
+            d := F.add !d cp)
+          t.tasks.(k);
+        t.w_sum.(k) <- !w;
+        t.d_sum.(k) <- !d
+      end
+    done;
+    let views = ref [] in
+    for k = t.nshards - 1 downto 0 do
+      if En.alive_count t.engines.(k) > 0 then begin
+        let cap =
+          if F.compare t.d_sum.(k) t.shard_cap <= 0 then t.d_sum.(k) else t.shard_cap
+        in
+        views := { En.id = k; weight = t.w_sum.(k); cap } :: !views
+      end
+    done;
+    if !views <> [] then begin
+      let out = t.allocator ~capacity:t.capacity !views in
+      let desired = Array.make t.nshards None in
+      List.iter
+        (fun (k, b) -> if k >= 0 && k < t.nshards && F.sign b >= 0 then desired.(k) <- Some b)
+        out;
+      for k = 0 to t.nshards - 1 do
+        match desired.(k) with
+        | Some b when En.set_capacity t.engines.(k) b ->
+          push_s p k (J.Budget b);
+          push_m p (Some k) (J.Budget b)
+        | _ -> ()
+      done
+    end
+
+  (* ---------- tick machinery ---------- *)
+
+  (* Lowest-index error wins, like ascending-order sequential
+     execution would surface it. *)
+  let first_error t : En.error option =
+    let err = ref None in
+    for k = t.nshards - 1 downto 0 do
+      match t.results.(k) with Error e -> err := Some e | Ok _ -> ()
+    done;
+    !err
+
+  (* Merge the shards' completion lists into one stream ordered by
+     (time, shard) — within a shard the list is already chronological,
+     and the sort is stable, so simultaneous completions keep shard
+     order and same-shard order. *)
+  let merge_notes t : (int * En.notification) list =
+    let all = ref [] in
+    for k = t.nshards - 1 downto 0 do
+      match t.results.(k) with
+      | Ok notes -> all := List.rev_append (List.rev_map (fun n -> (k, n)) notes) !all
+      | Error _ -> ()
+    done;
+    List.stable_sort
+      (fun (k1, (n1 : En.notification)) (k2, n2) ->
+        let c = F.compare n1.En.at n2.En.at in
+        if c <> 0 then c else Stdlib.compare k1 k2)
+      !all
+
+  let advance_all t target =
+    Par.run t.pool (fun k -> t.results.(k) <- En.apply t.engines.(k) (En.Advance_to target))
+
+  (* One input tick: re-budget, drive every shard (empty ones too — the
+     clocks stay in lockstep) to the same absolute target, merge. *)
+  let tick t (input_ev : En.event) (target : F.t) : (En.notification list, En.error) result =
+    let p = pend_create t.nshards in
+    push_m p None (J.Input input_ev);
+    reallocate t p;
+    for k = 0 to t.nshards - 1 do
+      push_s p k (J.Input (En.Advance_to target))
+    done;
+    advance_all t target;
+    match first_error t with
+    | Some e -> Error e
+    | None ->
+      let notes = merge_notes t in
+      List.iter
+        (fun (k, (n : En.notification)) ->
+          forget_task t k n.En.id;
+          push_m p (Some k) (J.Output { id = n.En.id; at = n.En.at });
+          push_s p k (J.Output { id = n.En.id; at = n.En.at }))
+        notes;
+      t.now <- target;
+      flush t p;
+      t.events <- t.events + 1;
+      Ok (List.map snd notes)
+
+  let stall_budget = 64
+
+  (* Drain: repeatedly re-budget, peek every shard's next completion
+     estimate ({!Engine.Make.next_eta} — the advance loop's own
+     arithmetic, so the global minimum is exactly where the owning
+     shard's next step lands), and advance everyone there. Zero-budget
+     (starved) shards peek [None] and simply ride along; if every
+     nonempty shard is starved the drain deadlocks, same as the
+     engine. The stall budget absorbs float-residue rounds where the
+     minimum shard's completion needs an extra nudge. *)
+  let drain t : (En.notification list, En.error) result =
+    let p = pend_create t.nshards in
+    push_m p None (J.Input En.Drain);
+    let all = ref [] in
+    let stall = ref 0 in
+    let err = ref None in
+    while alive_count t > 0 && !err = None do
+      reallocate t p;
+      let best = ref None in
+      for k = 0 to t.nshards - 1 do
+        if En.alive_count t.engines.(k) > 0 then
+          match En.next_eta t.engines.(k) with
+          | Some eta -> (
+            match !best with
+            | Some b when F.compare b eta <= 0 -> ()
+            | _ -> best := Some eta)
+          | None -> ()
+      done;
+      match !best with
+      | None -> err := Some (En.Invalid "deadlock: alive tasks but no positive share")
+      | Some eta -> (
+        for k = 0 to t.nshards - 1 do
+          push_s p k (J.Input (En.Advance_to eta))
+        done;
+        advance_all t eta;
+        match first_error t with
+        | Some e -> err := Some e
+        | None ->
+          t.now <- eta;
+          let notes = merge_notes t in
+          if notes = [] then begin
+            incr stall;
+            if !stall > stall_budget then
+              err := Some (En.Invalid "no progress: completion estimate does not converge")
+          end
+          else begin
+            stall := 0;
+            List.iter
+              (fun (k, (n : En.notification)) ->
+                forget_task t k n.En.id;
+                push_m p (Some k) (J.Output { id = n.En.id; at = n.En.at });
+                push_s p k (J.Output { id = n.En.id; at = n.En.at }))
+              notes;
+            all := List.rev_append notes !all
+          end)
+    done;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      flush t p;
+      t.events <- t.events + 1;
+      Ok (List.rev_map snd !all)
+
+  (* ---------- input events ---------- *)
+
+  (** Apply one input event; notifications are the completions it
+      triggered, merged across shards in chronological order. Failures
+      record nothing. With one shard this delegates straight to
+      {!Engine.Make.apply} (identical results, journal bytes and error
+      strings); submit/cancel failures are per-event and leave the
+      store untouched, while a failed advance/drain tick poisons it,
+      matching the engine's own contract. *)
+  let apply t (e : En.event) : (En.notification list, En.error) result =
+    if t.single then begin
+      match En.apply t.engines.(0) e with
+      | Error _ as err -> err
+      | Ok notes ->
+        memit t (J.Input e);
+        List.iter (fun (n : En.notification) -> memit t (J.Output { id = n.En.id; at = n.En.at })) notes;
+        Ok notes
+    end
+    else
+      match e with
+      | En.Submit { id; weight; cap; _ } -> (
+        let k = route_shard t.route t.nshards id in
+        match En.apply t.engines.(k) e with
+        | Error _ as err -> err
+        | Ok _ ->
+          Hashtbl.replace t.tasks.(k) id (weight, cap);
+          t.w_sum.(k) <- F.add t.w_sum.(k) weight;
+          t.d_sum.(k) <- F.add t.d_sum.(k) cap;
+          memit t ~shard:k (J.Input e);
+          semit t k (J.Input e);
+          t.events <- t.events + 1;
+          Ok [])
+      | En.Cancel id -> (
+        let k = route_shard t.route t.nshards id in
+        match En.apply t.engines.(k) e with
+        | Error _ as err -> err
+        | Ok _ ->
+          forget_task t k id;
+          memit t ~shard:k (J.Input e);
+          semit t k (J.Input e);
+          t.events <- t.events + 1;
+          Ok [])
+      | En.Advance dt ->
+        if F.sign dt < 0 then Error (En.Invalid "advance: negative dt")
+        else tick t e (F.add t.now dt)
+      | En.Advance_to target ->
+        if F.compare target t.now < 0 then
+          Error
+            (En.Invalid
+               (Printf.sprintf "advance into the past (target %s < now %s)" (F.to_string target)
+                  (F.to_string t.now)))
+        else tick t e target
+      | En.Drain -> drain t
+end
+
+(** Pre-applied stores, mirroring the rest of the library. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)
