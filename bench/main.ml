@@ -425,6 +425,7 @@ let engine_throughput ~rounds ~alive_target =
            weight = float_of_int (1 + Rng.int_in rng 0 10);
            cap = float_of_int (1 + Rng.int_in rng 0 4);
            speedup = None;
+           deps = [];
          })
   in
   while EnF.alive_count eng < alive_target do
@@ -641,6 +642,7 @@ let sharded_throughput ?(latency = false) ~rounds ~alive_target ~nshards () =
            weight = float_of_int (1 + Rng.int_in rng 0 10);
            cap = float_of_int (1 + Rng.int_in rng 0 4);
            speedup = None;
+           deps = [];
          })
   in
   while StF.alive_count st < alive_target do
@@ -825,6 +827,134 @@ let run_speedup_bench ~quick =
   close_out oc;
   Printf.printf "\nWrote rate-model results to BENCH_5.json\n"
 
+(* ---------- part 7: precedence subsystem (BENCH_6.json) ---------- *)
+
+(* [dag_serve]: a layered DAG churn stream through the online engine —
+   every round submits a wave of tasks, each dormant on one task of the
+   previous wave, then advances; activations ride the completion sweep.
+   The events/s is directly comparable to BENCH_3's independent churn:
+   the gap prices the dormant bookkeeping. [dag_simulate] times the
+   batch frontier policy on a layered instance against plain WDEQ on
+   the same tasks with the edges erased. *)
+let dag_serve_throughput ~rounds ~wave =
+  let eng =
+    EnF.create ~record_segments:false
+      ?kinetic:(PF.engine_kinetic PF.Wdeq)
+      ~capacity:64.0
+      ~policy:(PF.engine_policy PF.Wdeq) ()
+  in
+  let rng = Rng.create 20120515 in
+  let next_id = ref 0 in
+  let events = ref 0 in
+  let completions = ref 0 in
+  let apply ev =
+    match EnF.apply eng ev with
+    | Ok notes ->
+      incr events;
+      completions := !completions + List.length notes
+    | Error e -> failwith ("dag_serve: " ^ EnF.error_to_string e)
+  in
+  let submit_wave prev =
+    List.init wave (fun j ->
+        let id = !next_id in
+        incr next_id;
+        let deps = match prev with [] -> [] | l -> [ List.nth l (j mod List.length l) ] in
+        apply
+          (EnF.Submit
+             {
+               id;
+               volume = 0.5 +. (float_of_int (Rng.int_in rng 0 16) /. 16.);
+               weight = float_of_int (1 + Rng.int_in rng 0 7);
+               cap = float_of_int (1 + Rng.int_in rng 0 3);
+               speedup = None;
+               deps;
+             });
+        id)
+  in
+  let prev = ref (submit_wave []) in
+  apply (EnF.Advance 0.0);
+  let t0 = Unix.gettimeofday () in
+  let e0 = !events in
+  for _ = 1 to rounds do
+    prev := submit_wave !prev;
+    apply (EnF.Advance 0.5)
+  done;
+  apply EnF.Drain;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (!events - e0, !completions, elapsed_s)
+
+let layered_dag (inst : EF.Types.instance) ~width : EF.Types.instance =
+  {
+    inst with
+    EF.Types.tasks =
+      Array.mapi
+        (fun i (t : EF.Types.task) ->
+          let deps =
+            if i < width then [||]
+            else begin
+              let layer0 = i - width - (i mod width) in
+              let p = layer0 + (i mod width) in
+              if (i + i / width) mod 2 = 0 || layer0 + width >= i then [| p |]
+              else [| p; layer0 + ((i + 1) mod width) |]
+            end
+          in
+          { t with EF.Types.deps })
+        inst.EF.Types.tasks;
+  }
+
+let run_dag_bench ~quick =
+  let rounds = if quick then 300 else 2000 in
+  let wave = 8 in
+  let input_events, completions, elapsed_s = dag_serve_throughput ~rounds ~wave in
+  let events_per_sec = float_of_int input_events /. elapsed_s in
+  let n = if quick then 500 else 2000 in
+  let bag = instance_of_size n in
+  let dag = layered_dag bag ~width:16 in
+  let time f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let bag_s = time (fun () -> EF.Wdeq.wdeq bag) in
+  let dag_s = time (fun () -> EF.Dag.wdeq dag) in
+  let ratio = if bag_s > 0. then dag_s /. bag_s else nan in
+  print_endline "================================================================";
+  print_endline " Precedence subsystem: layered DAG churn and frontier policy (BENCH_6.json)";
+  print_endline "================================================================";
+  Printf.printf
+    "  dag_serve: wave=%d rounds=%d input_events=%d completions=%d elapsed=%.3fs -> %.0f events/s\n"
+    wave rounds input_events completions elapsed_s events_per_sec;
+  Printf.printf "  dag_simulate n=%d: bag wdeq %.4fs, layered wdeq-dag %.4fs (x%.2f)\n" n bag_s
+    dag_s ratio;
+  let oc = open_out "BENCH_6.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"precedence subsystem: layered DAG churn through the online engine, batch frontier policy vs independent bag\",\n\
+    \  \"dag_serve\": {\n\
+    \    \"wave\": %d,\n\
+    \    \"rounds\": %d,\n\
+    \    \"input_events\": %d,\n\
+    \    \"completions\": %d,\n\
+    \    \"elapsed_s\": %.6f,\n\
+    \    \"events_per_sec\": %.1f\n\
+    \  },\n\
+    \  \"dag_simulate\": {\n\
+    \    \"tasks\": %d,\n\
+    \    \"bag_wdeq_s\": %.6f,\n\
+    \    \"dag_wdeq_s\": %.6f,\n\
+    \    \"dag_over_bag\": %.3f\n\
+    \  }\n\
+     }\n"
+    wave rounds input_events completions elapsed_s events_per_sec n bag_s dag_s ratio;
+  close_out oc;
+  Printf.printf "\nWrote precedence results to BENCH_6.json\n"
+
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
@@ -853,6 +983,7 @@ let () =
   let ingest = run_ingest ~quick in
   run_data_plane ~events_per_sec ~nshards ~sharded_eps ~scaling ~lat ~ingest;
   run_speedup_bench ~quick;
+  run_dag_bench ~quick;
   let check what floor measured =
     match floor with
     | Some f when measured < f ->

@@ -91,15 +91,24 @@ struct
         exit exit_bad_input
     in
     if not (Dr.supports solver inst) then begin
-      Printf.eprintf
-        "error: algorithm %S supports only the linear rate model; this instance has speedup \
-         curves (try one of: %s)\n"
-        algo
-        (String.concat ", "
-           (List.filter_map
-              (fun (i : Solver.info) ->
-                if Solver.info_has_cap Solver.General_speedup i then Some i.Solver.name else None)
-              Solver.infos));
+      let names_with cap =
+        String.concat ", "
+          (List.filter_map
+             (fun (i : Solver.info) ->
+               if Solver.info_has_cap cap i then Some i.Solver.name else None)
+             Solver.infos)
+      in
+      if E.Instance.has_deps inst && not (Solver.info_has_cap Solver.Dag solver.Dr.S.info) then
+        Printf.eprintf
+          "error: algorithm %S does not handle precedence; this instance has dependency edges \
+           (try one of: %s)\n"
+          algo (names_with Solver.Dag)
+      else
+        Printf.eprintf
+          "error: algorithm %S supports only the linear rate model; this instance has speedup \
+           curves (try one of: %s)\n"
+          algo
+          (names_with Solver.General_speedup);
       exit exit_bad_input
     end;
     let r = Dr.run ~exact:D.exact_check solver inst in
@@ -235,6 +244,8 @@ let bounds_cmd =
     let n = Spec.num_tasks spec in
     if E.Instance.has_curves inst then
       print_string "optimal sum w.C    = (skipped: LP enumeration is linear-rate-model only)\n"
+    else if E.Instance.has_deps inst then
+      print_string "optimal sum w.C    = (skipped: LP enumeration ignores dependency edges)\n"
     else if n <= 7 then begin
       let opt = Solver.Float.objective "optimal" inst in
       Printf.printf "optimal sum w.C    = %.6f\n" opt
@@ -261,8 +272,22 @@ let render_cmd =
          wrap assume rate = allocation); this instance has speedup curves\n";
       exit exit_bad_input
     end;
+    (if E.Instance.has_deps inst then
+       match Solver.find_info algo with
+       | Some i when Solver.info_has_cap Solver.Dag i -> ()
+       | _ ->
+         Printf.eprintf
+           "error: this instance has dependency edges; render it with a dag-capable algorithm\n";
+         exit exit_bad_input);
     let schedule = fst (Solver.Float.solve_exn algo inst) in
-    let normal = E.Water_filling.normalize schedule in
+    (* The WF normal form rebuilds columns from completion times alone,
+       which freely reorders work across columns — valid for bags,
+       precedence-violating for DAGs. Render dependency instances from
+       the solver's own columns (the wrap below is per-column, so it
+       respects precedence either way). *)
+    let normal =
+      if E.Instance.has_deps inst then schedule else E.Water_filling.normalize schedule
+    in
     print_string (E.Render.columns_to_ascii normal);
     let integer_schedule, _ = E.Integerize.of_columns normal in
     let gantt = E.Assignment.assign integer_schedule in
@@ -503,9 +528,31 @@ struct
       match parts with
       | [] -> ()
       | cmd :: _ when String.length cmd > 0 && cmd.[0] = '#' -> ()
-      | "submit" :: id :: v :: w :: c :: bps -> (
+      | "submit" :: id :: v :: w :: c :: rest -> (
         (* Optional trailing breakpoints "x1:y1 x2:y2 ..." select the
-           concave speedup law; none means linear (rate = share). *)
+           concave speedup law; none means linear (rate = share). A
+           trailing "deps:j,k" token lists precedence parents — the
+           task stays dormant until every listed task completes. *)
+        let deps_tokens, bps =
+          List.partition
+            (fun p -> String.length p > 5 && String.sub p 0 5 = "deps:")
+            rest
+        in
+        let deps =
+          match deps_tokens with
+          | [] -> Ok []
+          | [ tok ] -> (
+            let body = String.sub tok 5 (String.length tok - 5) in
+            match
+              String.split_on_char ',' body
+              |> List.filter (fun s -> s <> "")
+              |> List.map int_of_string_opt
+            with
+            | ids when ids <> [] && List.for_all Option.is_some ids ->
+              Ok (List.filter_map Fun.id ids)
+            | _ -> Error ())
+          | _ -> Error ()
+        in
         let speedup =
           if bps = [] then Ok None
           else
@@ -529,9 +576,9 @@ struct
                      Array.of_list (List.map snd pairs) ))
             | _ -> Error ()
         in
-        match (int_of_string_opt id, num v, num w, num c, speedup) with
-        | Some id, Some volume, Some weight, Some cap, Ok speedup ->
-          handle_event (En.Submit { id; volume; weight; cap; speedup })
+        match (int_of_string_opt id, num v, num w, num c, speedup, deps) with
+        | Some id, Some volume, Some weight, Some cap, Ok speedup, Ok deps ->
+          handle_event (En.Submit { id; volume; weight; cap; speedup; deps })
         | _ -> print_endline (error_json ("submit: bad arguments: " ^ line)))
       | [ "cancel"; id ] -> (
         match int_of_string_opt id with

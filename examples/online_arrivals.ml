@@ -95,6 +95,7 @@ let () =
              weight = inst.E.Types.tasks.(i).E.Types.weight;
              cap = E.Instance.effective_delta inst i;
              speedup = E.Instance.speedup_arrays inst i;
+             deps = [];
            }))
     releases;
   apply En.Drain;

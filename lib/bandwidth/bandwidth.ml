@@ -34,6 +34,7 @@ module Make (F : Mwct_field.Field.S) = struct
               E.Types.weight = wk.rate;
               E.Types.delta = wk.bandwidth;
               E.Types.speedup = E.Types.Linear_delta;
+              E.Types.deps = [||];
             })
           sc.workers;
     }

@@ -48,11 +48,14 @@ module Oq = Oracle.Make (struct
 end)
 
 (* Solvers without the [General_speedup] capability are restricted to
-   the linear rate law ({!Mwct_solver.Driver.Make.run} refuses curved
-   instances for them), so on a curved spec the matrix covers the
-   general-speedup solvers only — running the rest would just report
-   their documented refusal as a spurious failure. *)
-let model_ok ~curved (i : Slv.info) = (not curved) || Slv.info_has_cap Slv.General_speedup i
+   the linear rate law, and solvers without [Dag] to independent bags
+   ({!Mwct_solver.Driver.Make.run} refuses instances beyond a solver's
+   model), so the matrix covers the applicable solvers only — running
+   the rest would just report their documented refusal as a spurious
+   failure. *)
+let model_ok ~curved ?(deps = false) (i : Slv.info) =
+  ((not curved) || Slv.info_has_cap Slv.General_speedup i)
+  && ((not deps) || Slv.info_has_cap Slv.Dag i)
 
 let solve_fail ~algo ~engine e =
   {
@@ -72,8 +75,10 @@ let run_float cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
   let inst = Of.E.Instance.of_spec spec in
   let n = Array.length inst.Of.E.Types.tasks in
   let curved = Mwct_core.Spec.has_curves spec in
+  let deps = Mwct_core.Spec.has_deps spec in
   Of.S.all
-  |> List.filter (fun s -> selected cfg.algos s.Of.S.info.Slv.name && model_ok ~curved s.Of.S.info)
+  |> List.filter (fun s ->
+         selected cfg.algos s.Of.S.info.Slv.name && model_ok ~curved ~deps s.Of.S.info)
   |> List.concat_map (fun s ->
          if List.mem Slv.Enumerative s.Of.S.info.Slv.caps && n > cfg.max_enum then []
          else
@@ -89,8 +94,10 @@ let run_exact cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
   let n = Array.length inst.Oq.E.Types.tasks in
   let max_enum = max 1 (cfg.max_enum - 1) in
   let curved = Mwct_core.Spec.has_curves spec in
+  let deps = Mwct_core.Spec.has_deps spec in
   Oq.S.all
-  |> List.filter (fun s -> selected cfg.algos s.Oq.S.info.Slv.name && model_ok ~curved s.Oq.S.info)
+  |> List.filter (fun s ->
+         selected cfg.algos s.Oq.S.info.Slv.name && model_ok ~curved ~deps s.Oq.S.info)
   |> List.concat_map (fun s ->
          if List.mem Slv.Enumerative s.Oq.S.info.Slv.caps && n > max_enum then []
          else
@@ -113,8 +120,10 @@ let cross_field cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
     let n = Mwct_core.Spec.num_tasks spec in
     let max_enum = max 1 (cfg.max_enum - 1) in
     let curved = Mwct_core.Spec.has_curves spec in
+    let deps = Mwct_core.Spec.has_deps spec in
     Slv.infos
-    |> List.filter (fun (i : Slv.info) -> selected cfg.algos i.Slv.name && model_ok ~curved i)
+    |> List.filter (fun (i : Slv.info) ->
+           selected cfg.algos i.Slv.name && model_ok ~curved ~deps i)
     |> List.map (fun (i : Slv.info) ->
            let verdict status =
              {

@@ -19,11 +19,16 @@ type family =
   | Concave_curves
   | Capacity_tight
   | Multi_tenant
+  | Dag_layered
+  | Dag_fork_join
+  | Dag_random
+  | Dag_chain
 
 let all_families =
   [
     Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den;
-    Concave_curves; Capacity_tight; Multi_tenant;
+    Concave_curves; Capacity_tight; Multi_tenant; Dag_layered; Dag_fork_join; Dag_random;
+    Dag_chain;
   ]
 
 let family_name = function
@@ -39,6 +44,10 @@ let family_name = function
   | Concave_curves -> "concave-curves"
   | Capacity_tight -> "capacity-tight"
   | Multi_tenant -> "multi-tenant"
+  | Dag_layered -> "dag-layered"
+  | Dag_fork_join -> "dag-fork-join"
+  | Dag_random -> "dag-random"
+  | Dag_chain -> "dag-chain"
 
 let family_of_string s = List.find_opt (fun f -> family_name f = s) all_families
 
@@ -137,8 +146,69 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
          individual. *)
       let tenant = draw 0 (Array.length tenant_bases - 1) in
       Spec.task ~volume:(dyadic ()) ~weight:tenant_bases.(tenant) ~delta:(draw 1 p) ()
+    | Dag_layered | Dag_fork_join | Dag_random | Dag_chain ->
+      (* DAG families share Uniform's numeric shape; the edges are
+         attached below (extra draws happen after all tasks are drawn,
+         so the base stream is deterministic per family). *)
+      Spec.task ~volume:(dyadic ()) ~weight:(dyadic ()) ~delta:(draw 1 (max 1 (p - 1))) ()
   in
-  Spec.make ~procs:p (List.init (max 1 n) (fun _ -> task ()))
+  let base = List.init (max 1 n) (fun _ -> task ()) in
+  (* Dependency edges, always pointing at strictly earlier indices —
+     acyclic by construction, so [Spec.validate] accepts every draw. *)
+  let with_deps deps_of = List.mapi (fun i t -> { t with Spec.deps = deps_of i }) base in
+  let nb = List.length base in
+  let tasks =
+    match family with
+    | Dag_chain ->
+      (* A single path: task i waits for task i-1. *)
+      with_deps (fun i -> if i = 0 then [] else [ i - 1 ])
+    | Dag_fork_join ->
+      (* Root 0 fans out to the middle tasks; the last task joins them
+         all. Degenerates gracefully below three tasks. *)
+      with_deps (fun i ->
+          if i = 0 then []
+          else if i = nb - 1 && nb > 2 then List.init (nb - 2) (fun k -> k + 1)
+          else [ 0 ])
+    | Dag_layered ->
+      (* Consecutive layers of drawn widths; each non-root task picks
+         one or two parents from the previous layer. *)
+      let layer = Array.make nb 0 in
+      let l = ref 0 and width = ref 1 and filled = ref 0 in
+      for i = 0 to nb - 1 do
+        if !filled >= !width then begin
+          incr l;
+          width := draw 1 3;
+          filled := 0
+        end;
+        layer.(i) <- !l;
+        incr filled
+      done;
+      with_deps (fun i ->
+          if layer.(i) = 0 then []
+          else begin
+            let prev = ref [] in
+            for j = nb - 1 downto 0 do
+              if layer.(j) = layer.(i) - 1 then prev := j :: !prev
+            done;
+            let prev = Array.of_list !prev in
+            let np = Array.length prev in
+            let k = min np (1 + draw 0 1) in
+            let chosen = List.init k (fun _ -> prev.(draw 0 (np - 1))) in
+            List.sort_uniq compare chosen
+          end)
+    | Dag_random ->
+      (* Sparse random backward edges: up to two distinct parents drawn
+         among the earlier tasks. *)
+      with_deps (fun i ->
+          if i = 0 then []
+          else begin
+            let k = draw 0 (min i 2) in
+            let chosen = List.init k (fun _ -> draw 0 (i - 1)) in
+            List.sort_uniq compare chosen
+          end)
+    | _ -> base
+  in
+  Spec.make ~procs:p tasks
 
 let sample (draw : draw) ?(max_procs = 8) ?(max_n = 6) ?den family : Spec.t =
   let procs = draw 2 (max 2 max_procs) in
@@ -159,13 +229,42 @@ let rat_candidates (r : Spec.rat) =
     if i > 1 && r.Spec.den > 1 then [ one; Spec.rat i 1 ] else [ one ]
   end
 
+(* Delete task [i], contracting its edges: tasks that depended on [i]
+   inherit [i]'s parents (so reachability through [i] is preserved),
+   and indices above [i] shift down. Valid deps stay valid — inherited
+   parents are strictly below [i], hence strictly below the child. *)
+let remove_task_contract (tasks : Spec.task list) (i : int) : Spec.task list =
+  let removed = List.nth tasks i in
+  let contract d =
+    if d = i then removed.Spec.deps else [ d ]
+  in
+  tasks
+  |> List.filteri (fun j _ -> j <> i)
+  |> List.map (fun (t : Spec.task) ->
+         let deps =
+           List.concat_map contract t.Spec.deps
+           |> List.map (fun d -> if d > i then d - 1 else d)
+           |> List.sort_uniq compare
+         in
+         { t with Spec.deps })
+
 let shrink (s : Spec.t) : Spec.t Seq.t =
   let tasks = Array.to_list s.Spec.tasks in
   let n = List.length tasks in
   let mk ?(procs = s.Spec.procs) tasks = Spec.make ~procs tasks in
+  (* Edge deletion runs before task deletion: a counterexample that
+     survives with fewer dependency edges is structurally simpler. *)
+  let drop_edge =
+    Seq.concat
+      (Seq.init n (fun i ->
+           let t = List.nth tasks i in
+           List.to_seq t.Spec.deps
+           |> Seq.map (fun d ->
+                  let t' = { t with Spec.deps = List.filter (fun x -> x <> d) t.Spec.deps } in
+                  mk (List.mapi (fun j tj -> if j = i then t' else tj) tasks))))
+  in
   let remove =
-    if n <= 1 then Seq.empty
-    else Seq.init n (fun i -> mk (List.filteri (fun j _ -> j <> i) tasks))
+    if n <= 1 then Seq.empty else Seq.init n (fun i -> mk (remove_task_contract tasks i))
   in
   let procs_smaller =
     if s.Spec.procs <= 1 then Seq.empty
@@ -206,7 +305,8 @@ let shrink (s : Spec.t) : Spec.t Seq.t =
   in
   let volumes = per_task (fun t -> List.map (fun v -> { t with Spec.volume = v }) (rat_candidates t.Spec.volume)) in
   let weights = per_task (fun t -> List.map (fun w -> { t with Spec.weight = w }) (rat_candidates t.Spec.weight)) in
-  Seq.concat (List.to_seq [ remove; linearize; uncap; procs_smaller; deltas; volumes; weights ])
+  Seq.concat
+    (List.to_seq [ drop_edge; remove; linearize; uncap; procs_smaller; deltas; volumes; weights ])
 
 let minimize ?(max_steps = 400) ~failing (spec : Spec.t) : Spec.t =
   let rec first_failing seq =

@@ -39,6 +39,14 @@ type family =
           shared weight bases, so weight mass arrives in clusters —
           the shape the sharded store's routing and cross-shard
           allocator see ({!Shard_check}) *)
+  | Dag_layered
+      (** precedence DAG in consecutive layers; each non-root task
+          depends on one or two tasks of the previous layer *)
+  | Dag_fork_join
+      (** one root fanning out to the middle tasks, a final join
+          depending on them all *)
+  | Dag_random  (** sparse random backward edges (up to two parents) *)
+  | Dag_chain  (** a single dependency path [0 -> 1 -> ... -> n-1] *)
 
 val all_families : family list
 

@@ -53,11 +53,14 @@ let thm10_info = { id = "thm10"; theorem = "Theorem 10"; doc = "integerized WF n
 let thm4_info = { id = "thm4"; theorem = "Theorem 4 / Lemma 2"; doc = "WDEQ objective <= 2(A(I[VFbar]) + H(I[VF])) on its own volume split" }
 let thm11_info = { id = "thm11"; theorem = "Theorem 11"; doc = "best greedy is optimal on wide instances with homogeneous weights" }
 let cross_field_info = { id = "cross-field"; theorem = "DESIGN \xc2\xa79"; doc = "float and exact objectives agree within tolerance" }
+let dag_precedence_info = { id = "dag-precedence"; theorem = "DESIGN \xc2\xa715"; doc = "no task receives a share before all its parents complete" }
+let dag_closure_info = { id = "dag-closure"; theorem = "DESIGN \xc2\xa715"; doc = "completion order is a linear extension of the dependency DAG" }
+let dag_zero_edge_info = { id = "dag-zero-edge"; theorem = "DESIGN \xc2\xa715"; doc = "frontier policies on edge-free instances are bit-identical to the independent-bag path" }
 
 let catalogue =
   [
     coherence_info; bounds_info; thm3_info; lemma3_info; thm9_info; thm10_info; thm4_info;
-    thm11_info; cross_field_info;
+    thm11_info; cross_field_info; dag_precedence_info; dag_closure_info; dag_zero_edge_info;
   ]
 
 let ids = List.map (fun i -> i.id) catalogue
@@ -118,6 +121,16 @@ struct
 
   let curved_skip = Skip "linear-rate-model theorem (instance has speedup curves)"
 
+  (* The same theorems are also stated for *independent* bags: the WF
+     normal form and the Lemma-2 split freely reorder completions, which
+     a precedence DAG forbids, so the pipeline oracles skip dependency
+     instances. Coherence and bounds still apply — Definition 2 and the
+     A(I)/H(I) bounds hold for any valid schedule, and edges only
+     constrain the schedule further. *)
+  let dag sv = E.Instance.has_deps sv.inst
+
+  let dag_skip = Skip "independent-bag theorem (instance has dependency edges)"
+
   (* Comparisons with a relative slack on the float engine, strict on
      the exact one — the same convention as the historical suites. *)
   let tol = if C.exact then F.zero else F.of_q 1 1_000_000
@@ -171,6 +184,7 @@ struct
       check =
         (fun sv ->
           if curved sv then curved_skip
+          else if dag sv then dag_skip
           else if fragile_float sv then fragile_skip
           else begin
           let is, wrap = E.Integerize.of_columns sv.schedule in
@@ -216,6 +230,7 @@ struct
       check =
         (fun sv ->
           if curved sv then curved_skip
+          else if dag sv then dag_skip
           else if fragile_float sv then fragile_skip
           else begin
           let s = normal_form sv in
@@ -253,6 +268,7 @@ struct
       check =
         (fun sv ->
           if curved sv then curved_skip
+          else if dag sv then dag_skip
           else if not C.exact then counting_skip
           else if List.mem Slv.Non_clairvoyant sv.solver.S.info.Slv.caps then
             Skip "n-change bound applies to offline completion-time vectors"
@@ -281,6 +297,7 @@ struct
       check =
         (fun sv ->
           if curved sv then curved_skip
+          else if dag sv then dag_skip
           else if not C.exact then counting_skip
           else if List.mem Slv.Non_clairvoyant sv.solver.S.info.Slv.caps then
             Skip "3n bound applies to offline completion-time vectors"
@@ -380,7 +397,113 @@ struct
           end);
     }
 
-  let all = [ coherence; bounds; thm3; lemma3; thm9; thm10; thm4; thm11 ]
+  (* DESIGN §15: no task may receive a positive share in a
+     positive-length column that starts before every parent has
+     completed. Structural — applies to any solver's schedule on a
+     dependency instance. *)
+  let dag_precedence =
+    { info = dag_precedence_info;
+      check =
+        (fun sv ->
+          if not (dag sv) then Skip "instance has no dependency edges"
+          else begin
+            let c = E.Schedule.completion_times sv.schedule in
+            let bad = ref None in
+            Array.iteri
+              (fun j allocs ->
+                if !bad = None && F.sign (E.Schedule.column_length sv.schedule j) > 0 then begin
+                  let start = E.Schedule.column_start sv.schedule j in
+                  List.iter
+                    (fun (i, r) ->
+                      if !bad = None && F.sign r > 0 then
+                        Array.iter
+                          (fun p ->
+                            if !bad = None && not (leq c.(p) start) then
+                              bad :=
+                                Some
+                                  (Fail
+                                     { witness =
+                                         Printf.sprintf
+                                           "task %d runs in column %d before parent %d completes" i j p;
+                                       slack = diff c.(p) start;
+                                     }))
+                          sv.inst.E.Types.tasks.(i).E.Types.deps)
+                    allocs
+                end)
+              sv.schedule.E.Types.columns;
+            ok_or !bad
+          end);
+    }
+
+  (* DESIGN §15: the completion order is a linear extension of the DAG —
+     every parent completes no later than its child. Implied by
+     [dag-precedence] for tasks with positive volume; kept separate so a
+     violation on zero-work tasks (which never hold a share) is still
+     caught. *)
+  let dag_closure =
+    { info = dag_closure_info;
+      check =
+        (fun sv ->
+          if not (dag sv) then Skip "instance has no dependency edges"
+          else begin
+            let c = E.Schedule.completion_times sv.schedule in
+            let bad = ref None in
+            Array.iteri
+              (fun i (t : E.Types.task) ->
+                Array.iter
+                  (fun p ->
+                    if !bad = None && not (leq c.(p) c.(i)) then
+                      bad :=
+                        Some
+                          (Fail
+                             { witness =
+                                 Printf.sprintf "parent %d completes after its child %d" p i;
+                               slack = diff c.(p) c.(i);
+                             }))
+                  t.E.Types.deps)
+              sv.inst.E.Types.tasks;
+            ok_or !bad
+          end);
+    }
+
+  (* DESIGN §15: on an edge-free instance the frontier policies must be
+     bit-identical to the independent-bag WDEQ/DEQ (the Dag simulator
+     dispatches to that code path, so equality is exact — no
+     tolerance). *)
+  let dag_zero_edge =
+    { info = dag_zero_edge_info;
+      check =
+        (fun sv ->
+          let reference =
+            match name_of sv with
+            | "wdeq-dag" -> Some E.Wdeq.wdeq
+            | "deq-dag" -> Some E.Wdeq.deq
+            | _ -> None
+          in
+          match reference with
+          | None -> Skip "frontier-policy-only oracle"
+          | Some _ when dag sv -> Skip "edge-free comparison (instance has dependency edges)"
+          | Some reference ->
+            let want, _ = reference sv.inst in
+            let got = sv.schedule in
+            if got.E.Types.order <> want.E.Types.order then
+              Fail { witness = "completion order differs from the independent-bag path"; slack = "-" }
+            else if not (Array.for_all2 F.equal got.E.Types.finish want.E.Types.finish) then
+              Fail { witness = "column finish times differ from the independent-bag path"; slack = "-" }
+            else begin
+              let allocs_eq a b =
+                List.length a = List.length b
+                && List.for_all2 (fun (i, r) (i', r') -> i = i' && F.equal r r') a b
+              in
+              if not (Array.for_all2 allocs_eq got.E.Types.columns want.E.Types.columns) then
+                Fail { witness = "column allocations differ from the independent-bag path"; slack = "-" }
+              else Pass
+            end);
+    }
+
+  let all =
+    [ coherence; bounds; thm3; lemma3; thm9; thm10; thm4; thm11; dag_precedence; dag_closure;
+      dag_zero_edge ]
   let find id = List.find_opt (fun o -> o.info.id = id) all
 
   (** Run one oracle, converting any exception into a [Fail] verdict —

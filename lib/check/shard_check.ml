@@ -43,20 +43,37 @@ module Make (F : Mwct_field.Field.S) = struct
       id mod [tenants] — routing with [St.Mod] and [nshards = tenants]
       gives one shard per tenant; [St.Hash] scatters them. Weights are
       per-tenant bases (clustered mass), volumes and caps individual. *)
-  let gen_stream (draw : Instances.draw) ?(tenants = 4) ~len () : En.event list =
+  let gen_stream (draw : Instances.draw) ?(tenants = 4) ?(deps = false) ~len () : En.event list =
     let bases = Array.init tenants (fun _ -> draw 1 8) in
     let next = ref 0 in
     (* Cancels target only tasks submitted since the last advance:
        volumes are positive and submit/cancel move no time, so those
        tasks provably haven't completed yet — the stream applies
-       cleanly to any engine without simulating completions here. *)
+       cleanly to any engine without simulating completions here.
+
+       With [deps], a third of the submits list one parent drawn from
+       [settled] — tasks that survived an advance. Settled ids are
+       never cancelled (cancels target [fresh] only), so the stream
+       never references a cascade-removed parent, and a fresh dormant
+       task is never anyone's parent — a Cancel of it cascades to
+       exactly itself. One parent, not several: the sharded store
+       routes a dependent to its first parent's shard and requires the
+       rest to be co-resident (multi-parent joins across shards are
+       rejected by the shard engine as unknown dependencies), so
+       cross-shard streams stay single-parent; the multi-parent
+       lifecycle is covered by the single-engine suites. *)
     let fresh = ref [] in
     let nfresh = ref 0 in
+    let settled = ref [||] in
     let submit () =
       let id = !next in
       incr next;
       fresh := id :: !fresh;
       incr nfresh;
+      let parents =
+        if (not deps) || Array.length !settled = 0 || draw 0 2 > 0 then []
+        else [ !settled.(draw 0 (Array.length !settled - 1)) ]
+      in
       En.Submit
         {
           id;
@@ -64,6 +81,7 @@ module Make (F : Mwct_field.Field.S) = struct
           weight = F.of_int bases.(id mod tenants);
           cap = F.of_int (draw 1 4);
           speedup = None;
+          deps = parents;
         }
     in
     let events =
@@ -78,6 +96,7 @@ module Make (F : Mwct_field.Field.S) = struct
             En.Cancel id
           | 5 | 6 -> submit ()
           | _ ->
+            settled := Array.append !settled (Array.of_list !fresh);
             fresh := [];
             nfresh := 0;
             En.Advance (F.of_q (draw 0 8) 4))
@@ -165,8 +184,8 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (** A one-shard store must be byte-identical to the plain engine:
       same journal lines, same dump fingerprint, same objective. *)
-  let check_single_identity (draw : Instances.draw) ~len : (unit, string) result =
-    let stream = gen_stream draw ~len () in
+  let check_single_identity ?deps (draw : Instances.draw) ~len : (unit, string) result =
+    let stream = gen_stream draw ?deps ~len () in
     let capacity = F.of_int 4 in
     let* c = run_store ~nshards:1 ~route:St.Mod ~capacity stream in
     let* eng, plain_lines = run_plain ~capacity stream in
@@ -181,8 +200,8 @@ module Make (F : Mwct_field.Field.S) = struct
       the store objective ([F.equal] — the sum is in ascending shard
       order, the order {!Mwct_runtime.Shard.Make.metrics_json}
       aggregates in). *)
-  let check_shard_replay (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
-    let stream = gen_stream draw ~len () in
+  let check_shard_replay ?deps (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
+    let stream = gen_stream draw ?deps ~len () in
     let capacity = F.of_int 4 in
     let* c = run_store ~nshards ~route ~capacity stream in
     let engines = St.engines c.store in
@@ -214,9 +233,9 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (** Feeding the merged journal's input lines through a fresh store
       must reproduce every journal byte — merged and per-shard. *)
-  let check_merged_determinism (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result
-      =
-    let stream = gen_stream draw ~len () in
+  let check_merged_determinism ?deps (draw : Instances.draw) ~nshards ~route ~len :
+      (unit, string) result =
+    let stream = gen_stream draw ?deps ~len () in
     let capacity = F.of_int 4 in
     let* c = run_store ~nshards ~route ~capacity stream in
     let* inputs =
@@ -244,8 +263,8 @@ module Make (F : Mwct_field.Field.S) = struct
       flat single engine's — same completed task ids, none lost to
       routing, none double-completed (times differ: hierarchical
       budgets are not the flat profile). *)
-  let check_flat_agreement (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
-    let stream = gen_stream draw ~len () in
+  let check_flat_agreement ?deps (draw : Instances.draw) ~nshards ~route ~len : (unit, string) result =
+    let stream = gen_stream draw ?deps ~len () in
     let capacity = F.of_int 4 in
     let* c = run_store ~nshards ~route ~capacity stream in
     let* eng, _ = run_plain ~capacity stream in

@@ -1,0 +1,143 @@
+(** Frontier equipartition for precedence-constrained (DAG) instances —
+    the WDEQ/DEQ port of Garg–Gupta–Kumar–Singla (arXiv:1905.02133) to
+    the malleable-task model.
+
+    The policy is Algorithm 1 restricted to the {e ready frontier}: at
+    every instant the platform is shared (by the saturation-frontier
+    rule of {!Wdeq.Make.shares}) among the tasks whose parents have all
+    completed; a completion may release new tasks into the frontier,
+    which trigger a reshare exactly like a completion does in the
+    independent setting. Because dependency edges only ever point at
+    earlier tasks of a validated instance ({!Instance.Make.validate}
+    runs Kahn's algorithm), the frontier is nonempty until everything
+    has completed — the loop cannot deadlock.
+
+    Two weighting schemes:
+
+    - {e plain} (the default): a ready task's share weight is its own
+      [w_i]. This is the library's oracle for the precedence setting —
+      the natural WDEQ generalization, and what the [wdeq-dag] /
+      [deq-dag] registry entries run.
+    - {e transitive} ([~transitive:true]): a ready task counts the
+      weight of every transitive descendant as well, so a task gating a
+      heavy subtree is served first — the weighting GGKS use to bound
+      weighted completion time under precedence. Exposed behind the
+      flag for experiments; not a separate registry entry.
+
+    Zero-edge instances dispatch straight to {!Wdeq.Make.simulate}, so
+    their schedules are {e bit-identical} to the independent-bag path
+    (including the monomorphic float kernel). *)
+
+module Make (F : Mwct_field.Field.S) = struct
+  module T = Types.Make (F)
+  module I = Instance.Make (F)
+  module W = Wdeq.Make (F)
+  open T
+
+  (* Share weights for one run: unit for DEQ, the task's own weight for
+     WDEQ, transitive sums when requested (over unit weights for the
+     unweighted policy, so DEQ-transitive ranks by descendant count). *)
+  let run_weights ~use_weights ~transitive (inst : instance) : int -> F.t =
+    match (use_weights, transitive) with
+    | true, false -> fun i -> inst.tasks.(i).weight
+    | false, false -> fun _ -> F.one
+    | true, true ->
+      let tw = I.transitive_weight inst in
+      fun i -> tw.(i)
+    | false, true ->
+      let unit = { inst with tasks = Array.map (fun t -> { t with weight = F.one }) inst.tasks } in
+      let tw = I.transitive_weight unit in
+      fun i -> tw.(i)
+
+  (** Simulate a frontier-equipartition run to completion.
+      [~use_weights:false] gives the unweighted policy (frontier-DEQ);
+      [~transitive:true] replaces each ready task's share weight with
+      its transitive weight. Instances without edges take the
+      independent-bag simulator verbatim ({!Wdeq.Make.simulate}) —
+      same bits, same diagnostics. *)
+  let simulate ?(use_weights = true) ?(transitive = false) (inst : instance) :
+      column_schedule * W.diagnostics =
+    if not (I.has_deps inst) then W.simulate ~use_weights inst
+    else begin
+      let n = I.num_tasks inst in
+      let weight = run_weights ~use_weights ~transitive inst in
+      let delta = Array.init n (fun i -> I.effective_delta inst i) in
+      let remaining = Array.map (fun t -> t.volume) inst.tasks in
+      let children = I.dep_children inst in
+      let unmet = Array.init n (fun i -> Array.length inst.tasks.(i).deps) in
+      let completed = Array.make n false in
+      let full_volume = Array.make n F.zero in
+      let limited_volume = Array.make n F.zero in
+      let order = Array.make n 0 in
+      let finish = Array.make n F.zero in
+      let columns = Array.make n [] in
+      let share = Array.make n F.zero in
+      let t_now = ref F.zero in
+      let col = ref 0 in
+      while !col < n do
+        (* Ready frontier in ascending index order. *)
+        let alive = ref [] in
+        for i = n - 1 downto 0 do
+          if (not completed.(i)) && unmet.(i) = 0 then alive := (i, weight i, delta.(i)) :: !alive
+        done;
+        let shared = W.shares ~p:inst.procs !alive in
+        Array.fill share 0 n F.zero;
+        (* Next completion among the frontier (shares are positive for
+           at least one ready task: capacity is positive and the
+           frontier is nonempty on a validated acyclic instance). *)
+        let t_best = ref F.zero in
+        let seen = ref false in
+        List.iter
+          (fun (i, s) ->
+            share.(i) <- s;
+            let r = I.rate_at inst i s in
+            if F.sign r > 0 then begin
+              let ti = F.div remaining.(i) r in
+              if (not !seen) || F.compare ti !t_best < 0 then begin
+                t_best := ti;
+                seen := true
+              end
+            end)
+          shared;
+        if not !seen then invalid_arg "Dag.simulate: no ready task can progress";
+        let dt = !t_best in
+        let t_end = F.add !t_now dt in
+        let finished = ref [] in
+        List.iter
+          (fun (i, s) ->
+            let processed = F.mul (I.rate_at inst i s) dt in
+            remaining.(i) <- F.sub remaining.(i) processed;
+            if F.equal_approx s delta.(i) then full_volume.(i) <- F.add full_volume.(i) processed
+            else limited_volume.(i) <- F.add limited_volume.(i) processed;
+            if F.leq_approx remaining.(i) F.zero then finished := i :: !finished)
+          shared;
+        let finished = List.sort Stdlib.compare !finished in
+        (match finished with
+        | [] -> invalid_arg "Dag.simulate: no completion at event (numeric drift)"
+        | _ -> ());
+        let column = ref [] in
+        for i = n - 1 downto 0 do
+          if F.sign share.(i) > 0 then column := (i, share.(i)) :: !column
+        done;
+        List.iteri
+          (fun k i ->
+            let j = !col + k in
+            order.(j) <- i;
+            finish.(j) <- t_end;
+            completed.(i) <- true;
+            List.iter (fun c -> unmet.(c) <- unmet.(c) - 1) children.(i);
+            if k = 0 then columns.(j) <- !column)
+          finished;
+        col := !col + List.length finished;
+        t_now := t_end
+      done;
+      ({ instance = inst; order; finish; columns }, { W.full_volume; W.limited_volume })
+    end
+
+  (** Frontier-WDEQ schedule of a (possibly precedence-constrained)
+      instance. *)
+  let wdeq ?transitive inst = simulate ~use_weights:true ?transitive inst
+
+  (** Frontier-DEQ (unweighted) on the same instance. *)
+  let deq ?transitive inst = simulate ~use_weights:false ?transitive inst
+end

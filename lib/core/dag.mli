@@ -1,0 +1,29 @@
+(** Frontier equipartition for precedence-constrained (DAG) instances:
+    WDEQ/DEQ shared over the ready frontier, after
+    Garg–Gupta–Kumar–Singla (arXiv:1905.02133). *)
+
+module Make (F : Mwct_field.Field.S) : sig
+  (** Simulate a frontier-equipartition run: Algorithm 1's share rule
+      over the tasks whose parents have all completed, resharing on
+      every completion (which may release new tasks). Instances
+      without edges dispatch to {!Wdeq.Make.simulate} — bit-identical
+      schedules. [~use_weights:false] is the unweighted policy;
+      [~transitive:true] shares by transitive (subtree) weight. *)
+  val simulate :
+    ?use_weights:bool ->
+    ?transitive:bool ->
+    Types.Make(F).instance ->
+    Types.Make(F).column_schedule * Wdeq.Make(F).diagnostics
+
+  (** Frontier-WDEQ schedule (plain per-task weights by default). *)
+  val wdeq :
+    ?transitive:bool ->
+    Types.Make(F).instance ->
+    Types.Make(F).column_schedule * Wdeq.Make(F).diagnostics
+
+  (** Frontier-DEQ (unweighted). *)
+  val deq :
+    ?transitive:bool ->
+    Types.Make(F).instance ->
+    Types.Make(F).column_schedule * Wdeq.Make(F).diagnostics
+end

@@ -97,7 +97,11 @@ module Make (F : Mwct_field.Field.S) = struct
     let module T = Types.Make (F) in
     {
       T.procs = F.one;
-      T.tasks = Array.map (fun d -> { T.volume = F.one; T.weight = F.one; T.delta = d; T.speedup = T.Linear_delta }) deltas;
+      T.tasks =
+        Array.map
+          (fun d ->
+            { T.volume = F.one; T.weight = F.one; T.delta = d; T.speedup = T.Linear_delta; T.deps = [||] })
+          deltas;
     }
 
   (** The necessary optimality condition the paper reports for [n = 5]:

@@ -89,22 +89,31 @@ module Make (F : Mwct_field.Field.S) = struct
                   Curve { bx = bx'; by = by' }
                 end
             in
-            { volume = of_rat tk.Spec.volume; weight = of_rat tk.Spec.weight; delta = capped; speedup })
+            {
+              volume = of_rat tk.Spec.volume;
+              weight = of_rat tk.Spec.weight;
+              delta = capped;
+              speedup;
+              deps = Array.of_list tk.Spec.deps;
+            })
           s.Spec.tasks;
     }
 
   (** Build directly from field values (weights default to 1). *)
   let make ~procs tasks : instance = { procs; tasks = Array.of_list tasks }
 
-  let task ?weight ?(speedup = Linear_delta) ~volume ~delta () =
+  let task ?weight ?(speedup = Linear_delta) ?(deps = [||]) ~volume ~delta () =
     let weight = match weight with Some w -> w | None -> F.one in
-    { volume; weight; delta; speedup }
+    { volume; weight; delta; speedup; deps }
 
   let num_tasks (i : instance) = Array.length i.tasks
 
   (** True iff any task has a non-linear rate law. *)
   let has_curves (i : instance) =
     Array.exists (fun t -> match t.speedup with Linear_delta -> false | Curve _ -> true) i.tasks
+
+  (** True iff any task has a precedence parent. *)
+  let has_deps (i : instance) = Array.exists (fun t -> t.deps <> [||]) i.tasks
 
   (** Structural validity over the field: everything strictly positive,
       [δ_i >= 1]. Deltas above [P] are allowed (they behave as [P]).
@@ -155,9 +164,22 @@ module Make (F : Mwct_field.Field.S) = struct
            with Exit -> ())
         end
       in
+      let n = Array.length i.tasks in
+      let check_deps k (deps : int array) =
+        let seen = Hashtbl.create (Array.length deps) in
+        Array.iter
+          (fun j ->
+            if Option.is_none !bad then
+              if j < 0 || j >= n then
+                fail k (Printf.sprintf "unknown dependency %d (tasks are 0..%d)" j (n - 1))
+              else if j = k then fail k "task cannot depend on itself"
+              else if Hashtbl.mem seen j then fail k (Printf.sprintf "duplicate dependency %d" j)
+              else Hashtbl.add seen j ())
+          deps
+      in
       Array.iteri
         (fun k t ->
-          if Option.is_none !bad then
+          if Option.is_none !bad then begin
             if F.sign t.volume <= 0 then fail k "volume must be positive"
             else if F.sign t.weight <= 0 then fail k "weight must be positive"
             else if F.compare t.delta F.one < 0 then fail k "delta must be >= 1"
@@ -165,8 +187,42 @@ module Make (F : Mwct_field.Field.S) = struct
               match t.speedup with
               | Linear_delta -> ()
               | Curve { bx; by } -> check_curve k bx by t.delta
-            end)
+            end;
+            if Option.is_none !bad then check_deps k t.deps
+          end)
         i.tasks;
+      (* Kahn topological sort over the edge set rejects cycles (specs
+         built through [of_spec] already passed this in Spec.validate;
+         directly-built instances get the same diagnostic here). *)
+      if Option.is_none !bad then begin
+        let indeg = Array.make n 0 in
+        let children = Array.make n [] in
+        Array.iteri
+          (fun k t ->
+            Array.iter
+              (fun j ->
+                indeg.(k) <- indeg.(k) + 1;
+                children.(j) <- k :: children.(j))
+              t.deps)
+          i.tasks;
+        let queue = Queue.create () in
+        Array.iteri (fun k d -> if d = 0 then Queue.add k queue) indeg;
+        let seen = ref 0 in
+        while not (Queue.is_empty queue) do
+          let k = Queue.pop queue in
+          incr seen;
+          List.iter
+            (fun c ->
+              indeg.(c) <- indeg.(c) - 1;
+              if indeg.(c) = 0 then Queue.add c queue)
+            children.(k)
+        done;
+        if !seen <> n then begin
+          let rec first k = if indeg.(k) > 0 then k else first (k + 1) in
+          let k = first 0 in
+          fail k "dependency cycle through this task"
+        end
+      end;
       match !bad with None -> Ok () | Some m -> Error m
     end
 
@@ -207,6 +263,93 @@ module Make (F : Mwct_field.Field.S) = struct
       arrays without the instance. *)
   let curve_rate ((bx, by) : num array * num array) (a : num) : num = eval_curve bx by a
 
+  (* ---------- precedence topology ---------- *)
+
+  (** Child adjacency of the dependency DAG: [dep_children i].(j) lists
+      the tasks that name [j] as a parent, in index order. *)
+  let dep_children (i : instance) : int list array =
+    let n = num_tasks i in
+    let ch = Array.make n [] in
+    for k = n - 1 downto 0 do
+      Array.iter (fun p -> ch.(p) <- k :: ch.(p)) i.tasks.(k).deps
+    done;
+    ch
+
+  (** A topological order of the tasks (parents before children),
+      lowest-index-first among ready tasks so the order is canonical.
+      Raises [Invalid_argument] on a cyclic edge set — [validate] /
+      [of_spec] reject those up front. *)
+  let topo_order (i : instance) : int array =
+    let n = num_tasks i in
+    let indeg = Array.map (fun t -> Array.length t.deps) i.tasks in
+    let children = dep_children i in
+    let module IS = Set.Make (Int) in
+    let ready = ref (IS.of_list (List.filter (fun k -> indeg.(k) = 0) (List.init n Fun.id))) in
+    let order = Array.make n 0 in
+    for pos = 0 to n - 1 do
+      match IS.min_elt_opt !ready with
+      | None -> invalid_arg "Instance.topo_order: dependency cycle"
+      | Some k ->
+        ready := IS.remove k !ready;
+        order.(pos) <- k;
+        List.iter
+          (fun c ->
+            indeg.(c) <- indeg.(c) - 1;
+            if indeg.(c) = 0 then ready := IS.add c !ready)
+          children.(k)
+    done;
+    order
+
+  (** DAG level of every task: [0] for tasks with no parents, else
+      [1 + max (level parent)]. *)
+  let levels (i : instance) : int array =
+    let lvl = Array.make (num_tasks i) 0 in
+    Array.iter
+      (fun k ->
+        Array.iter (fun p -> if lvl.(p) + 1 > lvl.(k) then lvl.(k) <- lvl.(p) + 1) i.tasks.(k).deps)
+      (topo_order i);
+    lvl
+
+  (** The ready frontier under a completion predicate: tasks not yet
+      completed whose parents have all completed, in index order. *)
+  let ready_frontier (i : instance) ~(completed : int -> bool) : int list =
+    let ready k =
+      (not (completed k)) && Array.for_all completed i.tasks.(k).deps
+    in
+    List.filter ready (List.init (num_tasks i) Fun.id)
+
+  (** Transitive weight of every task: its own weight plus the weight
+      of every (transitive) descendant, each descendant counted once —
+      the weight a dormant subtree adds to its currently-alive
+      ancestors in the precedence-aware WDEQ variant
+      (Garg–Gupta–Kumar–Singla, arXiv:1905.02133). O(n·E) via one
+      ancestor walk per task; dependency graphs are sparse. *)
+  let transitive_weight (i : instance) : num array =
+    let n = num_tasks i in
+    let tw = Array.map (fun t -> t.weight) i.tasks in
+    let mark = Array.make n false in
+    for j = 0 to n - 1 do
+      if i.tasks.(j).deps <> [||] then begin
+        Array.fill mark 0 n false;
+        (* collect the strict ancestors of [j], each once *)
+        let rec up k =
+          Array.iter
+            (fun p ->
+              if not mark.(p) then begin
+                mark.(p) <- true;
+                up p
+              end)
+            i.tasks.(k).deps
+        in
+        up j;
+        let wj = i.tasks.(j).weight in
+        for p = 0 to n - 1 do
+          if mark.(p) then tw.(p) <- F.add tw.(p) wj
+        done
+      end
+    done;
+    tw
+
   (** The height [h_i = V_i / s_i(min(δ_i, P))] of task [i]
       (Definition 6; [V_i / min(δ_i, P)] under the linear law). *)
   let height (i : instance) k = F.div i.tasks.(k).volume (max_rate i k)
@@ -235,8 +378,15 @@ module Make (F : Mwct_field.Field.S) = struct
                  (fun x y -> F.to_string x ^ ":" ^ F.to_string y)
                  (Array.to_list bx) (Array.to_list by))
       in
-      Printf.sprintf "(V=%s w=%s d=%s%s)" (F.to_string t.volume) (F.to_string t.weight)
-        (F.to_string t.delta) s
+      let d =
+        match t.deps with
+        | [||] -> ""
+        | ds ->
+          " deps="
+          ^ String.concat "," (List.map string_of_int (Array.to_list ds))
+      in
+      Printf.sprintf "(V=%s w=%s d=%s%s%s)" (F.to_string t.volume) (F.to_string t.weight)
+        (F.to_string t.delta) s d
     in
     Printf.sprintf "P=%s %s" (F.to_string i.procs)
       (String.concat " " (Array.to_list (Array.map t_to_string i.tasks)))

@@ -16,10 +16,11 @@ module Make (F : Mwct_field.Field.S) : sig
   val make : procs:F.t -> Types.Make(F).task list -> Types.Make(F).instance
 
   (** Task constructor; [weight] defaults to [1], [speedup] to the
-      linear law. *)
+      linear law, [deps] to no precedence parents. *)
   val task :
     ?weight:F.t ->
     ?speedup:Types.Make(F).speedup ->
+    ?deps:int array ->
     volume:F.t ->
     delta:F.t ->
     unit ->
@@ -29,6 +30,9 @@ module Make (F : Mwct_field.Field.S) : sig
 
   (** True iff any task has a non-linear rate law. *)
   val has_curves : Types.Make(F).instance -> bool
+
+  (** True iff any task has a precedence parent. *)
+  val has_deps : Types.Make(F).instance -> bool
 
   (** Structural validity over the field: everything strictly positive,
       [δ_i >= 1], well-formed speedup curves. Deltas above [P] are
@@ -64,6 +68,26 @@ module Make (F : Mwct_field.Field.S) : sig
   (** Evaluate a raw breakpoint curve (as returned by
       {!speedup_arrays}) at an allocation. *)
   val curve_rate : F.t array * F.t array -> F.t -> F.t
+
+  (** Child adjacency of the dependency DAG, in index order. *)
+  val dep_children : Types.Make(F).instance -> int list array
+
+  (** A canonical topological order (parents before children,
+      lowest index first among ready tasks). Raises
+      [Invalid_argument] on a cyclic edge set. *)
+  val topo_order : Types.Make(F).instance -> int array
+
+  (** DAG level of every task ([0] = no parents). *)
+  val levels : Types.Make(F).instance -> int array
+
+  (** Tasks not yet completed whose parents have all completed, in
+      index order. *)
+  val ready_frontier : Types.Make(F).instance -> completed:(int -> bool) -> int list
+
+  (** Per-task transitive weight: own weight plus the weight of every
+      transitive descendant, each counted once
+      (Garg–Gupta–Kumar–Singla, arXiv:1905.02133). *)
+  val transitive_weight : Types.Make(F).instance -> F.t array
 
   (** Height [h_k = V_k / max_rate k] (Definition 6;
       [V_k / min(δ_k, P)] under the linear law). *)

@@ -6,6 +6,7 @@ type task = {
   delta : int;
   speedup : (rat * rat) list;
   capacity : int option;
+  deps : int list;  (** indices of tasks that must complete first *)
 }
 
 type t = { procs : int; tasks : task array }
@@ -16,12 +17,13 @@ let rat num den =
 
 let rat_of_int n = { num = n; den = 1 }
 
-let task ?(weight = rat_of_int 1) ?(speedup = []) ?capacity ~volume ~delta () =
-  { volume; weight; delta; speedup; capacity }
+let task ?(weight = rat_of_int 1) ?(speedup = []) ?capacity ?(deps = []) ~volume ~delta () =
+  { volume; weight; delta; speedup; capacity; deps }
 
 let make ~procs tasks = { procs; tasks = Array.of_list tasks }
 let num_tasks t = Array.length t.tasks
 let has_curves t = Array.exists (fun tk -> tk.speedup <> []) t.tasks
+let has_deps t = Array.exists (fun tk -> tk.deps <> []) t.tasks
 
 (* Exact comparisons on small rationals (denominators are positive by
    construction, so cross-multiplication preserves order). *)
@@ -65,9 +67,57 @@ let validate_speedup i ~delta pairs =
   in
   match pairs with [] -> Ok () | _ -> go (zero, zero) None pairs
 
+(* Dependency edges are task indices. Per-task checks catch unknown
+   parents, self-edges and duplicate edges; a Kahn topological sort over
+   the whole graph rejects cycles (naming one task on the cycle, so the
+   diagnostic points somewhere actionable). *)
+let validate_deps i ~n deps =
+  let fail msg = Error (Printf.sprintf "task %d: %s" i msg) in
+  let rec go seen = function
+    | [] -> Ok ()
+    | j :: rest ->
+      if j < 0 || j >= n then fail (Printf.sprintf "unknown dependency %d (tasks are 0..%d)" j (n - 1))
+      else if j = i then fail "task cannot depend on itself"
+      else if List.mem j seen then fail (Printf.sprintf "duplicate dependency %d" j)
+      else go (j :: seen) rest
+  in
+  go [] deps
+
+let check_acyclic t =
+  let n = Array.length t.tasks in
+  let indeg = Array.make n 0 in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun i tk ->
+      List.iter
+        (fun j ->
+          indeg.(i) <- indeg.(i) + 1;
+          children.(j) <- i :: children.(j))
+        tk.deps)
+    t.tasks;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun c ->
+        indeg.(c) <- indeg.(c) - 1;
+        if indeg.(c) = 0 then Queue.add c queue)
+      children.(i)
+  done;
+  if !seen = n then Ok ()
+  else begin
+    (* every unsorted task sits on or behind a cycle; name the first *)
+    let rec first i = if indeg.(i) > 0 then i else first (i + 1) in
+    Error (Printf.sprintf "dependency cycle through task %d" (first 0))
+  end
+
 let validate t =
   if t.procs < 1 then Error "procs must be >= 1"
   else begin
+    let n = Array.length t.tasks in
     let check i tk =
       if tk.volume.num <= 0 || tk.volume.den <= 0 then Error (Printf.sprintf "task %d: volume must be positive" i)
       else if tk.weight.num <= 0 || tk.weight.den <= 0 then
@@ -76,11 +126,14 @@ let validate t =
       else begin
         match tk.capacity with
         | Some c when c < 1 -> Error (Printf.sprintf "task %d: capacity must be >= 1" i)
-        | _ -> validate_speedup i ~delta:tk.delta tk.speedup
+        | _ -> (
+          match validate_deps i ~n tk.deps with
+          | Error _ as e -> e
+          | Ok () -> validate_speedup i ~delta:tk.delta tk.speedup)
       end
     in
     let rec go i =
-      if i >= Array.length t.tasks then Ok ()
+      if i >= Array.length t.tasks then check_acyclic t
       else begin
         match check i t.tasks.(i) with Ok () -> go (i + 1) | Error _ as e -> e
       end
@@ -102,7 +155,12 @@ let to_string t =
         " s=" ^ String.concat "," (List.map (fun (x, y) -> rat_to_string x ^ ":" ^ rat_to_string y) ps)
     in
     let cap = match tk.capacity with None -> "" | Some c -> Printf.sprintf " c=%d" c in
-    base ^ speedup ^ cap ^ ")"
+    let deps =
+      match tk.deps with
+      | [] -> ""
+      | ds -> " deps=" ^ String.concat "," (List.map string_of_int ds)
+    in
+    base ^ speedup ^ cap ^ deps ^ ")"
   in
   Printf.sprintf "P=%d %s" t.procs (String.concat " " (Array.to_list (Array.map task_to_string t.tasks)))
 

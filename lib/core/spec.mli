@@ -21,6 +21,11 @@ type task = {
   capacity : int option;
       (** optional per-task allocation bound (machine capacity);
           folded into the rate model by {!Instance.Make.of_spec}. *)
+  deps : int list;
+      (** precedence parents: indices of tasks that must complete
+          before this one may start; [[]] is the paper's
+          independent-task bag. {!validate} rejects unknown indices,
+          self-edges, duplicates and cycles. *)
 }
 
 type t = {
@@ -32,8 +37,17 @@ val rat : int -> int -> rat
 val rat_of_int : int -> rat
 
 (** [task ~volume ~weight ~delta] with [weight] defaulting to [1],
-    [speedup] to the linear law, and [capacity] to unbounded. *)
-val task : ?weight:rat -> ?speedup:(rat * rat) list -> ?capacity:int -> volume:rat -> delta:int -> unit -> task
+    [speedup] to the linear law, [capacity] to unbounded, and [deps]
+    to no precedence parents. *)
+val task :
+  ?weight:rat ->
+  ?speedup:(rat * rat) list ->
+  ?capacity:int ->
+  ?deps:int list ->
+  volume:rat ->
+  delta:int ->
+  unit ->
+  task
 
 val make : procs:int -> task list -> t
 val num_tasks : t -> int
@@ -41,11 +55,16 @@ val num_tasks : t -> int
 (** True iff any task carries a non-linear speedup curve. *)
 val has_curves : t -> bool
 
+(** True iff any task has a precedence parent. *)
+val has_deps : t -> bool
+
 (** Structural sanity: positive volumes, weights, deltas, procs;
     well-formed speedup curves (positive, strictly increasing
     allocations, non-decreasing rates, concave, first slope <= 1,
-    last breakpoint at [delta]) and capacities >= 1.
-    Returns an error message for the first violation. *)
+    last breakpoint at [delta]); capacities >= 1; dependency edges
+    in range, self-edge-free, duplicate-free and acyclic
+    (topological sort). Returns an error message for the first
+    violation. *)
 val validate : t -> (unit, string) result
 
 val rat_to_string : rat -> string

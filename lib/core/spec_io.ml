@@ -9,14 +9,18 @@
     task 5/4 2/3 2
     speedup 1:1 2:3/2 # concave speedup curve of the preceding task
     capacity 2        # allocation bound of the preceding task
+    deps 0 1          # the preceding task starts after tasks 0 and 1
     v}
 
     Volumes and weights are rationals ([p] or [p/q]); [procs] and
     [delta] are integers. A [speedup] line lists [allocation:rate]
     breakpoints (rationals) of a concave piecewise-linear speedup
     curve for the task declared just above it; a [capacity] line
-    bounds that task's allocation. Both are optional and at most one
-    of each may follow a task. *)
+    bounds that task's allocation; a [deps] line lists precedence
+    parents (task indices, 0-based in declaration order) that must
+    complete before it may run. All are optional and at most one of
+    each may follow a task. Unknown parents, self-edges and dependency
+    cycles are rejected by {!Spec.validate}. *)
 
 let parse_rat s : (Spec.rat, string) result =
   match String.index_opt s '/' with
@@ -94,6 +98,15 @@ let of_string (text : string) : (Spec.t, string) result =
                 if t.Spec.capacity <> None then Error "duplicate capacity for task"
                 else Ok { t with Spec.capacity = Some c })
           | _ -> fail "capacity expects a positive integer")
+        | "deps" :: ds -> (
+          if ds = [] then fail "deps expects task indices: j k ..."
+          else
+            match List.map int_of_string_opt ds with
+            | ids when List.for_all Option.is_some ids ->
+              with_last_task "deps" (fun (t : Spec.task) ->
+                  if t.Spec.deps <> [] then Error "duplicate deps for task"
+                  else Ok { t with Spec.deps = List.filter_map Fun.id ids })
+            | _ -> fail "deps expects task indices: j k ...")
         | t :: _ -> fail (Printf.sprintf "unknown directive %S" t)
       end)
     lines;
@@ -118,9 +131,14 @@ let to_string (s : Spec.t) : string =
         Buffer.add_string buf
           (Printf.sprintf "speedup %s\n"
              (String.concat " " (List.map (fun (x, y) -> rat x ^ ":" ^ rat y) ps))));
-      match t.Spec.capacity with
+      (match t.Spec.capacity with
       | None -> ()
-      | Some c -> Buffer.add_string buf (Printf.sprintf "capacity %d\n" c))
+      | Some c -> Buffer.add_string buf (Printf.sprintf "capacity %d\n" c));
+      match t.Spec.deps with
+      | [] -> ()
+      | ds ->
+        Buffer.add_string buf
+          (Printf.sprintf "deps %s\n" (String.concat " " (List.map string_of_int ds))))
     s.Spec.tasks;
   Buffer.contents buf
 

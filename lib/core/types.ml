@@ -34,8 +34,12 @@ module Make (F : Mwct_field.Field.S) = struct
       parallelism cap [δ_i] (Definition 1 of the paper). [delta] is an
       integer number of processors but is stored in the field because
       the algorithms compare it with fractional allocations. [speedup]
-      generalizes the rate law; [Linear_delta] is the paper's model. *)
-  type task = { volume : num; weight : num; delta : num; speedup : speedup }
+      generalizes the rate law; [Linear_delta] is the paper's model.
+      [deps] lists precedence parents (task indices that must complete
+      before this task may start); [[||]] is the paper's
+      independent-task bag. The edge set is acyclic by construction
+      ({!Spec.validate} / [Instance.validate] reject cycles). *)
+  type task = { volume : num; weight : num; delta : num; speedup : speedup; deps : int array }
 
   (** Problem instance [I = (P, (w_i), (V_i), (δ_i))]. *)
   type instance = { procs : num; tasks : task array }

@@ -61,7 +61,19 @@ module Make (F : Mwct_field.Field.S) = struct
       increasing [bx], non-decreasing concave [by] through the origin);
       [None] is the linear law (rate = share), the paper's model.
       Breakpoints may extend beyond [cap]: shares never exceed the cap,
-      so the tail is simply unused. *)
+      so the tail is simply unused.
+
+      [deps] lists precedence parents by task id. Every parent must
+      already be known to the engine — alive, dormant, or completed
+      (edges always point at earlier submissions, so the dependency
+      graph is acyclic by construction). A submission with an unmet
+      parent enters the {e dormant} state: it holds no share and does
+      not advance; it becomes alive exactly when its last parent
+      completes, with its release time re-stamped at that activation.
+      A parent that was cancelled (or cancelling a parent later)
+      cascades: the dependent is cancelled too. [[]] is the
+      independent-task submission, byte-identical to the pre-DAG
+      engine. *)
   type event =
     | Submit of {
         id : int;
@@ -69,6 +81,7 @@ module Make (F : Mwct_field.Field.S) = struct
         weight : F.t;
         cap : F.t;
         speedup : (F.t array * F.t array) option;
+        deps : int list;
       }
     | Cancel of int
     | Advance of F.t  (** relative: advance virtual time by [dt >= 0] *)
@@ -133,7 +146,18 @@ module Make (F : Mwct_field.Field.S) = struct
     mutable c_changes : int array;
     mutable c_segments : (F.t * F.t * F.t) list array;  (* reverse chronological *)
     mutable c_curve : (F.t array * F.t array) option array;  (* speedup breakpoints; None = linear *)
-    mutable ncurved : int;  (* alive tasks with a curve; 0 keeps the float fast path *)
+    mutable ncurved : int;  (* open tasks with a curve; 0 keeps the float fast path *)
+    (* precedence lifecycle: [c_waiting] is the number of not-yet-
+       completed parents — 0 means alive, > 0 dormant (holds a slot and
+       an id but is absent from [by_id]/[order] and the kinetic state).
+       [c_dependents] lists the ids (not slots: slots are recycled, ids
+       never are) of dormant tasks waiting on this slot's completion;
+       [c_deps] keeps the submission's parent list for dumps. *)
+    mutable c_waiting : int array;
+    mutable c_dependents : int list array;
+    mutable c_deps : int list array;
+    mutable ndormant : int;
+    mutable cascade : int list;  (* ids closed by the current cancel, cascade order *)
     mutable c_id : int array;  (* external id of the slot's task *)
     mutable used : int;  (* slots ever handed out (high-water mark) *)
     mutable free : int array;  (* recycled-slot stack *)
@@ -183,6 +207,11 @@ module Make (F : Mwct_field.Field.S) = struct
       c_segments = Array.make n [];
       c_curve = Array.make n None;
       ncurved = 0;
+      c_waiting = Array.make n 0;
+      c_dependents = Array.make n [];
+      c_deps = Array.make n [];
+      ndormant = 0;
+      cascade = [];
       c_id = Array.make n 0;
       used = 0;
       free = Array.make n 0;
@@ -216,6 +245,9 @@ module Make (F : Mwct_field.Field.S) = struct
     t.c_changes <- g 0 t.c_changes;
     t.c_segments <- g [] t.c_segments;
     t.c_curve <- g None t.c_curve;
+    t.c_waiting <- g 0 t.c_waiting;
+    t.c_dependents <- g [] t.c_dependents;
+    t.c_deps <- g [] t.c_deps;
     t.c_id <- g 0 t.c_id;
     t.free <- g 0 t.free;
     t.by_id <- g 0 t.by_id;
@@ -364,12 +396,29 @@ module Make (F : Mwct_field.Field.S) = struct
     end
 
   let alive_count t = t.nalive
+  let dormant_count t = t.ndormant
   let completed_count t = t.metrics.M.completed
   let cancelled_count t = t.metrics.M.cancelled
 
   let alive_ids t =
     let rec go i acc = if i < 0 then acc else go (i - 1) (t.c_id.(t.by_id.(i)) :: acc) in
     go (t.nalive - 1) []
+
+  (* Dormant slots in ascending id order (the hashtable's iteration
+     order is not deterministic, so collect and sort). *)
+  let dormant_slots t =
+    if t.ndormant = 0 then []
+    else
+      Hashtbl.fold (fun _ s acc -> if t.c_waiting.(s) > 0 then s :: acc else acc) t.slot_of_id []
+      |> List.sort (fun a b -> Stdlib.compare t.c_id.(a) t.c_id.(b))
+
+  let dormant_ids t = List.map (fun s -> t.c_id.(s)) (dormant_slots t)
+
+  (** [Some n] when [id] is dormant with [n] unmet parents. *)
+  let waiting_on t id =
+    match Hashtbl.find_opt t.slot_of_id id with
+    | Some s when t.c_waiting.(s) > 0 -> Some t.c_waiting.(s)
+    | _ -> None
 
   let metrics t = t.metrics
   let weighted_completion t = t.metrics.M.weighted_completion
@@ -421,6 +470,17 @@ module Make (F : Mwct_field.Field.S) = struct
            (F.repr t.c_remaining.(s)) (F.repr t.c_weight.(s)) (F.repr t.c_cap.(s))
            (F.repr t.c_submitted.(s)) t.c_changes.(s) curve)
     done;
+    (* dormant tasks fingerprint their unmet-parent count and edge
+       list; the block is absent entirely on dep-free runs, keeping
+       those dumps byte-identical to the pre-DAG engine *)
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "dormant id=%d rem=%s w=%s cap=%s submitted=%s waiting=%d deps=%s\n"
+             t.c_id.(s) (F.repr t.c_remaining.(s)) (F.repr t.c_weight.(s)) (F.repr t.c_cap.(s))
+             (F.repr t.c_submitted.(s)) t.c_waiting.(s)
+             (String.concat "," (List.map string_of_int t.c_deps.(s)))))
+      (dormant_slots t);
     List.iter
       (fun (id, c) ->
         Buffer.add_string b
@@ -486,10 +546,18 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (* ---------- closing tasks ---------- *)
 
-  let close t slot outcome =
+  (* Closing an alive task leaves the share structures; closing a
+     dormant one (cancel cascade only — dormant tasks never complete)
+     touches neither [by_id] nor the kinetic state nor the dirty flag,
+     since a dormant task holds no share. Either way the slot is freed
+     and the lifecycle hooks run: a completion releases this task's
+     dormant dependents (the last release activates them, stamping
+     their release time to [now]); a cancellation cascades to them. *)
+  let rec close t slot outcome =
     let id = t.c_id.(slot) in
     let nowv = t.now_cell.(0) in
     let w = t.c_weight.(slot) in
+    let was_alive = t.c_waiting.(slot) = 0 in
     Hashtbl.replace t.closed_tbl id
       {
         volume = t.c_volume.(slot);
@@ -501,25 +569,73 @@ module Make (F : Mwct_field.Field.S) = struct
         segments = List.rev t.c_segments.(slot);
         share_changes = t.c_changes.(slot);
       };
-    remove_by_id t id;
+    if was_alive then begin
+      remove_by_id t id;
+      match t.kinetic with Some k -> k.k_remove ~slot | None -> ()
+    end
+    else begin
+      t.ndormant <- t.ndormant - 1;
+      t.c_waiting.(slot) <- 0
+    end;
     Hashtbl.remove t.slot_of_id id;
-    (match t.kinetic with Some k -> k.k_remove ~slot | None -> ());
     (match t.c_curve.(slot) with
     | Some _ ->
       t.c_curve.(slot) <- None;
       t.ncurved <- t.ncurved - 1
     | None -> ());
     t.c_segments.(slot) <- [];
+    let dependents = t.c_dependents.(slot) in
+    t.c_dependents.(slot) <- [];
+    t.c_deps.(slot) <- [];
     t.free.(t.nfree) <- slot;
     t.nfree <- t.nfree + 1;
-    t.dirty <- true;
-    match outcome with
+    if was_alive then t.dirty <- true;
+    (match outcome with
     | Completed ->
       t.metrics.M.completed <- t.metrics.M.completed + 1;
       t.metrics.M.weighted_completion <- F.add t.metrics.M.weighted_completion (F.mul w nowv);
       t.metrics.M.weighted_flow <-
         F.add t.metrics.M.weighted_flow (F.mul w (F.sub nowv t.c_submitted.(slot)))
-    | Cancelled -> t.metrics.M.cancelled <- t.metrics.M.cancelled + 1
+    | Cancelled ->
+      t.metrics.M.cancelled <- t.metrics.M.cancelled + 1;
+      t.cascade <- id :: t.cascade);
+    (* Dependents are dormant by invariant; a stale id (already
+       cascade-cancelled through another parent) misses the table and
+       is skipped. *)
+    match dependents with
+    | [] -> ()
+    | deps -> (
+      match outcome with
+      | Completed ->
+        List.iter
+          (fun did ->
+            match Hashtbl.find_opt t.slot_of_id did with
+            | Some dslot when t.c_waiting.(dslot) > 0 ->
+              t.c_waiting.(dslot) <- t.c_waiting.(dslot) - 1;
+              if t.c_waiting.(dslot) = 0 then activate t dslot
+            | _ -> ())
+          deps
+      | Cancelled ->
+        List.iter
+          (fun did ->
+            match Hashtbl.find_opt t.slot_of_id did with
+            | Some dslot when t.c_waiting.(dslot) > 0 -> close t dslot Cancelled
+            | _ -> ())
+          deps)
+
+  (* The last parent completed: the task joins the alive set. Its
+     release time is re-stamped to the activation instant, so weighted
+     flow measures time-in-system from readiness (the precedence
+     model's release date). *)
+  and activate t slot =
+    let id = t.c_id.(slot) in
+    t.ndormant <- t.ndormant - 1;
+    t.c_submitted.(slot) <- t.now_cell.(0);
+    insert_by_id t slot id;
+    (match t.kinetic with
+    | Some k -> k.k_add ~slot ~id ~weight:t.c_weight.(slot) ~cap:t.c_cap.(slot)
+    | None -> ());
+    t.dirty <- true
 
   (* ---------- the time-stepping core ---------- *)
 
@@ -830,7 +946,29 @@ module Make (F : Mwct_field.Field.S) = struct
 
   (* ---------- input events ---------- *)
 
-  let submit t ?speedup ~id ~volume ~weight ~cap () : (unit, error) result =
+  (* Dependency edges reference task ids the engine already knows —
+     alive, dormant or completed. Returns the unmet (not-yet-completed)
+     parents, deduplicated, or a diagnostic. A parent that was
+     cancelled is an error: its subtree was cascade-cancelled when it
+     closed, so a new dependent on it can never run. *)
+  let check_deps t id deps : (int list, string) result =
+    let fail msg = Error (Printf.sprintf "task %d: %s" id msg) in
+    let rec go unmet = function
+      | [] -> Ok (List.rev unmet)
+      | d :: rest ->
+        if d = id then fail "task cannot depend on itself"
+        else if Hashtbl.mem t.slot_of_id d then go (d :: unmet) rest
+        else begin
+          match Hashtbl.find_opt t.closed_tbl d with
+          | Some { outcome = Completed; _ } -> go unmet rest
+          | Some { outcome = Cancelled; _ } ->
+            fail (Printf.sprintf "dependency %d was cancelled" d)
+          | None -> fail (Printf.sprintf "unknown dependency %d" d)
+        end
+    in
+    go [] (List.sort_uniq Stdlib.compare deps)
+
+  let submit t ?speedup ?(deps = []) ~id ~volume ~weight ~cap () : (unit, error) result =
     if Hashtbl.mem t.slot_of_id id || Hashtbl.mem t.closed_tbl id then Error (Duplicate_task id)
     else if F.sign volume <= 0 then
       Error (Invalid (Printf.sprintf "task %d: volume must be positive" id))
@@ -843,6 +981,9 @@ module Make (F : Mwct_field.Field.S) = struct
       with
       | Some msg -> Error (Invalid msg)
       | None -> begin
+      match check_deps t id deps with
+      | Error msg -> Error (Invalid msg)
+      | Ok unmet ->
       let slot = alloc_slot t in
       t.c_volume.(slot) <- volume;
       t.c_weight.(slot) <- weight;
@@ -855,21 +996,44 @@ module Make (F : Mwct_field.Field.S) = struct
       t.c_segments.(slot) <- [];
       t.c_curve.(slot) <- speedup;
       (match speedup with Some _ -> t.ncurved <- t.ncurved + 1 | None -> ());
+      t.c_deps.(slot) <- deps;
       t.c_id.(slot) <- id;
       Hashtbl.replace t.slot_of_id id slot;
-      insert_by_id t slot id;
-      (match t.kinetic with Some k -> k.k_add ~slot ~id ~weight ~cap | None -> ());
-      t.dirty <- true;
+      (match unmet with
+      | [] ->
+        (* every parent already completed (or there are none): alive
+           immediately — the pre-DAG submission path, bit for bit *)
+        insert_by_id t slot id;
+        (match t.kinetic with Some k -> k.k_add ~slot ~id ~weight ~cap | None -> ());
+        t.dirty <- true
+      | parents ->
+        (* dormant: no share, no reshare — register with each unmet
+           parent and wait for the last completion *)
+        t.c_waiting.(slot) <- List.length parents;
+        t.ndormant <- t.ndormant + 1;
+        List.iter
+          (fun p ->
+            let ps = Hashtbl.find t.slot_of_id p in
+            t.c_dependents.(ps) <- id :: t.c_dependents.(ps))
+          parents);
       t.metrics.M.submitted <- t.metrics.M.submitted + 1;
       Ok ()
     end
 
-  let cancel t id : (unit, error) result =
+  (** Cancel a task (alive or dormant). Cancellation {e cascades}: every
+      dormant task waiting (transitively) on the cancelled one is
+      cancelled with it — a task whose parent can never complete can
+      never run. Returns the closed ids in cascade order, the requested
+      id first. *)
+  let cancel t id : (int list, error) result =
     match Hashtbl.find_opt t.slot_of_id id with
     | None -> Error (Unknown_task id)
     | Some slot ->
+      t.cascade <- [];
       close t slot Cancelled;
-      Ok ()
+      let ids = List.rev t.cascade in
+      t.cascade <- [];
+      Ok ids
 
   (** Apply one input event; the returned notifications are the
       completions it triggered, in chronological order. Every success
@@ -877,9 +1041,9 @@ module Make (F : Mwct_field.Field.S) = struct
   let apply t (e : event) : (notification list, error) result =
     let r =
       match e with
-      | Submit { id; volume; weight; cap; speedup } ->
-        Result.map (fun () -> []) (submit t ?speedup ~id ~volume ~weight ~cap ())
-      | Cancel id -> Result.map (fun () -> []) (cancel t id)
+      | Submit { id; volume; weight; cap; speedup; deps } ->
+        Result.map (fun () -> []) (submit t ?speedup ~deps ~id ~volume ~weight ~cap ())
+      | Cancel id -> Result.map (fun _ -> []) (cancel t id)
       | Advance dt ->
         if F.sign dt < 0 then Error (Invalid "advance: negative dt")
         else begin

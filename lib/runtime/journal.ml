@@ -81,12 +81,13 @@ module Make (F : Mwct_field.Field.S) = struct
         (seq_field @ [ ("type", "\"init\"") ]
         @ num_fields "capacity" capacity
         @ [ ("policy", Printf.sprintf "\"%s\"" (escape policy)) ])
-    | Input (En.Submit { id; volume; weight; cap; speedup }) ->
+    | Input (En.Submit { id; volume; weight; cap; speedup; deps }) ->
       (* The curve is rendered as a string of space-separated "x:y"
          breakpoints — the flat-object parser has no arrays — with the
          usual dual decimal / [_repr] convention. Linear submits carry
          no speedup fields, keeping their lines byte-identical to
-         pre-curve journals. *)
+         pre-curve journals. Dependency edges likewise render as a
+         space-separated id string, and only when present. *)
       let speedup_fields =
         match speedup with
         | None -> []
@@ -102,10 +103,16 @@ module Make (F : Mwct_field.Field.S) = struct
             ("speedup_repr", Printf.sprintf "\"%s\"" (escape (render F.repr)));
           ]
       in
+      let deps_fields =
+        match deps with
+        | [] -> []
+        | ds ->
+          [ ("deps", Printf.sprintf "\"%s\"" (String.concat " " (List.map string_of_int ds))) ]
+      in
       obj
         (seq_field @ [ ("type", "\"submit\""); ("id", string_of_int id) ]
         @ num_fields "volume" volume @ num_fields "weight" weight @ num_fields "cap" cap
-        @ speedup_fields)
+        @ speedup_fields @ deps_fields)
     | Input (En.Cancel id) -> obj (seq_field @ [ ("type", "\"cancel\""); ("id", string_of_int id) ])
     | Input (En.Advance dt) -> obj (seq_field @ [ ("type", "\"advance\"") ] @ num_fields "dt" dt)
     | Input (En.Advance_to at) -> obj (seq_field @ [ ("type", "\"advance_to\"") ] @ num_fields "t" at)
@@ -253,6 +260,17 @@ module Make (F : Mwct_field.Field.S) = struct
                   ( Array.of_list (List.map fst pairs),
                     Array.of_list (List.map snd pairs) )
           in
+          let deps =
+            match List.assoc_opt "deps" fields with
+            | None -> []
+            | Some s ->
+              String.split_on_char ' ' s
+              |> List.filter (fun p -> p <> "")
+              |> List.map (fun p ->
+                     match int_of_string_opt p with
+                     | Some d -> d
+                     | None -> raise (Parse (Printf.sprintf "deps: not a task id %S" p)))
+          in
           Input
             (En.Submit
                {
@@ -261,6 +279,7 @@ module Make (F : Mwct_field.Field.S) = struct
                  weight = get_num "weight";
                  cap = get_num "cap";
                  speedup;
+                 deps;
                })
         | "cancel" -> Input (En.Cancel (get_int "id"))
         | "advance" -> Input (En.Advance (get_num "dt"))

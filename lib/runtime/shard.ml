@@ -40,12 +40,26 @@
     the PR 6 engine directly.
 
     Absolute targets are assigned, not accumulated ({!Engine.Make}'s
-    [Advance_to]), so every shard's clock — including empty shards,
-    which still receive each tick's [advance_to] to keep [submitted_at]
-    correct — holds the {e same float bits} as a single engine fed the
-    same stream. A tick that fails (engine error in any shard) records
-    nothing and leaves the store poisoned, matching the engine's own
-    error contract. *)
+    [Advance_to]), so every shard's clock holds the {e same float bits}
+    as a single engine fed the same stream. {e Empty} shards (zero
+    alive, zero dormant tasks) are left out of a tick entirely — no
+    [Advance_to] dispatch, no per-shard journal line — and their clock
+    lags; the store catches a lagging shard up with one absolute
+    [advance_to] immediately before the next submit routed to it, so
+    [submitted_at] still holds the lockstep bits. A tick that fails
+    (engine error in any shard) records nothing and leaves the store
+    poisoned, matching the engine's own error contract.
+
+    {b Precedence.} A submit whose [deps] are unmet routes to the shard
+    of its {e first} parent (all parents must live in one shard — the
+    engine rejects a parent it cannot see as an unknown dependency),
+    and the diverted id is remembered so cancels and lookups follow it.
+    Dormant tasks are excluded from the allocator summaries until the
+    engine activates them (detected after each tick's completions);
+    cancel cascades ({!Engine.Make.cancel}) evict every closed id from
+    the summaries at once. Steady ticks where no summary changed skip
+    the allocator call altogether — budgets could not change, so the
+    journals keep the exact bytes of the always-reallocate store. *)
 
 module Make (F : Mwct_field.Field.S) = struct
   module En = Engine.Make (F)
@@ -82,8 +96,18 @@ module Make (F : Mwct_field.Field.S) = struct
        summary sums are maintained incrementally from it, and it is the
        resync source when float drift trips the sign guard *)
     tasks : (int, F.t * F.t) Hashtbl.t array;
+    (* dormant (precedence-blocked) tasks per shard: id -> (weight,
+       cap), parked until the engine activates them — only then do they
+       join [tasks] and the allocator sums *)
+    dormant_meta : (int, F.t * F.t) Hashtbl.t array;
+    (* ids routed away from their natural shard (dependents follow
+       their first parent); absent means [route_shard] *)
+    home : (int, int) Hashtbl.t;
     w_sum : F.t array;
     d_sum : F.t array;
+    (* summaries changed since the last allocator run; a clean tick
+       reuses the standing budgets without calling the allocator *)
+    mutable alloc_dirty : bool;
     mutable now : F.t;
     mutable merged_seq : int;
     shard_seq : int array;
@@ -170,8 +194,11 @@ module Make (F : Mwct_field.Field.S) = struct
         policy_label;
         engines;
         tasks = Array.init nshards (fun _ -> Hashtbl.create 64);
+        dormant_meta = Array.init nshards (fun _ -> Hashtbl.create 16);
+        home = Hashtbl.create 64;
         w_sum = Array.make nshards F.zero;
         d_sum = Array.make nshards F.zero;
+        alloc_dirty = true;
         now = F.zero;
         merged_seq = 0;
         shard_seq = Array.make nshards 0;
@@ -200,7 +227,12 @@ module Make (F : Mwct_field.Field.S) = struct
   let now t = if t.single then En.now t.engines.(0) else t.now
   let capacity t = t.capacity
   let engines t = t.engines
-  let shard_of t id = if t.single then 0 else route_shard t.route t.nshards id
+  let shard_of t id =
+    if t.single then 0
+    else
+      match Hashtbl.find_opt t.home id with
+      | Some k -> k
+      | None -> route_shard t.route t.nshards id
 
   let alive_count t =
     let n = ref 0 in
@@ -208,6 +240,20 @@ module Make (F : Mwct_field.Field.S) = struct
       n := !n + En.alive_count t.engines.(k)
     done;
     !n
+
+  let dormant_count t =
+    let n = ref 0 in
+    for k = 0 to t.nshards - 1 do
+      n := !n + En.dormant_count t.engines.(k)
+    done;
+    !n
+
+  (* A shard participates in a tick iff it holds any task at all; a
+     dormant task implies an alive one in the same shard (its minimal
+     unmet parent), so alive alone would do — the dormant check is
+     belt and braces. *)
+  let shard_active t k =
+    En.alive_count t.engines.(k) > 0 || En.dormant_count t.engines.(k) > 0
 
   let remaining t id = En.remaining t.engines.(shard_of t id) id
   let find_closed t id = En.find_closed t.engines.(shard_of t id) id
@@ -295,19 +341,54 @@ module Make (F : Mwct_field.Field.S) = struct
     | Some (w, c) ->
       Hashtbl.remove t.tasks.(k) id;
       t.w_sum.(k) <- F.sub t.w_sum.(k) w;
-      t.d_sum.(k) <- F.sub t.d_sum.(k) c
+      t.d_sum.(k) <- F.sub t.d_sum.(k) c;
+      t.alloc_dirty <- true
     | None -> ());
+    Hashtbl.remove t.dormant_meta.(k) id;
     if En.alive_count t.engines.(k) = 0 then begin
       t.w_sum.(k) <- F.zero;
       t.d_sum.(k) <- F.zero
+    end
+
+  (* After a shard completed tasks, any of its parked dormant tasks may
+     have been activated (or cascade-cancelled) by the engine; fold the
+     activated ones into the allocator summary. *)
+  let promote_activated t k =
+    if Hashtbl.length t.dormant_meta.(k) > 0 then begin
+      let moved = ref [] in
+      Hashtbl.iter
+        (fun id wc ->
+          if En.waiting_on t.engines.(k) id = None then moved := (id, wc) :: !moved)
+        t.dormant_meta.(k);
+      List.iter
+        (fun (id, (w, c)) ->
+          Hashtbl.remove t.dormant_meta.(k) id;
+          t.alloc_dirty <- true;
+          (* still present in the engine => activated; gone => it was
+             closed (cascade cancel) and has nothing to contribute *)
+          if En.remaining t.engines.(k) id <> None then begin
+            Hashtbl.replace t.tasks.(k) id (w, c);
+            t.w_sum.(k) <- F.add t.w_sum.(k) w;
+            t.d_sum.(k) <- F.add t.d_sum.(k) c
+          end)
+        !moved
     end
 
   (* Split the total capacity across the nonempty shards and apply the
      budgets. Only an actual change dirties a shard (set_capacity is a
      no-op on equal budgets), so a quiet stretch of ticks keeps every
      shard on its allocation-free advance path. Changed budgets are
-     recorded in ascending shard order. *)
+     recorded in ascending shard order.
+
+     Steady-state short-circuit: the allocator is a pure function of
+     the summaries (and alive-ness, which only changes with them), so
+     when no summary moved since the last run the budgets it would
+     compute are the standing ones — skip the call entirely. The
+     journals cannot tell: equal budgets emit no lines either way. *)
   let reallocate t p =
+    if not t.alloc_dirty then ()
+    else begin
+    t.alloc_dirty <- false;
     for k = 0 to t.nshards - 1 do
       if
         En.alive_count t.engines.(k) > 0
@@ -346,6 +427,7 @@ module Make (F : Mwct_field.Field.S) = struct
         | _ -> ()
       done
     end
+    end
 
   (* ---------- tick machinery ---------- *)
 
@@ -375,17 +457,22 @@ module Make (F : Mwct_field.Field.S) = struct
         if c <> 0 then c else Stdlib.compare k1 k2)
       !all
 
+  (* Advance the active shards to [target] in parallel; empty shards
+     are skipped (lazy clock sync — they catch up before their next
+     submit) and contribute an empty result. *)
   let advance_all t target =
-    Par.run t.pool (fun k -> t.results.(k) <- En.apply t.engines.(k) (En.Advance_to target))
+    Par.run t.pool (fun k ->
+        t.results.(k) <-
+          (if shard_active t k then En.apply t.engines.(k) (En.Advance_to target) else Ok []))
 
-  (* One input tick: re-budget, drive every shard (empty ones too — the
-     clocks stay in lockstep) to the same absolute target, merge. *)
+  (* One input tick: re-budget, drive every active shard to the same
+     absolute target, merge. *)
   let tick t (input_ev : En.event) (target : F.t) : (En.notification list, En.error) result =
     let p = pend_create t.nshards in
     push_m p None (J.Input input_ev);
     reallocate t p;
     for k = 0 to t.nshards - 1 do
-      push_s p k (J.Input (En.Advance_to target))
+      if shard_active t k then push_s p k (J.Input (En.Advance_to target))
     done;
     advance_all t target;
     match first_error t with
@@ -398,6 +485,7 @@ module Make (F : Mwct_field.Field.S) = struct
           push_m p (Some k) (J.Output { id = n.En.id; at = n.En.at });
           push_s p k (J.Output { id = n.En.id; at = n.En.at }))
         notes;
+      List.iter (fun (k, _) -> promote_activated t k) notes;
       t.now <- target;
       flush t p;
       t.events <- t.events + 1;
@@ -435,7 +523,7 @@ module Make (F : Mwct_field.Field.S) = struct
       | None -> err := Some (En.Invalid "deadlock: alive tasks but no positive share")
       | Some eta -> (
         for k = 0 to t.nshards - 1 do
-          push_s p k (J.Input (En.Advance_to eta))
+          if shard_active t k then push_s p k (J.Input (En.Advance_to eta))
         done;
         advance_all t eta;
         match first_error t with
@@ -456,6 +544,7 @@ module Make (F : Mwct_field.Field.S) = struct
                 push_m p (Some k) (J.Output { id = n.En.id; at = n.En.at });
                 push_s p k (J.Output { id = n.En.id; at = n.En.at }))
               notes;
+            List.iter (fun (k, _) -> promote_activated t k) notes;
             all := List.rev_append notes !all
           end)
     done;
@@ -486,24 +575,50 @@ module Make (F : Mwct_field.Field.S) = struct
     end
     else
       match e with
-      | En.Submit { id; weight; cap; _ } -> (
-        let k = route_shard t.route t.nshards id in
+      | En.Submit { id; weight; cap; deps; _ } -> (
+        (* A dependent task must see its parents: route it to the first
+           parent's shard (the engine rejects parents it cannot see).
+           The diverted id is remembered in [home] for later lookups. *)
+        let natural = route_shard t.route t.nshards id in
+        let k = match deps with [] -> natural | p :: _ -> shard_of t p in
+        (* Lazy clock sync: an empty shard skipped recent ticks; bring
+           its clock to store time so [submitted_at] gets the same bits
+           as the always-advance store. *)
+        if F.compare (En.now t.engines.(k)) t.now < 0 then begin
+          (match En.apply t.engines.(k) (En.Advance_to t.now) with
+          | Ok _ -> ()
+          | Error e ->
+            invalid_arg ("Shard.apply: clock catch-up failed: " ^ En.error_to_string e));
+          semit t k (J.Input (En.Advance_to t.now))
+        end;
         match En.apply t.engines.(k) e with
         | Error _ as err -> err
         | Ok _ ->
-          Hashtbl.replace t.tasks.(k) id (weight, cap);
-          t.w_sum.(k) <- F.add t.w_sum.(k) weight;
-          t.d_sum.(k) <- F.add t.d_sum.(k) cap;
+          if k <> natural then Hashtbl.replace t.home id k;
+          (match En.waiting_on t.engines.(k) id with
+          | Some _ ->
+            (* dormant: parked out of the allocator summaries until the
+               engine activates it *)
+            Hashtbl.replace t.dormant_meta.(k) id (weight, cap)
+          | None ->
+            Hashtbl.replace t.tasks.(k) id (weight, cap);
+            t.w_sum.(k) <- F.add t.w_sum.(k) weight;
+            t.d_sum.(k) <- F.add t.d_sum.(k) cap);
+          t.alloc_dirty <- true;
           memit t ~shard:k (J.Input e);
           semit t k (J.Input e);
           t.events <- t.events + 1;
           Ok [])
       | En.Cancel id -> (
-        let k = route_shard t.route t.nshards id in
-        match En.apply t.engines.(k) e with
-        | Error _ as err -> err
-        | Ok _ ->
-          forget_task t k id;
+        let k = shard_of t id in
+        match En.cancel t.engines.(k) id with
+        | Error e -> Error e
+        | Ok cascaded ->
+          (* [En.cancel] bypasses [En.apply]'s event count; bump it so
+             the shard dump still fingerprints like a replayed one *)
+          let m = En.metrics t.engines.(k) in
+          m.M.events <- m.M.events + 1;
+          List.iter (fun cid -> forget_task t k cid) cascaded;
           memit t ~shard:k (J.Input e);
           semit t k (J.Input e);
           t.events <- t.events + 1;

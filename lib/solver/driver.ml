@@ -25,31 +25,44 @@ module Make (F : Mwct_field.Field.S) = struct
     elapsed_s : float;  (** wall-clock seconds spent in [solve] *)
   }
 
-  (** Raised by {!run} when a solver without the
-      {!Solver.General_speedup} capability is asked to schedule an
-      instance with speedup curves. The message names both. *)
+  (** Raised by {!run} when a solver is asked to schedule an instance
+      outside its model — speedup curves without the
+      {!Solver.General_speedup} capability, or dependency edges without
+      {!Solver.Dag}. The message names both. *)
   exception Unsupported_model of string
 
-  (** [supports solver inst]: can [solver] run on [inst]'s rate model?
-      Linear instances run everywhere; curved instances need the
-      {!Solver.General_speedup} capability. *)
+  (** [supports solver inst]: can [solver] run on [inst]'s model?
+      Linear independent instances run everywhere; curved instances
+      need {!Solver.General_speedup}, precedence-constrained ones
+      {!Solver.Dag}. *)
   let supports (solver : S.t) (inst : E.Types.instance) =
-    (not (E.Instance.has_curves inst)) || S.has_cap Solver.General_speedup solver
+    ((not (E.Instance.has_curves inst)) || S.has_cap Solver.General_speedup solver)
+    && ((not (E.Instance.has_deps inst)) || S.has_cap Solver.Dag solver)
 
   (** Run [solver] on [inst]. [~exact:true] makes the validity check
       strict (use with the rational engine). Only the [solve] call is
       timed; bounds and the check are recomputed outside the clock.
-      Raises {!Unsupported_model} when the instance has speedup curves
-      and the solver only handles the linear law. *)
+      Raises {!Unsupported_model} when the instance's model (speedup
+      curves, dependency edges) exceeds the solver's capabilities. *)
   let run ?(exact = false) (solver : S.t) (inst : E.Types.instance) : report =
-    if not (supports solver inst) then
-      raise
-        (Unsupported_model
-           (Printf.sprintf
-              "algorithm %S supports only the linear rate model (caps: %s); this instance has \
-               speedup curves — pick a general-speedup algorithm"
-              solver.S.info.Solver.name
-              (match Solver.caps_to_string solver.S.info with "" -> "-" | s -> s)));
+    if not (supports solver inst) then begin
+      let caps =
+        match Solver.caps_to_string solver.S.info with "" -> "-" | s -> s
+      in
+      let msg =
+        if E.Instance.has_deps inst && not (S.has_cap Solver.Dag solver) then
+          Printf.sprintf
+            "algorithm %S does not handle precedence (caps: %s); this instance has dependency \
+             edges — pick a dag-capable algorithm"
+            solver.S.info.Solver.name caps
+        else
+          Printf.sprintf
+            "algorithm %S supports only the linear rate model (caps: %s); this instance has \
+             speedup curves — pick a general-speedup algorithm"
+            solver.S.info.Solver.name caps
+      in
+      raise (Unsupported_model msg)
+    end;
     let t0 = Unix.gettimeofday () in
     let schedule, meta = solver.S.solve inst in
     let elapsed_s = Unix.gettimeofday () -. t0 in

@@ -33,8 +33,11 @@
     - [General_speedup]: handles the generalized rate model (per-task
       concave speedup curves); solvers without it are restricted to
       the paper's linear law and {!Driver.Make.run} refuses curved
-      instances for them. *)
-type cap = Needs_lp | Exact_recommended | Non_clairvoyant | Enumerative | General_speedup
+      instances for them.
+    - [Dag]: handles precedence-constrained instances (dependency
+      edges); {!Driver.Make.run} refuses instances with edges for
+      solvers without it. *)
+type cap = Needs_lp | Exact_recommended | Non_clairvoyant | Enumerative | General_speedup | Dag
 
 let cap_to_string = function
   | Needs_lp -> "needs-lp"
@@ -42,6 +45,7 @@ let cap_to_string = function
   | Non_clairvoyant -> "non-clairvoyant"
   | Enumerative -> "enumerative"
   | General_speedup -> "general-speedup"
+  | Dag -> "dag"
 
 (** Field-neutral identity of a registered solver. *)
 type info = { name : string; doc : string; caps : cap list }
@@ -114,6 +118,19 @@ module Make (F : Mwct_field.Field.S) = struct
         let _, sigma = E.Lp_schedule.best_greedy inst in
         (E.Greedy.run inst sigma, { no_meta with order = Some sigma }))
 
+  let wdeq_dag =
+    make ~name:"wdeq-dag"
+      ~doc:"frontier-WDEQ over the precedence DAG (weights shared over ready tasks; GGKS)"
+      ~caps:[ Non_clairvoyant; General_speedup; Dag ] (fun inst ->
+        let s, d = E.Dag.wdeq inst in
+        (s, { no_meta with wdeq_diagnostics = Some d }))
+
+  let deq_dag =
+    make ~name:"deq-dag" ~doc:"unweighted frontier equipartition over the precedence DAG"
+      ~caps:[ Non_clairvoyant; General_speedup; Dag ] (fun inst ->
+        let s, d = E.Dag.deq inst in
+        (s, { no_meta with wdeq_diagnostics = Some d }))
+
   let optimal =
     make ~name:"optimal" ~doc:"exact optimum: Corollary-1 LP over all n! completion orders (n <= 8)"
       ~caps:[ Needs_lp; Exact_recommended; Enumerative ] (fun inst ->
@@ -124,7 +141,8 @@ module Make (F : Mwct_field.Field.S) = struct
       ([--list-algos], bench, README). *)
   let all =
     [
-      wdeq; deq; greedy_smith; greedy_identity; greedy_height; greedy_ldf; wf_cmax; best_greedy; optimal;
+      wdeq; deq; greedy_smith; greedy_identity; greedy_height; greedy_ldf; wf_cmax; best_greedy;
+      optimal; wdeq_dag; deq_dag;
     ]
 
   let infos = List.map (fun s -> s.info) all

@@ -30,6 +30,7 @@ module H (F : Mwct_field.Field.S) = struct
            weight = t.E.Types.weight;
            cap = E.Instance.effective_delta inst i;
            speedup = E.Instance.speedup_arrays inst i;
+           deps = [];
          })
 
   (* Submit everything at t=0 and run to completion. *)
@@ -70,6 +71,7 @@ module H (F : Mwct_field.Field.S) = struct
                weight = inst.E.Types.tasks.(i).E.Types.weight;
                cap = E.Instance.effective_delta inst i;
                speedup = E.Instance.speedup_arrays inst i;
+               deps = [];
              }))
       inst.E.Types.tasks;
     apply En.Drain;
@@ -261,7 +263,7 @@ let test_bad_events () =
   | Error (HF.En.Invalid _) -> ()
   | _ -> Alcotest.fail "negative advance not rejected");
   (match
-     HF.En.apply eng (HF.En.Submit { id = 5; volume = 0.; weight = 1.; cap = 1.; speedup = None })
+     HF.En.apply eng (HF.En.Submit { id = 5; volume = 0.; weight = 1.; cap = 1.; speedup = None; deps = [] })
    with
   | Error (HF.En.Invalid _) -> ()
   | _ -> Alcotest.fail "zero volume not rejected")

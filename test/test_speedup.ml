@@ -259,6 +259,7 @@ let test_journal_roundtrip_curved () =
                     weight = inst.HF.E.Types.tasks.(i).HF.E.Types.weight;
                     cap = HF.E.Instance.effective_delta inst i;
                     speedup = HF.E.Instance.speedup_arrays inst i;
+                    deps = [];
                   });
            ])
          [ 0; 1; 2 ]
