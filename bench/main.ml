@@ -955,6 +955,112 @@ let run_dag_bench ~quick =
   close_out oc;
   Printf.printf "\nWrote precedence results to BENCH_6.json\n"
 
+(* ---------- part 8: what-if subsystem (BENCH_7.json) ---------- *)
+
+module BrF = Mwct_runtime.Branch.Float
+module LF = Mwct_runtime.Loadgen.Float
+
+(* [fork_cost]: price one snapshot+fork of a steady engine with
+   [alive] tasks — wall µs (best of three batches) and minor words
+   (Gc differential over the middle batch). The what-if service forks
+   once per branch, so this is its setup cost; the ceiling flag
+   [--max-fork-micros] lets CI fail on copy-path regressions.
+   [branch_replay]: drive a full B.run (diurnal load, four branches:
+   straight line, policy switch, tenant scaling, injection) and report
+   replayed events/s across all branches — directly comparable to
+   BENCH_3's single-engine throughput; the gap prices journaling and
+   divergence tracking. *)
+let run_whatif_bench ~quick =
+  let alive = if quick then 250 else 1000 in
+  let eng =
+    EnF.create ~record_segments:false
+      ?kinetic:(PF.engine_kinetic PF.Wdeq)
+      ~capacity:64.0
+      ~policy:(PF.engine_policy PF.Wdeq) ()
+  in
+  for i = 0 to alive - 1 do
+    match
+      EnF.submit eng ~id:i ~volume:1e9 ~weight:(float_of_int (1 + (i mod 7))) ~cap:2.0 ()
+    with
+    | Ok () -> ()
+    | Error e -> failwith ("whatif bench: " ^ EnF.error_to_string e)
+  done;
+  (match EnF.apply eng (EnF.Advance 0.25) with
+  | Ok _ -> ()
+  | Error e -> failwith ("whatif bench: " ^ EnF.error_to_string e));
+  let forks = if quick then 50 else 200 in
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to forks do
+      ignore (Sys.opaque_identity (EnF.fork ?kinetic:(PF.engine_kinetic PF.Wdeq) (EnF.snapshot eng)))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int forks
+  in
+  ignore (batch ());
+  let w0 = Gc.minor_words () in
+  let micros_b = batch () in
+  let words_per_fork = (Gc.minor_words () -. w0) /. float_of_int forks in
+  let fork_micros = Stdlib.min micros_b (Stdlib.min (batch ()) (batch ())) in
+  let nevents = if quick then 2_000 else 20_000 in
+  let events = LF.generate ~pattern:LF.Diurnal ~seed:11 ~tenants:4 ~events:nevents () in
+  let resolve name =
+    Option.map (fun p -> PF.engine_policy p) (PF.of_name name)
+  in
+  let kinetic_for name =
+    Option.bind (PF.of_name name) (fun p -> PF.engine_kinetic p)
+  in
+  let branches =
+    List.map
+      (fun s -> match BrF.parse_spec s with Ok b -> b | Error m -> failwith m)
+      [ "idle"; "deq:policy=deq"; "scale:scale=1:2"; "inject:submit=999983:8:4:2,advance=1/2" ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    match
+      BrF.run ~resolve ~kinetic_for ~tenants:4 ~capacity:64.0 ~policy:"wdeq" ~events
+        ~fork_at:(nevents / 2) ~branches ()
+    with
+    | Ok r -> r
+    | Error m -> failwith ("whatif bench: " ^ m)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let applied = List.fold_left (fun a (o : BrF.outcome) -> a + o.BrF.applied) 0 report.BrF.branches in
+  (* the baseline replay processes the whole stream once, too *)
+  let replayed = applied + List.length events in
+  let replay_eps = float_of_int replayed /. elapsed_s in
+  print_endline "================================================================";
+  print_endline " What-if subsystem: fork cost and branch replay (BENCH_7.json)";
+  print_endline "================================================================";
+  Printf.printf "  fork: alive=%d -> %.1f us/fork, %.0f minor words/fork\n" alive fork_micros
+    words_per_fork;
+  Printf.printf
+    "  branch replay: %d events, fork at %d, %d branches -> %d replayed events in %.3fs (%.0f \
+     events/s)\n"
+    (List.length events) (nevents / 2) (List.length branches) replayed elapsed_s replay_eps;
+  let oc = open_out "BENCH_7.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"what-if subsystem: snapshot/fork cost on a steady engine, branch replay throughput over a diurnal load\",\n\
+    \  \"fork\": {\n\
+    \    \"alive_tasks\": %d,\n\
+    \    \"micros_per_fork\": %.3f,\n\
+    \    \"minor_words_per_fork\": %.1f\n\
+    \  },\n\
+    \  \"branch_replay\": {\n\
+    \    \"events\": %d,\n\
+    \    \"fork_at\": %d,\n\
+    \    \"branches\": %d,\n\
+    \    \"replayed_events\": %d,\n\
+    \    \"elapsed_s\": %.6f,\n\
+    \    \"events_per_sec\": %.1f\n\
+    \  }\n\
+     }\n"
+    alive fork_micros words_per_fork (List.length events) (nevents / 2) (List.length branches)
+    replayed elapsed_s replay_eps;
+  close_out oc;
+  Printf.printf "\nWrote what-if results to BENCH_7.json\n";
+  fork_micros
+
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
@@ -984,6 +1090,8 @@ let () =
   run_data_plane ~events_per_sec ~nshards ~sharded_eps ~scaling ~lat ~ingest;
   run_speedup_bench ~quick;
   run_dag_bench ~quick;
+  let fork_micros = run_whatif_bench ~quick in
+  let max_fork_micros = Option.map float_of_string (opt_arg "--max-fork-micros") in
   let check what floor measured =
     match floor with
     | Some f when measured < f ->
@@ -993,4 +1101,10 @@ let () =
     | None -> ()
   in
   check "engine throughput" floor events_per_sec;
-  check "sharded throughput" sharded_floor sharded_eps
+  check "sharded throughput" sharded_floor sharded_eps;
+  match max_fork_micros with
+  | Some ceiling when fork_micros > ceiling ->
+    Printf.eprintf "FAIL: fork cost %.1f us is above the ceiling %.1f us\n" fork_micros ceiling;
+    exit 1
+  | Some ceiling -> Printf.printf "fork-cost ceiling satisfied: %.1f <= %.1f us\n" fork_micros ceiling
+  | None -> ()

@@ -8,6 +8,7 @@
      render      ASCII/SVG Gantt chart of a schedule
      simulate    non-clairvoyant policies under task arrivals
      serve       long-lived online scheduler driven by an event stream
+     whatif      what-if replanning: fork a recorded run and price branches
      fuzz        theorem-backed conformance fuzzing of the solver registry
 
    Algorithm dispatch goes through the solver registry
@@ -597,9 +598,10 @@ struct
       | Error msg -> print_endline (error_json ("bad journal line: " ^ msg))
       | Ok (_, J.Init { capacity; policy }) -> handle_init ~capacity ~policy_label:policy
       | Ok (_, J.Input ev) -> handle_event ev
-      | Ok (_, (J.Output _ | J.Budget _)) -> ()
-      (* out lines are the recorded run's decisions and budget lines its
-         per-tick shard allocations; this run recomputes its own
+      | Ok (_, (J.Output _ | J.Budget _ | J.Policy _)) -> ()
+      (* out lines are the recorded run's decisions, budget lines its
+         per-tick shard allocations, and policy lines a branch run's
+         mid-stream switches; this run recomputes its own
          (Journal.replay is the strict verifier) *)
     in
     (* 64KiB-chunked reader (Ingest): input_line's per-character channel
@@ -712,6 +714,282 @@ let serve_cmd =
     Term.(
       const run $ policy $ procs $ exact $ journal $ record $ no_segments $ shards $ tenant_key
       $ shard_cap $ latency)
+
+(* ---------- whatif ---------- *)
+
+(* What-if replanning on journals (DESIGN.md §16): replay a recorded
+   journal (or a generated load) to a fork point, snapshot/fork the
+   engine, run each branch's mutation set — policy switch, tenant load
+   scaling, event injection — and price every branch against the
+   straight line (ΔΣw·C, ΔΣw·(C−r), first divergence, per-tenant
+   deltas). Policy names go through the same registry capability gate
+   as serve; the frontier DAG policies are admitted and run as their
+   bag kernels (the engine's dormant→alive lifecycle already restricts
+   the alive set to the precedence frontier they compute over). *)
+module Whatif_runner (D : sig
+  module F : Mwct_field.Field.S
+
+  val fmt : F.t -> string
+end) =
+struct
+  module En = Mwct_runtime.Engine.Make (D.F)
+  module J = Mwct_runtime.Journal.Make (D.F)
+  module B = Mwct_runtime.Branch.Make (D.F)
+  module L = Mwct_runtime.Loadgen.Make (D.F)
+  module P = Mwct_ncv.Policy.Make (D.F)
+
+  let policy_names = String.concat ", " (List.map P.name P.all @ [ "wdeq-dag"; "deq-dag" ])
+
+  let policy_of_name = function
+    | "wdeq-dag" -> Some P.Wdeq
+    | "deq-dag" -> Some P.Deq
+    | name -> P.of_name name
+
+  let resolve_policy name =
+    match Solver.find_info name with
+    | Some i when not (Solver.info_has_cap Solver.Non_clairvoyant i) ->
+      Error
+        (Printf.sprintf
+           "algorithm %S is registered but not non-clairvoyant (caps: %s); online policies: %s" name
+           (match Solver.caps_to_string i with "" -> "-" | s -> s)
+           policy_names)
+    | _ -> (
+      match policy_of_name name with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "unknown policy %S; known: %s" name policy_names))
+
+  let resolve name =
+    match resolve_policy name with Ok p -> Some (P.engine_policy p) | Error _ -> None
+
+  let kinetic_for name =
+    match resolve_policy name with Ok p -> P.engine_kinetic p | Error _ -> None
+
+  let run ~journal ~pattern_str ~seed ~tenants ~nevents ~procs_str ~base_policy ~fork_at
+      ~branch_specs ~drain ~emit_stream ~json : int =
+    let fail_input msg =
+      Printf.eprintf "error: %s\n" msg;
+      exit exit_bad_input
+    in
+    let capacity, policy_name, events =
+      match journal with
+      | Some path -> (
+        match J.load path with
+        | Error msg -> fail_input (Printf.sprintf "%s: %s" path msg)
+        | Ok entries ->
+          let capacity, policy_name, rest =
+            match entries with
+            | (_, J.Init { capacity; policy }) :: rest -> (capacity, policy, rest)
+            | _ -> fail_input (Printf.sprintf "%s: journal must start with an init line" path)
+          in
+          let events =
+            List.filter_map
+              (fun (seq, e) ->
+                match e with
+                | J.Input ev -> Some ev
+                | J.Output _ -> None (* the branch runner recomputes decisions *)
+                | J.Init _ -> fail_input (Printf.sprintf "%s: seq %d: duplicate init line" path seq)
+                | J.Budget _ ->
+                  fail_input
+                    (Printf.sprintf
+                       "%s: seq %d: budget lines (sharded per-shard journals) are not supported; \
+                        branch on the merged run or a single-engine journal"
+                       path seq)
+                | J.Policy _ ->
+                  fail_input
+                    (Printf.sprintf
+                       "%s: seq %d: this journal already contains a policy switch (a branch \
+                        journal); branch on the original straight-line journal"
+                       path seq))
+              rest
+          in
+          (capacity, policy_name, events))
+      | None ->
+        let pattern =
+          match L.pattern_of_string pattern_str with
+          | Some p -> p
+          | None ->
+            fail_input
+              (Printf.sprintf "bad --loadgen pattern %S (burst, diurnal or adversarial)"
+                 pattern_str)
+        in
+        let capacity =
+          match D.F.of_repr procs_str with
+          | Some p when D.F.sign p > 0 -> p
+          | _ -> fail_input (Printf.sprintf "bad --procs value %S" procs_str)
+        in
+        if tenants <= 0 then fail_input (Printf.sprintf "bad --tenants value %d" tenants);
+        if nevents < 0 then fail_input (Printf.sprintf "bad --events value %d" nevents);
+        (capacity, base_policy, L.generate ~pattern ~seed ~tenants ~events:nevents ())
+    in
+    if emit_stream then begin
+      let seq = ref 0 in
+      let emit e =
+        print_endline (J.to_line ~seq:!seq e);
+        incr seq
+      in
+      emit (J.Init { capacity; policy = policy_name });
+      List.iter (fun ev -> emit (J.Input ev)) events;
+      0
+    end
+    else begin
+      let specs =
+        List.map
+          (fun s -> match B.parse_spec s with Ok sp -> sp | Error m -> fail_input m)
+          branch_specs
+      in
+      (match resolve_policy policy_name with Ok _ -> () | Error m -> fail_input m);
+      List.iter
+        (fun (sp : B.spec) ->
+          List.iter
+            (function
+              | B.Set_policy p -> (
+                match resolve_policy p with
+                | Ok _ -> ()
+                | Error m -> fail_input (Printf.sprintf "branch %S: %s" sp.B.label m))
+              | _ -> ())
+            sp.B.mutations)
+        specs;
+      let events =
+        if drain && (match List.rev events with En.Drain :: _ -> false | [] -> false | _ -> true)
+        then events @ [ En.Drain ]
+        else events
+      in
+      match
+        B.run ~resolve ~kinetic_for ~tenants ~capacity ~policy:policy_name ~events ~fork_at
+          ~branches:specs ()
+      with
+      | Error msg -> fail_input msg
+      | Ok report ->
+        if json then List.iter print_endline (B.report_jsonl report)
+        else begin
+          Printf.printf
+            "baseline: sum w.C = %s  sum w.(C-r) = %s  (fork at %d of %d events, %d branches)\n"
+            (D.fmt report.B.baseline_wc) (D.fmt report.B.baseline_wflow) report.B.fork_at
+            (List.length events) (List.length report.B.branches);
+          List.iter
+            (fun (o : B.outcome) ->
+              Printf.printf
+                "branch %-16s policy=%-8s d(w.C)=%s d(w.flow)=%s first-divergence=%s applied=%d \
+                 dropped=%d\n"
+                o.B.label o.B.policy (D.fmt o.B.d_wc) (D.fmt o.B.d_wflow)
+                (match o.B.first_divergence with None -> "-" | Some t -> D.fmt t)
+                o.B.applied o.B.dropped)
+            report.B.branches
+        end;
+        0
+    end
+end
+
+module Whatif_float = Whatif_runner (struct
+  module F = Mwct_field.Field.Float_field
+
+  let fmt = Printf.sprintf "%.6f"
+end)
+
+module Whatif_exact = Whatif_runner (struct
+  module F = Mwct_rational.Rational.Rat_field
+
+  let fmt = Mwct_rational.Rational.to_string
+end)
+
+let whatif_cmd =
+  let journal =
+    Arg.(value & opt (some file) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Branch on this recorded journal (JSONL). Without it, a load is generated \
+                   ($(b,--loadgen)).")
+  in
+  let loadgen =
+    Arg.(value & opt string "burst"
+         & info [ "loadgen" ] ~docv:"PATTERN"
+             ~doc:"Generated arrival pattern when no journal is given: $(b,burst), $(b,diurnal) \
+                   or $(b,adversarial) (deterministic in --seed).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Load-generator seed (SplitMix64).") in
+  let tenants =
+    Arg.(value & opt int 4
+         & info [ "tenants" ] ~docv:"N"
+             ~doc:"Tenant modulus: task id mod N names the tenant (load generation, scaling and \
+                   per-tenant deltas).")
+  in
+  let nevents =
+    Arg.(value & opt int 64 & info [ "events" ] ~docv:"N" ~doc:"Generated input events (before the trailing drain).")
+  in
+  let procs =
+    Arg.(value & opt string "4"
+         & info [ "procs" ] ~docv:"P" ~doc:"Processor capacity for generated loads (journals carry their own).")
+  in
+  let base_policy =
+    Arg.(value & opt string "wdeq"
+         & info [ "base-policy" ] ~docv:"NAME"
+             ~doc:"Baseline policy for generated loads (journals carry their own). Gated through \
+                   the registry like serve; wdeq-dag/deq-dag are admitted as their frontier \
+                   kernels.")
+  in
+  let fork_at =
+    Arg.(value & opt int 0
+         & info [ "fork-at" ] ~docv:"N"
+             ~doc:"Fork after the first N input events (default 0: branch from the initial state).")
+  in
+  let branch =
+    Arg.(value & opt_all string []
+         & info [ "branch" ] ~docv:"SPEC"
+             ~doc:"Branch spec: LABEL[$(b,:)CLAUSE,...] with clauses $(b,policy=)NAME, \
+                   $(b,scale=)TENANT:FACTOR, $(b,cancel=)ID, $(b,advance=)Q, \
+                   $(b,submit=)ID:VOLUME:WEIGHT:CAP; numbers may be rational N/D. A bare LABEL \
+                   is a straight-line branch. Repeatable.")
+  in
+  let switch_policy =
+    Arg.(value & opt_all string []
+         & info [ "p"; "policy" ] ~docv:"NAME"
+             ~doc:"Shorthand for --branch policy-NAME:policy=NAME (switch the share rule at the \
+                   fork). Repeatable.")
+  in
+  let scale_tenant =
+    Arg.(value & opt_all string []
+         & info [ "scale-tenant" ] ~docv:"T:K"
+             ~doc:"Shorthand for --branch scale-T-K:scale=T:K — scale tenant T's post-fork \
+                   volumes by K (e.g. 1:2 doubles tenant 1's load). Repeatable.")
+  in
+  let drain =
+    Arg.(value & flag
+         & info [ "drain" ]
+             ~doc:"Append a drain to journal-loaded streams that do not already end in one \
+                   (generated streams always drain).")
+  in
+  let emit_stream =
+    Arg.(value & flag
+         & info [ "emit-stream" ]
+             ~doc:"Print the input stream as journal JSONL (init + in lines) and exit — the \
+                   load generator's determinism surface.")
+  in
+  let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Use exact rational arithmetic.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the divergence report as JSONL.") in
+  let run journal loadgen seed tenants nevents procs base_policy fork_at branch switch_policy
+      scale_tenant drain emit_stream exact json =
+    let sanitize = String.map (fun c -> if c = ':' || c = '/' then '-' else c) in
+    let branch_specs =
+      branch
+      @ List.map (fun p -> Printf.sprintf "policy-%s:policy=%s" (sanitize p) p) switch_policy
+      @ List.map (fun s -> Printf.sprintf "scale-%s:scale=%s" (sanitize s) s) scale_tenant
+    in
+    exit
+      (if exact then
+         Whatif_exact.run ~journal ~pattern_str:loadgen ~seed ~tenants ~nevents ~procs_str:procs
+           ~base_policy ~fork_at ~branch_specs ~drain ~emit_stream ~json
+       else
+         Whatif_float.run ~journal ~pattern_str:loadgen ~seed ~tenants ~nevents ~procs_str:procs
+           ~base_policy ~fork_at ~branch_specs ~drain ~emit_stream ~json)
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Replay a journal (or a generated load) to a fork point, fork the engine and price \
+          what-if branches: policy switches, tenant load scaling, injected events — reporting \
+          ΔΣw·C, ΔΣw·(C−r), first divergence and per-tenant deltas.")
+    Term.(
+      const run $ journal $ loadgen $ seed $ tenants $ nevents $ procs $ base_policy $ fork_at
+      $ branch $ switch_policy $ scale_tenant $ drain $ emit_stream $ exact $ json)
 
 (* ---------- fuzz ---------- *)
 
@@ -841,4 +1119,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; experiment_cmd; gen_cmd; bounds_cmd; render_cmd; simulate_cmd; serve_cmd; fuzz_cmd ]))
+          [
+            solve_cmd;
+            experiment_cmd;
+            gen_cmd;
+            bounds_cmd;
+            render_cmd;
+            simulate_cmd;
+            serve_cmd;
+            whatif_cmd;
+            fuzz_cmd;
+          ]))

@@ -158,6 +158,37 @@ let cross_field cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
            end)
   end
 
+(* Stream-replay oracles (DESIGN.md §16): whatif checks run on a
+   deterministic online stream derived from the spec, once per engine.
+   They exercise no registry solver — the stream runs under the WDEQ
+   engine policy, which is what the [algo] column records. *)
+let whatif cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
+  let one (info : Oracle.info) engine (check : Mwct_core.Spec.t -> (unit, string) result) =
+    if not (selected cfg.oracles info.Oracle.id) then []
+    else begin
+      let status =
+        match check spec with
+        | Ok () -> Oracle.Pass
+        | Error witness -> Oracle.Fail { witness; slack = "-" }
+        | exception e ->
+          Oracle.Fail { witness = "exception: " ^ Printexc.to_string e; slack = "-" }
+      in
+      [
+        {
+          Oracle.oracle = info.Oracle.id;
+          theorem = info.Oracle.theorem;
+          algo = "wdeq";
+          engine;
+          status;
+        };
+      ]
+    end
+  in
+  one Oracle.fork_identity_info "float" Whatif_check.Float.check_fork_identity
+  @ one Oracle.fork_identity_info "exact" Whatif_check.Exact.check_fork_identity
+  @ one Oracle.whatif_branch_info "float" Whatif_check.Float.check_branch_objective
+  @ one Oracle.whatif_branch_info "exact" Whatif_check.Exact.check_branch_objective
+
 let injected cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
   if not (cfg.inject_fault && Mwct_core.Spec.num_tasks spec >= 2) then []
   else begin
@@ -176,9 +207,10 @@ let injected cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
   end
 
 (** All verdicts of one spec under [cfg]: float oracles, exact oracles,
-    cross-field, plus any injected fault. *)
+    cross-field, the what-if stream oracles, plus any injected fault. *)
 let run_spec cfg (spec : Mwct_core.Spec.t) : Oracle.verdict list =
   injected cfg spec @ run_float cfg spec @ run_exact cfg spec @ cross_field cfg spec
+  @ whatif cfg spec
 
 let failures verdicts = List.filter (fun v -> not (Oracle.passed v)) verdicts
 

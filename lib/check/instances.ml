@@ -19,6 +19,7 @@ type family =
   | Concave_curves
   | Capacity_tight
   | Multi_tenant
+  | Whatif_branch
   | Dag_layered
   | Dag_fork_join
   | Dag_random
@@ -27,8 +28,8 @@ type family =
 let all_families =
   [
     Uniform; Unweighted; Wide; Unit; Mixed; Delta_one; Delta_full; Near_tie; Tiny_den;
-    Concave_curves; Capacity_tight; Multi_tenant; Dag_layered; Dag_fork_join; Dag_random;
-    Dag_chain;
+    Concave_curves; Capacity_tight; Multi_tenant; Whatif_branch; Dag_layered; Dag_fork_join;
+    Dag_random; Dag_chain;
   ]
 
 let family_name = function
@@ -44,6 +45,7 @@ let family_name = function
   | Concave_curves -> "concave-curves"
   | Capacity_tight -> "capacity-tight"
   | Multi_tenant -> "multi-tenant"
+  | Whatif_branch -> "whatif-branch"
   | Dag_layered -> "dag-layered"
   | Dag_fork_join -> "dag-fork-join"
   | Dag_random -> "dag-random"
@@ -86,7 +88,7 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
      sharded store's routing and cross-shard allocator see in serve. *)
   let tenant_bases =
     match family with
-    | Multi_tenant -> Array.init 4 (fun _ -> dyadic ())
+    | Multi_tenant | Whatif_branch -> Array.init 4 (fun _ -> dyadic ())
     | _ -> [||]
   in
   let task () =
@@ -146,6 +148,16 @@ let sample_sized (draw : draw) ~procs ~n ?(den = 64) family : Spec.t =
          individual. *)
       let tenant = draw 0 (Array.length tenant_bases - 1) in
       Spec.task ~volume:(dyadic ()) ~weight:tenant_bases.(tenant) ~delta:(draw 1 p) ()
+    | Whatif_branch ->
+      (* Multi_tenant's clustered weights plus per-task capacity clamps
+         on half the tasks: the shape the what-if stream oracles see —
+         the spec-derived stream drives tenant scaling and policy
+         switches, and binding caps make the share profile (and hence
+         the branch deltas) sensitive to both. *)
+      let tenant = draw 0 (Array.length tenant_bases - 1) in
+      let delta = draw 1 p in
+      let capacity = if draw 0 1 = 1 then Some (draw 1 delta) else None in
+      Spec.task ~volume:(dyadic ()) ~weight:tenant_bases.(tenant) ?capacity ~delta ()
     | Dag_layered | Dag_fork_join | Dag_random | Dag_chain ->
       (* DAG families share Uniform's numeric shape; the edges are
          attached below (extra draws happen after all tasks are drawn,

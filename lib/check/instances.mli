@@ -39,6 +39,10 @@ type family =
           shared weight bases, so weight mass arrives in clusters —
           the shape the sharded store's routing and cross-shard
           allocator see ({!Shard_check}) *)
+  | Whatif_branch
+      (** tenant-clustered weights plus per-task [capacity] clamps on
+          half the tasks — the shape the what-if stream oracles
+          ({!Whatif_check}) derive their branch streams from *)
   | Dag_layered
       (** precedence DAG in consecutive layers; each non-root task
           depends on one or two tasks of the previous layer *)

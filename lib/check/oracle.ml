@@ -56,11 +56,14 @@ let cross_field_info = { id = "cross-field"; theorem = "DESIGN \xc2\xa79"; doc =
 let dag_precedence_info = { id = "dag-precedence"; theorem = "DESIGN \xc2\xa715"; doc = "no task receives a share before all its parents complete" }
 let dag_closure_info = { id = "dag-closure"; theorem = "DESIGN \xc2\xa715"; doc = "completion order is a linear extension of the dependency DAG" }
 let dag_zero_edge_info = { id = "dag-zero-edge"; theorem = "DESIGN \xc2\xa715"; doc = "frontier policies on edge-free instances are bit-identical to the independent-bag path" }
+let fork_identity_info = { id = "fork-identity"; theorem = "DESIGN \xc2\xa716"; doc = "forking at any event index and replaying the unmodified suffix reproduces the straight-line journal bytes and dump" }
+let whatif_branch_info = { id = "whatif-branch"; theorem = "DESIGN \xc2\xa716"; doc = "every branch report figure is reproduced by replaying the branch's own journal" }
 
 let catalogue =
   [
     coherence_info; bounds_info; thm3_info; lemma3_info; thm9_info; thm10_info; thm4_info;
     thm11_info; cross_field_info; dag_precedence_info; dag_closure_info; dag_zero_edge_info;
+    fork_identity_info; whatif_branch_info;
   ]
 
 let ids = List.map (fun i -> i.id) catalogue

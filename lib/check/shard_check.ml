@@ -244,7 +244,7 @@ module Make (F : Mwct_field.Field.S) = struct
           let* acc = acc in
           match J.of_line line with
           | Ok (_, J.Input ev) -> Ok (ev :: acc)
-          | Ok (_, (J.Init _ | J.Output _ | J.Budget _)) -> Ok acc
+          | Ok (_, (J.Init _ | J.Output _ | J.Budget _ | J.Policy _)) -> Ok acc
           | Error msg -> Error (Printf.sprintf "merged journal: %s" msg))
         (Ok []) c.merged
       |> Result.map List.rev

@@ -1,0 +1,250 @@
+(** Replay oracles for snapshot/fork and the what-if branch runner
+    (DESIGN.md §16).
+
+    Both oracles run on a {e deterministic} event stream derived from a
+    field-neutral {!Mwct_core.Spec.t} ({!stream_of_spec}) — no extra
+    randomness — so the differential driver can run them on every
+    fuzzed spec and the standard spec shrinker minimizes their
+    counterexamples like any other oracle's:
+
+    - {!check_fork_identity} — fork invariance. For every event index
+      [k] (0 through the stream length inclusive), replaying the first
+      [k] events, taking {!Mwct_runtime.Engine.Make.snapshot}, forking,
+      and replaying the unmodified suffix must reproduce the
+      straight-line run's journal bytes and dump fingerprint exactly.
+      A fork is a bit-faithful copy: its future is the parent's.
+    - {!check_branch_objective} — report/journal agreement. Running the
+      branch runner with a deterministic mutation set (straight-line,
+      policy switch, tenant scaling, event injection), every branch's
+      own journal must {!Mwct_runtime.Journal.Make.replay} to the
+      Σw·C and Σw·(C−r) figures its report line claims, and the
+      reported ΔΣw·C must equal branch-minus-baseline. The report is
+      priced off live engines; the journal is the persistent record —
+      they must tell the same story.
+
+    Streams run under WDEQ with the incremental frontier, the
+    production configuration; branch policy switches exercise DEQ. *)
+
+open Mwct_core
+
+module Make (F : Mwct_field.Field.S) = struct
+  module B = Mwct_runtime.Branch.Make (F)
+  module En = B.En
+  module J = B.J
+  module P = Mwct_ncv.Policy.Make (F)
+
+  let policy () = P.engine_policy P.Wdeq
+  let kinetic () = P.engine_kinetic P.Wdeq
+
+  let resolve name =
+    if name = "wdeq" then Some (P.engine_policy P.Wdeq)
+    else if name = "deq" then Some (P.engine_policy P.Deq)
+    else None
+
+  let kinetic_for name =
+    if name = "wdeq" then P.engine_kinetic P.Wdeq
+    else if name = "deq" then P.engine_kinetic P.Deq
+    else None
+
+  let of_rat (r : Spec.rat) = F.of_q r.Spec.num r.Spec.den
+
+  (** The spec's tasks as a tenant-clustered online stream: task [i]
+      submits with id [i] (tenant = id mod 4 downstream), curves and
+      dependency edges carried over verbatim; every other submission is
+      followed by a quarter-tick advance, and every fifth {e childless}
+      task is cancelled right after submission (its cascade closes
+      exactly itself, so later dependency edges stay resolvable). Ends
+      in [Drain]. Purely a function of the spec — shrinking the spec
+      shrinks the stream. *)
+  let stream_of_spec (spec : Spec.t) : En.event list =
+    let tasks = spec.Spec.tasks in
+    let n = Array.length tasks in
+    let has_child = Array.make n false in
+    Array.iter (fun (t : Spec.task) -> List.iter (fun d -> has_child.(d) <- true) t.Spec.deps) tasks;
+    let buf = ref [] in
+    let push e = buf := e :: !buf in
+    Array.iteri
+      (fun i (t : Spec.task) ->
+        let delta = max 1 t.Spec.delta in
+        let cap =
+          (* With a curve the last breakpoint sits at delta, so the cap
+             stays there; linear tasks honour the spec's clamp. *)
+          match t.Spec.capacity with
+          | Some c when t.Spec.speedup = [] -> min (max 1 c) delta
+          | _ -> delta
+        in
+        let speedup =
+          match t.Spec.speedup with
+          | [] -> None
+          | bps ->
+            Some
+              ( Array.of_list (List.map (fun (x, _) -> of_rat x) bps),
+                Array.of_list (List.map (fun (_, y) -> of_rat y) bps) )
+        in
+        push
+          (En.Submit
+             {
+               id = i;
+               volume = of_rat t.Spec.volume;
+               weight = of_rat t.Spec.weight;
+               cap = F.of_int cap;
+               speedup;
+               deps = t.Spec.deps;
+             });
+        if i mod 5 = 4 && not has_child.(i) then push (En.Cancel i)
+        else if i mod 2 = 1 then push (En.Advance (F.of_q 1 4)))
+      tasks;
+    List.rev (En.Drain :: !buf)
+
+  let ( let* ) = Result.bind
+
+  (* Apply events strictly, journaling each input and its completions
+     into [lines] (reverse order) under the shared [seq] counter. *)
+  let apply_all eng lines seq events : (unit, string) result =
+    let emit e =
+      lines := J.to_line ~seq:!seq e :: !lines;
+      incr seq
+    in
+    let err = ref None in
+    List.iteri
+      (fun i ev ->
+        if !err = None then
+          match En.apply eng ev with
+          | Ok notes ->
+            emit (J.Input ev);
+            List.iter
+              (fun (nt : En.notification) -> emit (J.Output { id = nt.En.id; at = nt.En.at }))
+              notes
+          | Error e -> err := Some (Printf.sprintf "event %d: %s" i (En.error_to_string e)))
+      events;
+    match !err with Some m -> Error m | None -> Ok ()
+
+  (* ---------- fork identity ---------- *)
+
+  (** Fork at {e every} event index of the spec's stream and replay the
+      unmodified suffix: journal bytes and dump fingerprint must match
+      the straight-line run at each of them. The walker engine advances
+      one event per fork point, so each index costs one fork plus one
+      suffix replay. *)
+  let check_fork_identity (spec : Spec.t) : (unit, string) result =
+    let events = stream_of_spec spec in
+    let capacity = F.of_int spec.Spec.procs in
+    let start lines seq =
+      lines := J.to_line ~seq:!seq (J.Init { capacity; policy = "wdeq" }) :: !lines;
+      incr seq;
+      En.create ~capacity ?kinetic:(kinetic ()) ~policy:(policy ()) ()
+    in
+    let blines = ref [] and bseq = ref 0 in
+    let base = start blines bseq in
+    let* () = Result.map_error (fun m -> "baseline: " ^ m) (apply_all base blines bseq events) in
+    let base_lines = List.rev !blines and base_dump = En.dump base in
+    let wlines = ref [] and wseq = ref 0 in
+    let walker = start wlines wseq in
+    let rec go k suffix =
+      let forked = En.fork ?kinetic:(kinetic ()) (En.snapshot walker) in
+      let flines = ref !wlines and fseq = ref !wseq in
+      let* () =
+        Result.map_error
+          (fun m -> Printf.sprintf "fork at %d: suffix replay: %s" k m)
+          (apply_all forked flines fseq suffix)
+      in
+      let* () =
+        if List.rev !flines <> base_lines then
+          Error (Printf.sprintf "fork at %d: journal bytes differ from the straight line" k)
+        else if En.dump forked <> base_dump then
+          Error (Printf.sprintf "fork at %d: dump fingerprint differs from the straight line" k)
+        else Ok ()
+      in
+      match suffix with
+      | [] -> Ok ()
+      | ev :: rest ->
+        let* () =
+          Result.map_error
+            (fun m -> Printf.sprintf "walker event %d: %s" k m)
+            (apply_all walker wlines wseq [ ev ])
+        in
+        go (k + 1) rest
+    in
+    go 0 events
+
+  (* ---------- branch report vs branch journal ---------- *)
+
+  (** The deterministic mutation set every spec is priced under:
+      straight-line (replay fidelity), a DEQ policy switch, tenant
+      scaling (the tenant index varies with the spec size), and an
+      injected submit+advance pair at the fork point. *)
+  let branches_of (spec : Spec.t) : B.spec list =
+    let tenants = 4 in
+    let n = Spec.num_tasks spec in
+    [
+      { B.label = "straight"; mutations = [] };
+      { B.label = "deq"; mutations = [ B.Set_policy "deq" ] };
+      { B.label = "scale"; mutations = [ B.Scale_tenant { tenant = n mod tenants; num = 3; den = 2 } ] };
+      {
+        B.label = "inject";
+        mutations =
+          [
+            B.Inject
+              (En.Submit
+                 {
+                   id = 1000 + n;
+                   volume = F.of_q 3 4;
+                   weight = F.of_int 2;
+                   cap = F.one;
+                   speedup = None;
+                   deps = [];
+                 });
+            B.Inject (En.Advance (F.of_q 1 8));
+          ];
+      };
+    ]
+
+  (** Run the branch runner at the stream's midpoint and hold every
+      branch to its own journal: parsing and replaying the journal must
+      reproduce the reported Σw·C and Σw·(C−r) exactly ([F.equal]),
+      and the reported deltas must be branch-minus-baseline. *)
+  let check_branch_objective (spec : Spec.t) : (unit, string) result =
+    let events = stream_of_spec spec in
+    let capacity = F.of_int spec.Spec.procs in
+    let fork_at = List.length events / 2 in
+    let* report =
+      B.run ~resolve ~kinetic_for ~tenants:4 ~capacity ~policy:"wdeq" ~events ~fork_at
+        ~branches:(branches_of spec) ()
+    in
+    List.fold_left
+      (fun acc (o : B.outcome) ->
+        let* () = acc in
+        let* entries =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              match J.of_line line with
+              | Ok e -> Ok (e :: acc)
+              | Error m -> Error (Printf.sprintf "branch %S: journal: %s" o.B.label m))
+            (Ok []) o.B.lines
+          |> Result.map List.rev
+        in
+        let* replayed =
+          Result.map_error
+            (fun m -> Printf.sprintf "branch %S: replay: %s" o.B.label m)
+            (J.replay ~resolve entries)
+        in
+        if not (F.equal (En.weighted_completion replayed) o.B.sum_wc) then
+          Error
+            (Printf.sprintf "branch %S: replayed Σw·C %s differs from reported %s" o.B.label
+               (F.to_string (En.weighted_completion replayed))
+               (F.to_string o.B.sum_wc))
+        else if not (F.equal (En.weighted_flow replayed) o.B.sum_wflow) then
+          Error (Printf.sprintf "branch %S: replayed Σw·(C−r) differs from report" o.B.label)
+        else if not (F.equal o.B.d_wc (F.sub o.B.sum_wc report.B.baseline_wc)) then
+          Error (Printf.sprintf "branch %S: ΔΣw·C is not branch − baseline" o.B.label)
+        else if not (F.equal o.B.d_wflow (F.sub o.B.sum_wflow report.B.baseline_wflow)) then
+          Error (Printf.sprintf "branch %S: ΔΣw·(C−r) is not branch − baseline" o.B.label)
+        else Ok ())
+      (Ok ()) report.B.branches
+end
+
+(** Pre-applied checkers. *)
+module Float = Make (Mwct_field.Field.Float_field)
+
+module Exact = Make (Mwct_rational.Rational.Rat_field)

@@ -18,11 +18,14 @@
       [w_i]. This is the library's oracle for the precedence setting —
       the natural WDEQ generalization, and what the [wdeq-dag] /
       [deq-dag] registry entries run.
-    - {e transitive} ([~transitive:true]): a ready task counts the
-      weight of every transitive descendant as well, so a task gating a
-      heavy subtree is served first — the weighting GGKS use to bound
-      weighted completion time under precedence. Exposed behind the
-      flag for experiments; not a separate registry entry.
+    - {e transitive} ([~transitive:true]): a ready task's share weight
+      is the {e remaining gated work} behind it — its own weight times
+      its remaining (speedup-curve-aware) height, plus [Σ w_j·h_j] over
+      its transitive descendants — so a task gating a heavy subtree is
+      served first, in proportion to the work it actually unlocks (the
+      GGKS subtree weighting, refined from raw weight counts to
+      remaining work). Exposed behind the flag for experiments; not a
+      separate registry entry.
 
     Zero-edge instances dispatch straight to {!Wdeq.Make.simulate}, so
     their schedules are {e bit-identical} to the independent-bag path
@@ -35,19 +38,24 @@ module Make (F : Mwct_field.Field.S) = struct
   open T
 
   (* Share weights for one run: unit for DEQ, the task's own weight for
-     WDEQ, transitive sums when requested (over unit weights for the
-     unweighted policy, so DEQ-transitive ranks by descendant count). *)
-  let run_weights ~use_weights ~transitive (inst : instance) : int -> F.t =
+     WDEQ. The transitive variant prices *remaining gated work*,
+     speedup-curve-aware: a ready task's share weight is its own weight
+     times its remaining height [remaining_i / s_i(min(δ_i, P))] plus
+     the static Σ w_j·h_j over its transitive descendants
+     ({!Instance.Make.gated_work} — a descendant cannot start before
+     its ancestor completes, so that term never drains while counted).
+     Unit weights under the unweighted policy, so DEQ-transitive ranks
+     by remaining descendant work rather than raw descendant counts. *)
+  let run_weights ~use_weights ~transitive (inst : instance) :
+      remaining:F.t array -> int -> F.t =
     match (use_weights, transitive) with
-    | true, false -> fun i -> inst.tasks.(i).weight
-    | false, false -> fun _ -> F.one
-    | true, true ->
-      let tw = I.transitive_weight inst in
-      fun i -> tw.(i)
-    | false, true ->
-      let unit = { inst with tasks = Array.map (fun t -> { t with weight = F.one }) inst.tasks } in
-      let tw = I.transitive_weight unit in
-      fun i -> tw.(i)
+    | true, false -> fun ~remaining:_ i -> inst.tasks.(i).weight
+    | false, false -> fun ~remaining:_ _ -> F.one
+    | _, true ->
+      let gated = I.gated_work ~use_weights inst in
+      let w i = if use_weights then inst.tasks.(i).weight else F.one in
+      fun ~remaining i ->
+        F.add (F.mul (w i) (F.div remaining.(i) (I.max_rate inst i))) gated.(i)
 
   (** Simulate a frontier-equipartition run to completion.
       [~use_weights:false] gives the unweighted policy (frontier-DEQ);
@@ -78,7 +86,8 @@ module Make (F : Mwct_field.Field.S) = struct
         (* Ready frontier in ascending index order. *)
         let alive = ref [] in
         for i = n - 1 downto 0 do
-          if (not completed.(i)) && unmet.(i) = 0 then alive := (i, weight i, delta.(i)) :: !alive
+          if (not completed.(i)) && unmet.(i) = 0 then
+            alive := (i, weight ~remaining i, delta.(i)) :: !alive
         done;
         let shared = W.shares ~p:inst.procs !alive in
         Array.fill share 0 n F.zero;

@@ -8,7 +8,9 @@ module Make (F : Mwct_field.Field.S) : sig
       every completion (which may release new tasks). Instances
       without edges dispatch to {!Wdeq.Make.simulate} — bit-identical
       schedules. [~use_weights:false] is the unweighted policy;
-      [~transitive:true] shares by transitive (subtree) weight. *)
+      [~transitive:true] shares by remaining gated work — own weight
+      times remaining height plus [Σ w_j·h_j] over the transitive
+      descendants ({!Instance.Make.gated_work}), speedup-curve-aware. *)
   val simulate :
     ?use_weights:bool ->
     ?transitive:bool ->

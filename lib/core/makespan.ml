@@ -101,11 +101,33 @@ module Make (F : Mwct_field.Field.S) = struct
   let optimal (inst : instance) : F.t =
     if I.has_curves inst then optimal_curved inst else optimal_linear inst
 
-  (** A schedule achieving [T*]: WF with every completion at [T*]. *)
+  (* Inexact-field detection through the approximate comparator: the
+     float field's [equal_approx] has a 1e-9 window, the exact field's
+     is strict equality. *)
+  let inexact = F.equal_approx F.one (F.add F.one (F.of_q 1 1_000_000_000_000))
+
+  (** A schedule achieving [T*]: WF with every completion at [T*].
+
+      On the float field the curved sweep can place [T*] a few ulps
+      below feasibility — [g] at [1/T*] lands an epsilon above [P] and WF's
+      strict per-column checks reject it (test/corpus/
+      makespan-curved-ulp.spec pins such an instance) — so rejection is
+      retried with minimal relative inflation, doubling from [2^-40] and
+      staying orders of magnitude inside every downstream tolerance.
+      The exact field computes [T*] exactly and never retries. *)
   let schedule (inst : instance) : column_schedule =
     let t_star = optimal inst in
-    let times = Array.make (I.num_tasks inst) t_star in
-    match WF.build inst times with
+    let n = I.num_tasks inst in
+    let attempt t = WF.build inst (Array.make n t) in
+    let rec nudge eps tries =
+      match if tries = 0 then Error 0 else attempt (F.mul t_star (F.add F.one eps)) with
+      | Ok s -> s
+      | Error _ when tries > 0 -> nudge (F.add eps eps) (tries - 1)
+      | Error _ ->
+        invalid_arg "Makespan.schedule: WF rejected the optimal makespan (impossible)"
+    in
+    match attempt t_star with
     | Ok s -> s
+    | Error _ when inexact -> nudge (F.of_q 1 (1 lsl 40)) 16
     | Error _ -> invalid_arg "Makespan.schedule: WF rejected the optimal makespan (impossible)"
 end

@@ -498,6 +498,102 @@ module Make (F : Mwct_field.Field.S) = struct
          (F.repr m.M.weighted_completion) (F.repr m.M.weighted_flow));
     Buffer.contents b
 
+  (* ---------- snapshot / fork (DESIGN.md §16) ---------- *)
+
+  (* Deep structural copy of the whole store. Every mutable array is
+     duplicated; element values (field scalars, immutable segment and
+     dependency lists, breakpoint array pairs) are shared — the engine
+     never mutates them in place, it only replaces whole cells. Both
+     hashtables are copied, and the metrics record is deep-copied
+     including the latency histogram ([Metrics.copy] shares [lat] for
+     its memo; here observations on a fork must not bleed into the
+     parent). The share cache ([c_share], [order], [norder]) and the
+     [dirty] flag are carried over exactly as they stand: forcing a
+     reshare on the copy would bump [metrics.reshares] and diverge its
+     dump fingerprint from the straight-line engine's. *)
+  let copy_state (t : t) ~policy ~kinetic : t =
+    let m = t.metrics in
+    let metrics = { m with M.lat = Array.copy m.M.lat; snap_state = None; snap = "" } in
+    {
+      capacity = t.capacity;
+      policy;
+      kinetic;
+      record_segments = t.record_segments;
+      now_cell = Array.copy t.now_cell;
+      c_volume = Array.copy t.c_volume;
+      c_weight = Array.copy t.c_weight;
+      c_cap = Array.copy t.c_cap;
+      c_submitted = Array.copy t.c_submitted;
+      c_remaining = Array.copy t.c_remaining;
+      c_share = Array.copy t.c_share;
+      c_new_share = Array.copy t.c_new_share;
+      c_changes = Array.copy t.c_changes;
+      c_segments = Array.copy t.c_segments;
+      c_curve = Array.copy t.c_curve;
+      ncurved = t.ncurved;
+      c_waiting = Array.copy t.c_waiting;
+      c_dependents = Array.copy t.c_dependents;
+      c_deps = Array.copy t.c_deps;
+      ndormant = t.ndormant;
+      cascade = t.cascade;
+      c_id = Array.copy t.c_id;
+      used = t.used;
+      free = Array.copy t.free;
+      nfree = t.nfree;
+      by_id = Array.copy t.by_id;
+      nalive = t.nalive;
+      order = Array.copy t.order;
+      norder = t.norder;
+      scratch_done = Array.copy t.scratch_done;
+      fscratch = Array.copy t.fscratch;
+      iscratch = Array.copy t.iscratch;
+      slot_of_id = Hashtbl.copy t.slot_of_id;
+      closed_tbl = Hashtbl.copy t.closed_tbl;
+      dirty = t.dirty;
+      metrics;
+    }
+
+  (** A frozen, self-contained copy of an engine's entire state. Taking
+      one never disturbs the parent; [fork] copies {e again}, so one
+      snapshot can seed any number of branches. *)
+  type snapshot = { frozen : t }
+
+  let snapshot (t : t) : snapshot = { frozen = copy_state t ~policy:t.policy ~kinetic:None }
+
+  (** Number of alive tasks in the frozen state (cheap introspection
+      for branch reports). *)
+  let snapshot_alive (s : snapshot) = s.frozen.nalive
+
+  (** Virtual time of the frozen state. *)
+  let snapshot_now (s : snapshot) = s.frozen.now_cell.(0)
+
+  (** [fork snap] — a live engine whose straight-line future is
+      byte-identical to the parent's: same journal output lines, same
+      dump fingerprint, same metrics counters, event for event.
+
+      [?kinetic] re-attaches an incremental share rule: its membership
+      is rebuilt by re-adding the alive slots in [by_id] order, which
+      reproduces the parent's kinetic answers bit for bit (the
+      incremental rule is a pure function of the alive membership; its
+      internal order is insertion-independent). [?policy] switches the
+      share rule for the branch — a genuine state change, so it marks
+      the share cache dirty; without it the cache is inherited clean
+      and the next [Advance] costs exactly what the parent's would. *)
+  let fork ?policy ?kinetic (s : snapshot) : t =
+    let src = s.frozen in
+    let t =
+      copy_state src ~policy:(match policy with Some p -> p | None -> src.policy) ~kinetic
+    in
+    (match kinetic with
+    | Some k ->
+      for i = 0 to t.nalive - 1 do
+        let slot = t.by_id.(i) in
+        k.k_add ~slot ~id:t.c_id.(slot) ~weight:t.c_weight.(slot) ~cap:t.c_cap.(slot)
+      done
+    | None -> ());
+    (match policy with Some _ -> t.dirty <- true | None -> ());
+    t
+
   (* ---------- share cache ---------- *)
 
   (* Views in increasing id order — the same order the batch simulator

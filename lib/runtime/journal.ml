@@ -9,6 +9,9 @@
     - [out]    — an emitted decision: task [id] completed at time [t].
     - [budget] — a mid-stream capacity re-assignment (the sharded
                  store's per-tick processor budget for this shard).
+    - [policy] — a mid-stream share-rule switch (the what-if branch
+                 runner's policy mutation, DESIGN.md §16): replay forks
+                 the engine in place under the new rule.
 
     Lines of a sharded store's merged journal additionally carry a
     [shard] field naming the owning shard ({!to_line}'s [?shard];
@@ -40,6 +43,12 @@ module Make (F : Mwct_field.Field.S) = struct
             the sharded store records each shard's per-tick processor
             budget so a per-shard journal replays on a plain single
             engine. *)
+    | Policy of string
+        (** share-rule switch mid-stream: from here on the engine runs
+            under the named policy (state carried over bit-faithfully
+            via {!Engine.Make.fork}). Written by the what-if branch
+            runner so a policy-switch branch's journal is
+            self-contained and replayable. *)
 
   (* ---------- encoding ---------- *)
 
@@ -120,6 +129,8 @@ module Make (F : Mwct_field.Field.S) = struct
     | Output { id; at } ->
       obj (seq_field @ [ ("type", "\"complete\""); ("id", string_of_int id) ] @ num_fields "t" at)
     | Budget c -> obj (seq_field @ [ ("type", "\"budget\"") ] @ num_fields "capacity" c)
+    | Policy p ->
+      obj (seq_field @ [ ("type", "\"policy\""); ("policy", Printf.sprintf "\"%s\"" (escape p)) ])
 
   (* ---------- flat-object JSON parsing ---------- *)
 
@@ -287,6 +298,7 @@ module Make (F : Mwct_field.Field.S) = struct
         | "drain" -> Input En.Drain
         | "complete" -> Output { id = get_int "id"; at = get_num "t" }
         | "budget" -> Budget (get_num "capacity")
+        | "policy" -> Policy (get "policy")
         | ty -> raise (Parse (Printf.sprintf "unknown line type %S" ty))
       in
       let shard =
@@ -361,7 +373,7 @@ module Make (F : Mwct_field.Field.S) = struct
         match entries with
         | (_, Init { capacity; policy }) :: rest -> (
           match resolve policy with
-          | Some p -> (En.create ~capacity ~policy:p (), rest)
+          | Some p -> (ref (En.create ~capacity ~policy:p ()), rest)
           | None -> raise (Fail (Printf.sprintf "unknown policy %S" policy)))
         | _ -> raise (Fail "journal must start with an init line")
       in
@@ -381,9 +393,15 @@ module Make (F : Mwct_field.Field.S) = struct
                re-apply it so the plain engine reproduces the shard's
                completions exactly *)
             if F.sign c < 0 then raise (Fail (Printf.sprintf "seq %d: negative budget" seq))
-            else ignore (En.set_capacity eng c)
+            else ignore (En.set_capacity !eng c)
+          | Policy name -> (
+            (* mid-stream share-rule switch: fork the engine in place
+               under the new rule (state carried over bit-faithfully) *)
+            match resolve name with
+            | Some p -> eng := En.fork ~policy:p (En.snapshot !eng)
+            | None -> raise (Fail (Printf.sprintf "seq %d: unknown policy %S" seq name)))
           | Input e -> (
-            match En.apply eng e with
+            match En.apply !eng e with
             | Ok notes -> pending := !pending @ notes
             | Error err ->
               raise (Fail (Printf.sprintf "seq %d: %s" seq (En.error_to_string err))))
@@ -400,7 +418,7 @@ module Make (F : Mwct_field.Field.S) = struct
                         seq id (F.to_string at) note.En.id (F.to_string note.En.at)));
               pending := rest))
         rest;
-      Ok eng
+      Ok !eng
     with Fail msg -> Error msg
 end
 

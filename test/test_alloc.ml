@@ -20,7 +20,7 @@ module PF = Mwct_ncv.Policy.Make (FF)
    the sweep runs entirely on the struct-of-arrays columns. The window
    is measured against an identically-shaped empty window so the float
    boxes allocated by [Gc.minor_words] itself cancel out. *)
-let test_advance_zero_alloc () =
+let steady_engine () =
   let eng =
     En.create ~record_segments:false
       ?kinetic:(PF.engine_kinetic PF.Wdeq)
@@ -31,6 +31,9 @@ let test_advance_zero_alloc () =
     | Ok () -> ()
     | Error e -> Alcotest.fail (En.error_to_string e)
   done;
+  eng
+
+let check_advance_budget eng =
   let ev = En.Advance 0.25 in
   let apply () =
     match En.apply eng ev with
@@ -56,6 +59,17 @@ let test_advance_zero_alloc () =
   let delta = w1 -. w0 -. (b1 -. b0) in
   if delta >= float_of_int iters then
     Alcotest.failf "steady-state Advance allocates: %.0f minor words over %d advances" delta iters
+
+let test_advance_zero_alloc () = check_advance_budget (steady_engine ())
+
+(* A forked engine must keep the same budget: the snapshot/fork copy
+   rebuilds the SoA columns and the kinetic frontier, so the steady
+   state it resumes in is the parent's — no lazy rebuilding, no
+   hidden allocation on the Advance path (DESIGN.md §16). *)
+let test_forked_advance_zero_alloc () =
+  let parent = steady_engine () in
+  let forked = En.fork ?kinetic:(PF.engine_kinetic PF.Wdeq) (En.snapshot parent) in
+  check_advance_budget forked
 
 (* ---------- incremental frontier vs list kernel vs reference ---------- *)
 
@@ -180,6 +194,12 @@ let () =
   let p = QCheck_alcotest.to_alcotest in
   Alcotest.run "alloc"
     [
-      ("advance-budget", [ Alcotest.test_case "steady-state Advance is allocation-free" `Quick test_advance_zero_alloc ]);
+      ( "advance-budget",
+        [
+          Alcotest.test_case "steady-state Advance is allocation-free" `Quick
+            test_advance_zero_alloc;
+          Alcotest.test_case "forked-engine Advance is allocation-free" `Quick
+            test_forked_advance_zero_alloc;
+        ] );
       ("incremental-frontier", [ p prop_incremental_float; p prop_incremental_exact ]);
     ]

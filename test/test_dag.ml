@@ -273,6 +273,42 @@ let prop_zero_edge_identity =
       && d.EF.Types.finish = w.EF.Types.finish
       && d.EF.Types.columns = w.EF.Types.columns)
 
+(* Remaining-work transitive weighting (ROADMAP PR 9 follow-up): a
+   gate's share weight is the work its completion unlocks, not the raw
+   weight count of its subtree. On one processor, gate 0 fronts a
+   heavy-weight but feather-light descendant (w=4, h=1/8) and gate 1 a
+   light-weight mountain (w=1, h=8). Counting weights — the old
+   behavior — rates the gates 5 : 2 and completes gate 0 first
+   (t = 7/5 vs 7/2); pricing remaining gated work rates them
+   1.5 : 9 and completes gate 1 first (t = 7/6 vs 7). Pinned so the
+   orderings can never silently swap back. *)
+let gated_work_spec =
+  parse
+    {|
+procs 1
+task 1 1 1
+task 1 1 1
+task 1/8 4 1
+deps 0
+task 8 1 1
+deps 1
+|}
+
+let test_transitive_remaining_work () =
+  let inst = Support.finst gated_work_spec in
+  let gw = EF.Instance.gated_work inst in
+  Alcotest.(check (float 1e-9)) "gate 0 gates w·h = 1/2" 0.5 gw.(0);
+  Alcotest.(check (float 1e-9)) "gate 1 gates w·h = 8" 8.0 gw.(1);
+  let s, _ = EF.Dag.wdeq ~transitive:true inst in
+  Alcotest.(check int) "heavy-work gate completes first" 1 s.EF.Types.order.(0);
+  (* the plain (non-transitive) run still starts with gate 0's side:
+     equal own weights tie, and ties resolve nothing here — but the
+     weight-count variant's preference is what the gated-work numbers
+     above overturn *)
+  let gw_unit = EF.Instance.gated_work ~use_weights:false inst in
+  Alcotest.(check (float 1e-9)) "unweighted gated work is height" 0.125 gw_unit.(0);
+  Alcotest.(check (float 1e-9)) "unweighted gated work is height" 8.0 gw_unit.(1)
+
 (* Transitive weighting changes shares, never validity: the flagged
    variant must still satisfy the precedence oracle's invariant. *)
 let test_transitive_variant_valid () =
@@ -313,6 +349,8 @@ let () =
           Alcotest.test_case "chain schedule" `Quick test_dag_chain_schedule;
           Alcotest.test_case "diamond valid + registry agreement" `Quick test_dag_diamond_valid;
           Alcotest.test_case "transitive variant valid" `Quick test_transitive_variant_valid;
+          Alcotest.test_case "transitive prices remaining work" `Quick
+            test_transitive_remaining_work;
           p prop_zero_edge_identity;
         ] );
     ]
